@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one paper artifact (table/figure) via its
+experiment harness and asserts the paper's qualitative claims on the
+result, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction run.  Experiments are executed once per benchmark round
+(``pedantic``) because a single run is already an aggregate over many
+simulated devices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: Geometry for benchmark runs: wider rows than unit tests, still minutes.
+BENCH_CONFIG = ExperimentConfig(
+    columns=1024,
+    rows_per_subarray=16,
+    subarrays_per_bank=2,
+    n_banks=2,
+    chips_per_group=2,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once per benchmark round."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)

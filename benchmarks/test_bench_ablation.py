@@ -1,0 +1,140 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These sweeps justify the calibrated model parameters by showing how the
+paper's headline shapes degrade when a mechanism is removed or mis-set:
+
+* bit-line/cell capacitance ratio — sets the Frac convergence rate (the
+  paper's "10 Fracs for the PUF" recipe only makes sense in a window),
+* the fractional operand — removing it (0 Fracs) breaks F-MAJ, which is
+  the paper's central argument,
+* frac-weak cells — the hypothetical Frac-immune population would destroy
+  the Figure 7 verification (why the default is zero),
+* placing the fractional value off the primary row — the coverage drop
+  reproduces the "different groups favor different configurations" effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.core.ops import FMajConfig
+from repro.core.verify import verify_frac_by_maj3
+from repro.dram.parameters import ElectricalParams
+from repro.experiments.fig9_fmaj_coverage import coverage_fmaj
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=1024)
+
+
+def _chip_with(electrical: ElectricalParams | None = None,
+               variation_overrides: dict | None = None,
+               group: str = "B") -> DramChip:
+    from dataclasses import replace
+
+    from repro.dram.vendor import get_group
+
+    profile = get_group(group)
+    if electrical is not None:
+        profile = replace(profile, electrical=electrical)
+    if variation_overrides:
+        profile = profile.with_variation(**variation_overrides)
+    return DramChip(profile, geometry=GEOM)
+
+
+def test_ablation_capacitance_ratio(benchmark):
+    """Frac residue after 10 ops vs Cb/Cc: must sink below offset scale."""
+
+    def sweep():
+        residues = {}
+        for ratio in (1.0, 2.0, 3.0, 6.0, 12.0):
+            chip = _chip_with(ElectricalParams(bitline_to_cell_ratio=ratio))
+            fd = FracDram(chip)
+            fd.fill_row(0, 1, True)
+            fd.frac(0, 1, 10)
+            cells = chip.subarray_of(0, 1).cell_v[1]
+            residues[ratio] = float(np.mean(np.abs(cells - 0.5)))
+        return residues
+
+    residues = run_once(benchmark, sweep)
+    print("\nresidue |v - Vdd/2| after 10 Fracs per Cb/Cc:", residues)
+    ratios = sorted(residues)
+    # Larger bit-lines converge faster; the default (3.0) is deep enough.
+    for small, large in zip(ratios, ratios[1:]):
+        assert residues[large] <= residues[small]
+    assert residues[3.0] < 1e-4
+
+
+def test_ablation_fmaj_requires_fractional_operand(benchmark):
+    """F-MAJ with 0 Fracs (a binary fourth operand) collapses."""
+
+    def sweep():
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        return {
+            n_frac: coverage_fmaj(fd, FMajConfig(1, True, n_frac), 0, 0)
+            for n_frac in (0, 1, 2)
+        }
+
+    coverage = run_once(benchmark, sweep)
+    print("\nF-MAJ coverage vs n_frac:", coverage)
+    assert coverage[0] < 0.5      # binary fourth operand: not majority
+    assert coverage[2] > 0.95     # fractional operand: majority works
+
+
+def test_ablation_frac_weak_cells_break_verification(benchmark):
+    """A Frac-immune population would contradict Figure 7 (hence 0%)."""
+
+    def sweep():
+        results = {}
+        for weak_fraction in (0.0, 0.1, 0.3):
+            chip = _chip_with(
+                variation_overrides={"frac_weak_fraction": weak_fraction})
+            fd = FracDram(chip)
+            outcome = verify_frac_by_maj3(fd, 0, n_frac=3)
+            results[weak_fraction] = outcome.verified_fraction
+        return results
+
+    verified = run_once(benchmark, sweep)
+    print("\nverified fraction vs frac-weak population:", verified)
+    assert verified[0.0] > 0.95
+    assert verified[0.3] < verified[0.1] < verified[0.0]
+
+
+def test_ablation_frac_position_matters(benchmark):
+    """Placing the fractional value off the primary row costs coverage."""
+
+    def sweep():
+        fd = FracDram(DramChip("C", geometry=GEOM))
+        return {
+            position: np.mean([
+                coverage_fmaj(fd, FMajConfig(position, True, 2), 0, sub)
+                for sub in range(GEOM.subarrays_per_bank)])
+            for position in range(4)
+        }
+
+    coverage = run_once(benchmark, sweep)
+    print("\ngroup C coverage per frac position:", coverage)
+    primary = 0  # group C's primary row is R1
+    others = [coverage[p] for p in range(4) if p != primary]
+    assert coverage[primary] >= max(others)
+
+
+def test_ablation_interrupted_share_asymmetry(benchmark):
+    """The partial first-ACT share is what makes R1 weak in MAJ3: the
+    verification procedure exploits exactly this asymmetry."""
+
+    def sweep():
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        # With fracs in R1+R2 vs R1+R3 the carrier differs; both must
+        # verify, but the no-frac baselines differ in their margins.
+        return {
+            spec: verify_frac_by_maj3(fd, 0, frac_rows=spec,
+                                      n_frac=2).verified_fraction
+            for spec in ("R1R2", "R1R3")
+        }
+
+    verified = run_once(benchmark, sweep)
+    print("\nverified fraction per frac-row choice:", verified)
+    assert min(verified.values()) > 0.95

@@ -1,0 +1,14 @@
+"""Benchmark DDR4: the Section VII outlook projection."""
+
+from conftest import run_once
+
+from repro.experiments import ddr4_outlook
+
+
+def test_ddr4_outlook(benchmark, bench_config):
+    result = run_once(benchmark, ddr4_outlook.run, bench_config)
+    print("\n" + result.format_table())
+    assert result.outlook_holds()
+    for group in result.groups:
+        assert group.fmaj_coverage > 0.95
+        assert group.trng_throughput_mbps > 10

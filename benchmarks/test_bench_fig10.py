@@ -1,0 +1,20 @@
+"""Benchmark F10: regenerate Figure 10 (stability CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import fig10_fmaj_stability
+
+
+def test_fig10(benchmark, bench_config):
+    result = run_once(benchmark, fig10_fmaj_stability.run, bench_config, 400)
+    print("\n" + result.format_table())
+    # (a): green combos start perfect, blue combos rise with Frac count.
+    assert result.part_a.shape_holds()
+    # (b): F-MAJ on B beats MAJ3 and most columns are perfectly stable.
+    assert result.fmaj_beats_maj3()
+    for module in result.modules_b_fmaj:
+        assert module.always_correct_fraction > 0.9
+    for module_fmaj, module_maj3 in zip(result.modules_b_fmaj,
+                                        result.modules_b_maj3):
+        assert (module_fmaj.always_correct_fraction
+                > module_maj3.always_correct_fraction)

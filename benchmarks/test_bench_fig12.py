@@ -1,0 +1,15 @@
+"""Benchmark F12: regenerate Figure 12 (environmental robustness)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_puf_env
+
+
+def test_fig12(benchmark, bench_config):
+    result = run_once(benchmark, fig12_puf_env.run, bench_config, 16, 2)
+    print("\n" + result.format_table())
+    assert result.robust()
+    assert result.intra_grows_with_temperature()
+    # Paper margins: max intra 0.07 vs min inter 0.30 at 1.4 V.
+    assert result.voltage_condition.max_intra < 0.10
+    assert result.voltage_condition.min_inter > 0.25

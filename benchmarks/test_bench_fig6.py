@@ -1,0 +1,19 @@
+"""Benchmark F6: regenerate Figure 6 (retention PDFs under Frac)."""
+
+from conftest import run_once
+
+from repro.analysis.retention import CellCategory
+from repro.experiments import fig6_retention
+
+
+def test_fig6(benchmark, bench_config):
+    result = run_once(benchmark, fig6_retention.run, bench_config)
+    print("\n" + result.format_table())
+    # Paper shapes: J/K/L unaffected; monotonic majority; others < 1%.
+    assert set(result.unaffected_groups) == {"J", "K", "L"}
+    assert result.mean_monotonic_fraction() > 0.5
+    for group in result.groups:
+        assert group.categories[CellCategory.OTHER] < 0.03
+        # PDF mass moves downward: the >12h share shrinks monotonically-ish.
+        pdf = group.profile.pdf_matrix()
+        assert pdf[-1, -1] < pdf[0, -1]

@@ -1,0 +1,16 @@
+"""Benchmark F7: regenerate Figure 7 (MAJ3 verification of Frac)."""
+
+from conftest import run_once
+
+from repro.experiments import fig7_maj3
+
+
+def test_fig7(benchmark, bench_config):
+    result = run_once(benchmark, fig7_maj3.run, bench_config)
+    print("\n" + result.format_table())
+    assert result.fractional_values_proven()
+    # Baselines: 0 Frac reproduces the init value in X1 and X2.
+    for setting in result.settings:
+        baseline = setting.fractions[0]
+        key = "X1=1,X2=1" if setting.init_ones else "X1=0,X2=0"
+        assert baseline[key] > 0.9

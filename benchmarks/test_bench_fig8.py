@@ -1,0 +1,15 @@
+"""Benchmark F8: regenerate Figure 8 (Half-m evaluation)."""
+
+from conftest import run_once
+
+from repro.experiments import fig8_half_m
+
+
+def test_fig8(benchmark, bench_config):
+    result = run_once(benchmark, fig8_half_m.run, bench_config)
+    print("\n" + result.format_table())
+    # Paper: ~16% distinguishable Half; weak values behave normally;
+    # weak-one retention resembles normal ones (mass in the top bucket).
+    assert 0.05 < result.half_distinguishable_fraction < 0.4
+    assert result.weak_values_behave_normally()
+    assert result.weak_one_retention_pdf[-1] > 0.7

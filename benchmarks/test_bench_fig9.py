@@ -1,0 +1,22 @@
+"""Benchmark F9: regenerate Figure 9 (F-MAJ coverage sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import fig9_fmaj_coverage
+
+
+def test_fig9(benchmark, bench_config):
+    result = run_once(benchmark, fig9_fmaj_coverage.run, bench_config)
+    print("\n" + result.format_table())
+    # Paper claims: every four-row group computes F-MAJ; B's best config
+    # beats the MAJ3 baseline; preferred configurations per group.
+    assert result.all_groups_nonzero()
+    assert result.best_beats_baseline()
+    assert result.best_curve("B").frac_position == 1          # R2
+    assert result.best_curve("B").init_ones is True
+    assert result.best_curve("C").frac_position == 0          # R1
+    assert result.best_curve("D").frac_position == 3          # R4
+    assert result.best_curve("D").init_ones is False
+    # Crossover shape: with zero Fracs coverage is poor, then jumps.
+    best_b = result.best_curve("B")
+    assert best_b.points[0][0] < 0.5 < best_b.points[2][0]

@@ -1,0 +1,11 @@
+"""Benchmark LAT: cycle-level latency accounting."""
+
+from conftest import run_once
+
+from repro.experiments import latency
+
+
+def test_latency(benchmark, bench_config):
+    result = run_once(benchmark, latency.run)
+    print("\n" + result.format_table())
+    assert result.matches_paper()

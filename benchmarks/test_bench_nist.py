@@ -1,0 +1,13 @@
+"""Benchmark NIST: whitened PUF responses through all 15 tests."""
+
+from conftest import run_once
+
+from repro.experiments import nist_randomness
+
+
+def test_nist(benchmark, bench_config):
+    result = run_once(benchmark, nist_randomness.run, bench_config)
+    print("\n" + result.format_table())
+    assert result.all_passed
+    assert result.suite.n_applicable >= 13
+    assert abs(result.whitened_weight - 0.5) < 0.01

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the simulator primitives (throughput tracking).
+
+These time the *simulator*, not the modeled DRAM (the modeled latencies
+are cycle counts, benchmarked in test_bench_latency).  They guard against
+performance regressions that would make the paper-scale experiments
+impractical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.puf import Challenge, FracPuf
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=8192)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FracDram(DramChip("B", geometry=GEOM))
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    return [rng.random(GEOM.columns) < 0.5 for _ in range(3)]
+
+
+def test_write_row_throughput(benchmark, fd, operands):
+    benchmark(fd.write_row, 0, 3, operands[0])
+
+
+def test_read_row_throughput(benchmark, fd):
+    fd.fill_row(0, 3, True)
+    benchmark(fd.read_row, 0, 3)
+
+
+def test_frac_throughput(benchmark, fd):
+    fd.fill_row(0, 1, True)
+    benchmark(fd.frac, 0, 1, 10)
+
+
+def test_row_copy_throughput(benchmark, fd, operands):
+    fd.write_row(0, 3, operands[0])
+    benchmark(fd.row_copy, 0, 3, 4)
+
+
+def test_maj3_throughput(benchmark, fd, operands):
+    benchmark(fd.maj3, 0, operands)
+
+
+def test_fmaj_throughput(benchmark, fd, operands):
+    benchmark(fd.f_maj, 0, operands)
+
+
+def test_puf_response_throughput(benchmark):
+    puf = FracPuf(DramChip("B", geometry=GEOM))
+    benchmark(puf.evaluate, Challenge(0, 1))
+
+
+def test_leakage_advance_throughput(benchmark, fd):
+    fd.precharge_all()
+    benchmark(fd.advance_time, 60.0)

@@ -1,0 +1,11 @@
+"""Benchmark T1: regenerate Table I (group capability matrix)."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_config):
+    result = run_once(benchmark, table1.run, bench_config)
+    print("\n" + result.format_table())
+    assert result.matches_paper

@@ -1,0 +1,15 @@
+"""Benchmark TS: timing-window exploration."""
+
+from conftest import run_once
+
+from repro.experiments import timing_sweep
+
+
+def test_timing_sweep(benchmark, bench_config):
+    result = run_once(benchmark, timing_sweep.run, bench_config)
+    print("\n" + result.format_table())
+    assert result.windows_match_model()
+    # Regime ordering: fractional, then partial amplification, restored.
+    regimes = [o.regime for o in result.act_pre]
+    assert regimes[0] == "fractional"
+    assert regimes[-1] == "restored"

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Bulk bitwise computing with in-memory majority (ComputeDRAM-style).
+
+The majority-of-three primitive is logically complete for AND/OR when one
+operand is a constant:
+
+    AND(a, b) = MAJ3(a, b, 0)        OR(a, b) = MAJ3(a, b, 1)
+
+This example builds a tiny bulk-bitwise ALU on top of F-MAJ — so it runs
+on group C modules, which cannot open three rows and therefore cannot use
+the original ComputeDRAM MAJ3 at all (the paper's headline use case for
+fractional values) — and uses it to evaluate a bitmap-index query over a
+simulated table, entirely "inside" the DRAM.
+
+Run:  python examples/in_memory_compute.py
+"""
+
+import numpy as np
+
+from repro import DramChip, FracDram
+from repro.compute import BitwiseAlu
+
+
+def main() -> None:
+    # Group C: four-row activation only — the original MAJ3 is impossible,
+    # F-MAJ makes it computable (Section VI-A).
+    fd = FracDram(DramChip("C"))
+    alu = BitwiseAlu(fd)
+    print(f"majority engine selected for group C: {alu.engine}")
+    n = fd.columns
+    rng = np.random.default_rng(42)
+
+    # A bitmap index over `n` records: one bit per record per predicate.
+    is_premium = rng.random(n) < 0.3
+    is_active = rng.random(n) < 0.6
+    in_region = rng.random(n) < 0.5
+
+    # Query: premium AND (active OR in_region)
+    active_or_region = alu.or_(is_active, in_region)
+    selected = alu.and_(is_premium, active_or_region)
+    expected = is_premium & (is_active | in_region)
+
+    accuracy = float(np.mean(selected == expected))
+    print(f"bitmap query over {n} records computed in-DRAM")
+    print(f"per-record agreement with CPU evaluation: {100 * accuracy:.2f}%")
+
+    # Majority voting: fault-tolerant combination of three replicas.
+    truth = rng.random(n) < 0.5
+    replicas = [truth ^ (rng.random(n) < 0.03) for _ in range(3)]  # 3% flips
+    voted = alu.maj(*replicas)
+    replica_error = float(np.mean(replicas[0] != truth))
+    voted_error = float(np.mean(voted != truth))
+    print(f"\ntriple-modular redundancy via in-DRAM majority:")
+    print(f"single replica error rate: {100 * replica_error:.2f}%")
+    print(f"after in-DRAM majority vote: {100 * voted_error:.2f}%")
+
+    # Bit-sliced SIMD arithmetic: add 4-bit counters across all lanes.
+    width = 4
+    words_a = rng.random((width, n)) < 0.5
+    words_b = rng.random((width, n)) < 0.5
+    total = alu.ripple_add(words_a, words_b, width)
+    ints = lambda w: sum(w[i].astype(int) << i for i in range(width))
+    add_accuracy = float(np.mean(ints(total) == (ints(words_a) + ints(words_b)) % 16))
+    print(f"\nbit-sliced 4-bit SIMD add over {n} lanes: "
+          f"{100 * add_accuracy:.1f}% lanes exact")
+    print(f"total modeled DRAM-bus time: {alu.total_cycles} cycles "
+          f"({alu.total_cycles * 2.5 / 1000:.1f} us) across "
+          f"{len(alu.op_log)} operations")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Ternary (three-state) storage in unmodified DRAM via Half-m
+(Section VI-C).
+
+Each cell stores a trit — zero, one, or Half — written with one Half-m
+four-row activation and decoded destructively with the MAJ3 procedure
+(which consumes two prepared copies, the paper's stated limitation).
+Only a minority of columns can hold a distinguishable Half value (~16%
+in the paper), so the example first *characterizes* the device to find
+Half-capable columns, then stores a ternary payload in them.
+
+Run:  python examples/ternary_storage.py
+"""
+
+import numpy as np
+
+from repro import DramChip, FracDram, TernaryStore
+from repro.core.ternary import TRIT_HALF, TRIT_ONE, TRIT_ZERO
+
+
+def characterize_half_columns(store: TernaryStore,
+                              rounds: int = 3) -> np.ndarray:
+    """Find columns that reliably hold a distinguishable Half value.
+
+    A column qualifies only if it decodes Half in every characterization
+    round — single-shot characterization admits marginal columns that
+    then decode unreliably.
+    """
+    probe = np.full(store.fd.columns, TRIT_HALF, dtype=int)
+    reliable = np.ones(store.fd.columns, dtype=bool)
+    for _ in range(rounds):
+        store.write_trits(probe, subarray=0)
+        store.write_trits(probe, subarray=1)
+        decoded = store.read_trits_destructive(subarray_x1=0, subarray_x2=1)
+        reliable &= decoded == TRIT_HALF
+    return reliable
+
+
+def main() -> None:
+    fd = FracDram(DramChip("B"))  # needs both four- and three-row support
+    store = TernaryStore(fd)
+
+    half_capable = characterize_half_columns(store)
+    print(f"{half_capable.sum()} / {half_capable.size} columns hold a "
+          f"distinguishable Half value "
+          f"({100 * half_capable.mean():.1f}%; paper: ~16%)")
+
+    # Build a payload: ternary digits in Half-capable columns, binary
+    # elsewhere (binary trits work on every column).
+    rng = np.random.default_rng(7)
+    trits = rng.integers(0, 2, size=fd.columns)  # binary background
+    trits[half_capable] = rng.integers(0, 3, size=int(half_capable.sum()))
+
+    # The destructive read needs two identically-written copies.
+    store.write_trits(trits, subarray=0)
+    store.write_trits(trits, subarray=1)
+    decoded = store.read_trits_destructive(subarray_x1=0, subarray_x2=1)
+
+    fidelity = store.decode_fidelity(trits, decoded)
+    fidelity_half = float(np.mean(decoded[half_capable] == trits[half_capable]))
+    print(f"overall decode fidelity: {100 * fidelity:.1f}%")
+    print(f"fidelity on characterized Half-capable columns: "
+          f"{100 * fidelity_half:.1f}%")
+
+    # Information density: a trit carries log2(3) ~ 1.585 bits.
+    extra_bits = half_capable.sum() * (np.log2(3) - 1.0)
+    print(f"extra capacity from ternary cells: {extra_bits:.0f} bits "
+          f"per {fd.columns}-bit row (+{100 * extra_bits / fd.columns:.1f}%)")
+    print("\ncaveat (paper Section VI-C): readout is destructive and "
+          "requires four binary row writes per ternary row — a research "
+          "curiosity, not a production storage scheme.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Trace the cell/bit-line voltages of Figures 3 and 4.
+
+Drives the chip's command interface cycle by cycle while sampling the
+simulator's analog probes, printing ASCII waveforms of:
+
+* a Frac operation on a cell initially at Vdd (Figure 3), and
+* a Half-m operation on three columns whose four-row initial values are
+  all-ones (weak one), all-zeros (weak zero), and two-vs-two (Half value)
+  (Figure 4).
+
+On real hardware this would require decapping the die and micro-probing;
+here it is one method call.
+
+Run:  python examples/waveforms.py
+"""
+
+import numpy as np
+
+from repro import DramChip, FracDram
+
+
+def ascii_plot(label: str, samples: list[tuple[int, float]],
+               width: int = 48) -> None:
+    print(f"\n{label}")
+    for cycle, value in samples:
+        bar = "#" * int(round(value * width))
+        print(f"  cycle {cycle:>3d} | {bar:<{width}s} | {value:.3f} Vdd")
+
+
+def trace_frac() -> None:
+    chip = DramChip("B")
+    fd = FracDram(chip)
+    bank, row, col = 0, 1, 0
+    fd.fill_row(bank, row, True)
+    sub = chip.subarray_of(bank, row)
+
+    samples = [(0, sub.probe_cell(row, col))]
+    base = fd.mc.cycle
+    # Frac: ACT at t, PRE at t+1, five idle cycles (Section III-A).
+    chip.activate(bank, row, base + 0)
+    samples.append((1, sub.probe_cell(row, col)))
+    chip.precharge(bank, base + 1)
+    chip.finish(base + 7)
+    fd.mc.cycle = base + 7
+    samples.append((7, sub.probe_cell(row, col)))
+    ascii_plot("Figure 3 — cell voltage during one Frac (initially Vdd):",
+               samples)
+    print("  charge sharing pulls the cell to the bit-line equilibrium; the\n"
+          "  interrupting PRECHARGE disconnects it before the sense amps fire.")
+
+
+def trace_half_m() -> None:
+    chip = DramChip("B")
+    fd = FracDram(chip)
+    bank = 0
+    plan = fd.quad_plan(bank)
+    ones = np.ones(fd.columns, dtype=bool)
+    zeros = np.zeros(fd.columns, dtype=bool)
+    # Column 0: all ones -> weak one.  Column 1: all zeros -> weak zero.
+    # Column 2: ones in R1/R3, zeros in R2/R4 -> Half value.
+    r1 = ones.copy(); r2 = ones.copy(); r3 = ones.copy(); r4 = ones.copy()
+    for bits, pattern in zip((r1, r2, r3, r4),
+                             ((1, 0, 1), (1, 0, 0), (1, 0, 1), (1, 0, 0))):
+        bits[0], bits[1], bits[2] = map(bool, pattern)
+    for row, bits in zip(plan.opened, (r1, r2, r3, r4)):
+        fd.write_row(bank, row, bits)
+
+    sub = chip.subarray_of(bank, plan.opened[0])
+    local = [r % chip.geometry.rows_per_subarray for r in plan.opened]
+    base = fd.mc.cycle
+    monitored = {"weak one": 0, "weak zero": 1, "Half": 2}
+
+    traces = {name: [(0, sub.probe_cell(local[0], col))]
+              for name, col in monitored.items()}
+    chip.activate(bank, plan.act_pair[0], base + 0)
+    chip.precharge(bank, base + 1)
+    chip.activate(bank, plan.act_pair[1], base + 2)
+    for name, col in monitored.items():
+        traces[name].append((2, sub.probe_cell(local[0], col)))
+    chip.precharge(bank, base + 4)  # interrupt before the sense amps fire
+    chip.finish(base + 9)
+    fd.mc.cycle = base + 9
+    for name, col in monitored.items():
+        traces[name].append((9, sub.probe_cell(local[0], col)))
+
+    print("\nFigure 4 — Half-m on rows "
+          f"{plan.opened} (activate {plan.act_pair}):")
+    for name, samples in traces.items():
+        ascii_plot(f"column with initial values -> {name}:", samples)
+
+
+def main() -> None:
+    trace_frac()
+    trace_half_m()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""FracDRAM reproduction: fractional values in (simulated) off-the-shelf DRAM.
+
+A full, simulation-based reproduction of *FracDRAM: Fractional Values in
+Off-the-Shelf DRAM* (Gao, Tziantzioulis, Wentzlaff — MICRO 2022).  See
+DESIGN.md for the system inventory and EXPERIMENTS.md for paper-vs-measured
+results.
+
+Quickstart::
+
+    from repro import DramChip, FracDram
+
+    chip = DramChip("B")              # SK Hynix group B (Table I)
+    fd = FracDram(chip)
+    fd.fill_row(bank=0, row=1, value=True)
+    fd.frac(bank=0, row=1, n_frac=10)  # ~Vdd/2 in the whole row
+    response = fd.read_row(bank=0, row=1)   # destructive PUF-style readout
+"""
+
+from .controller import SoftMC
+from .core import (
+    FMajConfig,
+    FracDram,
+    MajVerifyResult,
+    MultiRowPlan,
+    RefreshManager,
+    TernaryStore,
+    verify_frac_by_maj3,
+)
+from .dram import (
+    DramChip,
+    DramModule,
+    Environment,
+    GeometryParams,
+    GroupProfile,
+    GROUPS,
+    get_group,
+    group_ids,
+)
+from .errors import (
+    AddressError,
+    CommandSequenceError,
+    ConfigurationError,
+    InsufficientDataError,
+    RefreshViolationError,
+    ReproError,
+    TimingViolationError,
+    UnsupportedOperationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressError",
+    "CommandSequenceError",
+    "ConfigurationError",
+    "DramChip",
+    "DramModule",
+    "Environment",
+    "FMajConfig",
+    "FracDram",
+    "GROUPS",
+    "GeometryParams",
+    "GroupProfile",
+    "InsufficientDataError",
+    "MajVerifyResult",
+    "MultiRowPlan",
+    "RefreshManager",
+    "RefreshViolationError",
+    "ReproError",
+    "SoftMC",
+    "TernaryStore",
+    "TimingViolationError",
+    "UnsupportedOperationError",
+    "__version__",
+    "get_group",
+    "group_ids",
+    "verify_frac_by_maj3",
+]

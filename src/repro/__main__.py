@@ -1,0 +1,165 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``experiments`` — run paper experiments (delegates to the runner),
+* ``report`` — run experiments and write RESULTS.md + JSON exports,
+* ``trng`` — generate random bits from a simulated device,
+* ``puf`` — print a device's PUF response to a challenge,
+* ``assemble`` / ``disassemble`` — SoftMC program tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _cmd_experiments(arguments: argparse.Namespace) -> int:
+    from .experiments.runner import main as runner_main
+
+    forwarded = []
+    if arguments.only:
+        forwarded.extend(["--only", *arguments.only])
+    if arguments.list:
+        forwarded.append("--list")
+    forwarded.extend(["--seed", str(arguments.seed)])
+    forwarded.extend(["--columns", str(arguments.columns)])
+    return runner_main(forwarded)
+
+
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    from .experiments.base import DEFAULT_CONFIG
+    from .experiments.report import generate_report
+
+    config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
+                                   columns=arguments.columns)
+    path = generate_report(arguments.output, config,
+                           arguments.only or None)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_trng(arguments: argparse.Namespace) -> int:
+    from .dram.chip import DramChip
+    from .dram.parameters import GeometryParams
+    from .trng import QuacTrng
+
+    geometry = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                              rows_per_subarray=16,
+                              columns=arguments.columns)
+    chip = DramChip(arguments.group, geometry=geometry,
+                    master_seed=arguments.seed)
+    trng = QuacTrng(chip)
+    bits, stats = trng.generate(arguments.bits)
+    print("".join(str(int(bit)) for bit in bits))
+    print(f"# {stats.whitened_bits} whitened bits from {stats.raw_bits} raw "
+          f"({stats.throughput_mbps:.1f} Mbit/s modeled)", file=sys.stderr)
+    return 0
+
+
+def _cmd_puf(arguments: argparse.Namespace) -> int:
+    from .dram.chip import DramChip
+    from .puf import Challenge, FracPuf
+
+    chip = DramChip(arguments.group, serial=arguments.serial,
+                    master_seed=arguments.seed)
+    puf = FracPuf(chip)
+    response = puf.evaluate(Challenge(arguments.bank, arguments.row))
+    print("".join(str(int(bit)) for bit in response))
+    print(f"# group {arguments.group} serial {arguments.serial} "
+          f"bank {arguments.bank} row {arguments.row} "
+          f"weight {response.mean():.3f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_assemble(arguments: argparse.Namespace) -> int:
+    from .controller import assemble
+
+    source = Path(arguments.program).read_text()
+    sequence = assemble(source, label=arguments.program)
+    print(sequence.describe())
+    return 0
+
+
+def _cmd_disassemble(arguments: argparse.Namespace) -> int:
+    from .controller import disassemble
+    from .controller import sequences as seq
+
+    builders = {
+        "frac": lambda: seq.frac_sequence(0, arguments.row, arguments.n),
+        "maj3": lambda: seq.multi_row_sequence(0, 1, 2),
+        "half-m": lambda: seq.half_m_sequence(0, 8, 1),
+        "row-copy": lambda: seq.row_copy_sequence(0, arguments.row,
+                                                  arguments.row + 1),
+    }
+    print(disassemble(builders[arguments.primitive]()), end="")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="FracDRAM reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run paper experiments")
+    experiments.add_argument("--only", nargs="*")
+    experiments.add_argument("--list", action="store_true")
+    experiments.add_argument("--seed", type=int, default=2022)
+    experiments.add_argument("--columns", type=int, default=1024)
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    report = subparsers.add_parser(
+        "report", help="write RESULTS.md + JSON exports")
+    report.add_argument("--output", default="results")
+    report.add_argument("--only", nargs="*")
+    report.add_argument("--seed", type=int, default=2022)
+    report.add_argument("--columns", type=int, default=1024)
+    report.set_defaults(handler=_cmd_report)
+
+    trng = subparsers.add_parser("trng", help="generate random bits")
+    trng.add_argument("--bits", type=int, default=1024)
+    trng.add_argument("--group", default="B")
+    trng.add_argument("--columns", type=int, default=4096)
+    trng.add_argument("--seed", type=int, default=2022)
+    trng.set_defaults(handler=_cmd_trng)
+
+    puf = subparsers.add_parser("puf", help="evaluate a PUF challenge")
+    puf.add_argument("--group", default="B")
+    puf.add_argument("--serial", type=int, default=0)
+    puf.add_argument("--bank", type=int, default=0)
+    puf.add_argument("--row", type=int, default=1)
+    puf.add_argument("--seed", type=int, default=2022)
+    puf.set_defaults(handler=_cmd_puf)
+
+    assemble = subparsers.add_parser(
+        "assemble", help="assemble a SoftMC program file")
+    assemble.add_argument("program")
+    assemble.set_defaults(handler=_cmd_assemble)
+
+    disassemble = subparsers.add_parser(
+        "disassemble", help="print a primitive as SoftMC program text")
+    disassemble.add_argument("primitive",
+                             choices=("frac", "maj3", "half-m", "row-copy"))
+    disassemble.add_argument("--row", type=int, default=1)
+    disassemble.add_argument("--n", type=int, default=1)
+    disassemble.set_defaults(handler=_cmd_disassemble)
+
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        # Redirect stdout to devnull so the interpreter's shutdown flush
+        # does not raise a second time.
+        import os
+
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

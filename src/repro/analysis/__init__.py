@@ -1,0 +1,53 @@
+"""Analysis utilities: statistics and retention-time profiling."""
+
+from .retention import (
+    N_BUCKETS,
+    RETENTION_BUCKET_LABELS,
+    RETENTION_PROBE_TIMES_S,
+    CellCategory,
+    RetentionProfile,
+    RetentionProfiler,
+    classify_cells,
+)
+from .characterization import DeviceCharacterization, characterize_device
+from .leakage_tracer import CellLeakEstimate, LeakageTracer
+from .reverse_engineering import (
+    ThresholdEstimate,
+    discover_multi_row_pairs,
+    estimate_sense_thresholds,
+    estimate_share_factor,
+    probe_opened_rows,
+)
+from .stats import (
+    empirical_cdf,
+    fraction,
+    hamming_distance,
+    hamming_weight,
+    mean_confidence_interval,
+    pairwise_hamming_distances,
+)
+
+__all__ = [
+    "CellCategory",
+    "CellLeakEstimate",
+    "DeviceCharacterization",
+    "characterize_device",
+    "LeakageTracer",
+    "ThresholdEstimate",
+    "discover_multi_row_pairs",
+    "estimate_sense_thresholds",
+    "estimate_share_factor",
+    "probe_opened_rows",
+    "N_BUCKETS",
+    "RETENTION_BUCKET_LABELS",
+    "RETENTION_PROBE_TIMES_S",
+    "RetentionProfile",
+    "RetentionProfiler",
+    "classify_cells",
+    "empirical_cdf",
+    "fraction",
+    "hamming_distance",
+    "hamming_weight",
+    "mean_confidence_interval",
+    "pairwise_hamming_distances",
+]

@@ -1,0 +1,134 @@
+"""Whole-device characterization reports (an extended Table I).
+
+Collects, through the command interface only, the behavioural fingerprint
+of a device: capability flags, PUF Hamming weight and repeatability,
+in-memory-majority coverage, Frac ladder statistics, and the retention
+category split.  The result renders as one table per device — the kind
+of per-module appendix a characterization paper ships.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import FracDram
+from ..errors import UnsupportedOperationError
+from .retention import CellCategory, RetentionProfiler
+
+__all__ = ["DeviceCharacterization", "characterize_device"]
+
+
+@dataclass(frozen=True)
+class DeviceCharacterization:
+    """Behavioural fingerprint of one device."""
+
+    group_id: str
+    vendor: str
+    frac_capable: bool
+    three_row: bool
+    four_row: bool
+    puf_hamming_weight: float
+    puf_repeatability: float       # 1 - intra-HD over two collections
+    maj3_coverage: float | None    # None when three-row is unsupported
+    fmaj_coverage: float | None    # None when four-row is unsupported
+    frac_ladder_weights: tuple[float, ...]  # readback weight vs #Frac
+    retention_categories: dict[str, float]
+
+    def format_table(self) -> str:
+        def cell(value) -> str:
+            if value is None:
+                return "n/a"
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        rows = [
+            ("group / vendor", f"{self.group_id} / {self.vendor}"),
+            ("Frac capable", "yes" if self.frac_capable else "no"),
+            ("three-row activation", "yes" if self.three_row else "no"),
+            ("four-row activation", "yes" if self.four_row else "no"),
+            ("PUF Hamming weight", cell(self.puf_hamming_weight)),
+            ("PUF repeatability", cell(self.puf_repeatability)),
+            ("MAJ3 coverage", cell(self.maj3_coverage)),
+            ("F-MAJ coverage", cell(self.fmaj_coverage)),
+            ("Frac ladder weights",
+             " ".join(f"{w:.2f}" for w in self.frac_ladder_weights)),
+            ("retention [long/mono/other]",
+             " / ".join(f"{self.retention_categories[key]:.2f}"
+                        for key in (CellCategory.LONG,
+                                    CellCategory.MONOTONIC,
+                                    CellCategory.OTHER))),
+        ]
+        width = max(len(name) for name, _ in rows)
+        return "\n".join(f"{name:<{width}s}  {value}" for name, value in rows)
+
+
+def _coverage(fd: FracDram, operation: str) -> float:
+    patterns = [(1, 0, 0), (0, 1, 0), (0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+    correct = np.ones(fd.columns, dtype=bool)
+    for pattern in patterns:
+        operands = [np.full(fd.columns, bool(v)) for v in pattern]
+        expected = sum(pattern) >= 2
+        result = (fd.maj3(0, operands) if operation == "maj3"
+                  else fd.f_maj(0, operands))
+        correct &= result == expected
+    return float(np.mean(correct))
+
+
+def characterize_device(fd: FracDram, *, puf_row: int = 3,
+                        n_fracs: tuple[int, ...] = (0, 1, 2, 3),
+                        ) -> DeviceCharacterization:
+    """Run the full behavioural fingerprint on one device."""
+    group = fd.group
+
+    # Frac ladder: readback one-weight after n Fracs from all-ones.
+    ladder = []
+    for n_frac in n_fracs:
+        fd.fill_row(0, puf_row, True)
+        if n_frac:
+            fd.frac(0, puf_row, n_frac)
+        ladder.append(float(np.mean(fd.read_row(0, puf_row))))
+    frac_capable = ladder[-1] < 0.98
+
+    # PUF statistics (only meaningful when Frac works).
+    if frac_capable:
+        responses = []
+        for _ in range(2):
+            fd.fill_row(0, puf_row, True)
+            fd.frac(0, puf_row, 10)
+            responses.append(fd.read_row(0, puf_row).astype(bool))
+        hamming_weight = float(np.mean(responses[0]))
+        repeatability = 1.0 - float(np.mean(responses[0] ^ responses[1]))
+    else:
+        hamming_weight = 1.0
+        repeatability = 1.0
+
+    maj3_coverage = None
+    if fd.can_three_row:
+        maj3_coverage = _coverage(fd, "maj3")
+    fmaj_coverage = None
+    if fd.can_four_row:
+        try:
+            fmaj_coverage = _coverage(fd, "f-maj")
+        except UnsupportedOperationError:  # pragma: no cover - defensive
+            fmaj_coverage = None
+
+    profiler = RetentionProfiler(fd)
+    profile = profiler.profile_row(0, puf_row, n_fracs=(0, 1, 2, 3))
+    categories = profile.category_fractions()
+
+    return DeviceCharacterization(
+        group_id=group.group_id,
+        vendor=group.vendor,
+        frac_capable=frac_capable,
+        three_row=fd.can_three_row,
+        four_row=fd.can_four_row,
+        puf_hamming_weight=hamming_weight,
+        puf_repeatability=repeatability,
+        maj3_coverage=maj3_coverage,
+        fmaj_coverage=fmaj_coverage,
+        frac_ladder_weights=tuple(ladder),
+        retention_categories=categories,
+    )

@@ -1,0 +1,114 @@
+"""Tracing the discharge curve of individual cells (Section VI-C).
+
+Binary writes can only probe retention from the full-Vdd point; fractional
+values add intermediate starting voltages, so the same cell can be timed
+from several known levels and its exponential discharge reconstructed:
+
+    v(t) = v0 * exp(-t / tau)   =>   retention(v0) = tau * ln(v0 / theta)
+
+Given the retention times t_a, t_b measured from two starting voltages
+v_a, v_b, both tau and the sensing threshold theta of the cell follow:
+
+    tau   = (t_a - t_b) / ln(v_a / v_b)
+    theta = v_a * exp(-t_a / tau)
+
+The tracer measures retention by bisection over leak intervals, entirely
+through the command interface; tests validate the recovered tau against
+the simulator's ground-truth time constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import FracDram
+from ..dram.parameters import ElectricalParams
+
+__all__ = ["CellLeakEstimate", "LeakageTracer"]
+
+
+@dataclass(frozen=True)
+class CellLeakEstimate:
+    """Recovered leakage parameters for the columns of one row."""
+
+    tau_s: np.ndarray
+    threshold_v: np.ndarray
+    valid: np.ndarray  # columns with a usable two-level measurement
+
+    @property
+    def n_valid(self) -> int:
+        return int(np.count_nonzero(self.valid))
+
+
+class LeakageTracer:
+    """Two-level discharge-curve reconstruction for one row."""
+
+    def __init__(self, fd: FracDram, *, bank: int = 0, row: int = 1,
+                 electrical: ElectricalParams | None = None) -> None:
+        self.fd = fd
+        self.bank = bank
+        self.row = row
+        self.electrical = electrical or ElectricalParams()
+
+    # ------------------------------------------------------------------
+
+    def _prepare(self, n_frac: int) -> None:
+        self.fd.fill_row(self.bank, self.row, True)
+        if n_frac > 0:
+            self.fd.frac(self.bank, self.row, n_frac)
+        self.fd.precharge_all()
+
+    def measure_retention(self, n_frac: int, *, t_min_s: float = 60.0,
+                          t_max_s: float = 86_400.0,
+                          steps: int = 16) -> np.ndarray:
+        """Per-column retention time from starting level ``n_frac``.
+
+        Scans a geometric grid of leak intervals (each probe is a fresh
+        prepare-leak-read pass; reads are destructive) and reports the
+        geometric midpoint of the bracketing interval.  Columns alive at
+        ``t_max_s`` report ``inf``; columns dead immediately report 0.
+        """
+        n_cols = self.fd.columns
+        times = np.geomspace(t_min_s, t_max_s, steps)
+        alive_at_zero = self._alive_after(n_frac, 0.0)
+        retention = np.full(n_cols, np.inf)
+        resolved = ~alive_at_zero
+        retention[resolved] = 0.0
+        previous_time = t_min_s / np.sqrt(times[1] / times[0])
+        for probe in times:
+            alive = self._alive_after(n_frac, float(probe))
+            newly_dead = ~alive & ~resolved
+            retention[newly_dead] = np.sqrt(previous_time * probe)
+            resolved |= newly_dead
+            previous_time = probe
+            if resolved.all():
+                break
+        return retention
+
+    def _alive_after(self, n_frac: int, wait_s: float) -> np.ndarray:
+        self._prepare(n_frac)
+        if wait_s > 0:
+            self.fd.advance_time(wait_s)
+        return self.fd.read_row(self.bank, self.row).astype(bool)
+
+    # ------------------------------------------------------------------
+
+    def trace(self, levels: tuple[int, int] = (0, 1), *,
+              t_max_s: float = 86_400.0, steps: int = 12) -> CellLeakEstimate:
+        """Recover (tau, threshold) per column from two Frac levels."""
+        n_a, n_b = levels
+        v_a = self.electrical.frac_residual(n_a)
+        v_b = self.electrical.frac_residual(n_b)
+        if not v_a > v_b:
+            raise ValueError("levels must give distinct descending voltages")
+        t_a = self.measure_retention(n_a, t_max_s=t_max_s, steps=steps)
+        t_b = self.measure_retention(n_b, t_max_s=t_max_s, steps=steps)
+        valid = (np.isfinite(t_a) & np.isfinite(t_b)
+                 & (t_a > 0) & (t_b > 0) & (t_a > t_b))
+        log_ratio = np.log(v_a / v_b)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            tau = np.where(valid, (t_a - t_b) / log_ratio, np.nan)
+            threshold = np.where(valid, v_a * np.exp(-t_a / tau), np.nan)
+        return CellLeakEstimate(tau_s=tau, threshold_v=threshold, valid=valid)

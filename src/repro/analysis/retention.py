@@ -1,0 +1,158 @@
+"""Retention-time profiling (Sections IV-B1 and V-A, Figure 6).
+
+The retention method turns the invisible cell voltage into an observable:
+the higher the starting voltage, the longer the cell holds a readable one.
+The profiler reproduces the paper's procedure exactly:
+
+1. store all-ones into the target row;
+2. issue ``n_frac`` Frac operations (zero for the baseline);
+3. stop all command traffic for time ``t`` (simulated leakage);
+4. read the row; bits that read zero have retention below ``t``.
+
+Repeating with increasing ``t`` brackets each cell's retention into the
+paper's six coarse ranges: 0, 0-10 min, 10-30 min, 30-60 min, 1-12 h,
+> 12 h.  A retention of exactly zero means the final Frac already pushed
+the voltage below the sensing threshold.
+
+Cells are then classified by how their retention range moves as more Frac
+operations are issued (Figure 6's bracket numbers):
+
+* ``long`` — always in the > 12 h bucket (never profiled down);
+* ``monotonic`` — retention never increases and strictly decreases at
+  least once: the proof-of-concept population (~55% in the paper);
+* ``other`` — irregular movement, attributed to variable retention time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.ops import FracDram
+
+__all__ = [
+    "RETENTION_PROBE_TIMES_S",
+    "RETENTION_BUCKET_LABELS",
+    "N_BUCKETS",
+    "CellCategory",
+    "RetentionProfile",
+    "RetentionProfiler",
+    "classify_cells",
+]
+
+#: Probe times bracketing the paper's six buckets (seconds).
+RETENTION_PROBE_TIMES_S: tuple[float, ...] = (0.0, 600.0, 1800.0, 3600.0, 43200.0)
+
+RETENTION_BUCKET_LABELS: tuple[str, ...] = (
+    "0", "0-10min", "10-30min", "30-60min", "1-12h", ">12h")
+
+N_BUCKETS: int = len(RETENTION_BUCKET_LABELS)
+
+
+class CellCategory:
+    """Figure 6 cell categories."""
+
+    LONG = "long"
+    MONOTONIC = "monotonic"
+    OTHER = "other"
+
+
+@dataclass(frozen=True)
+class RetentionProfile:
+    """Bucket indices per (frac count, column) for one profiled row.
+
+    ``buckets[i, c]`` is the retention bucket of column ``c`` after
+    ``n_fracs[i]`` Frac operations; bucket ``N_BUCKETS - 1`` is > 12 h.
+    """
+
+    n_fracs: tuple[int, ...]
+    buckets: np.ndarray
+
+    def pdf(self, frac_index: int) -> np.ndarray:
+        """Probability density over the six buckets at one Frac count."""
+        counts = np.bincount(self.buckets[frac_index], minlength=N_BUCKETS)
+        return counts / counts.sum()
+
+    def pdf_matrix(self) -> np.ndarray:
+        """(len(n_fracs), N_BUCKETS) PDF heat-map column data (Figure 6)."""
+        return np.stack([self.pdf(i) for i in range(len(self.n_fracs))])
+
+    def category_fractions(self) -> dict[str, float]:
+        categories = classify_cells(self.buckets)
+        total = categories.size
+        return {
+            CellCategory.LONG: float(np.mean(categories == CellCategory.LONG)),
+            CellCategory.MONOTONIC: float(np.mean(categories == CellCategory.MONOTONIC)),
+            CellCategory.OTHER: float(np.mean(categories == CellCategory.OTHER)),
+        } if total else {}
+
+
+def classify_cells(buckets: np.ndarray) -> np.ndarray:
+    """Classify each column by its bucket trajectory across Frac counts.
+
+    ``buckets`` has shape (n_frac_settings, n_columns).
+    """
+    top = N_BUCKETS - 1
+    always_top = np.all(buckets == top, axis=0)
+    non_increasing = np.all(np.diff(buckets, axis=0) <= 0, axis=0)
+    decreases = np.any(np.diff(buckets, axis=0) < 0, axis=0)
+    monotonic = non_increasing & decreases & ~always_top
+    categories = np.full(buckets.shape[1], CellCategory.OTHER, dtype=object)
+    categories[monotonic] = CellCategory.MONOTONIC
+    categories[always_top] = CellCategory.LONG
+    return categories
+
+
+class RetentionProfiler:
+    """Runs the bracketing procedure on rows of one device."""
+
+    def __init__(self, fd: FracDram, *,
+                 probe_times_s: Sequence[float] = RETENTION_PROBE_TIMES_S) -> None:
+        if list(probe_times_s) != sorted(probe_times_s):
+            raise ValueError("probe times must be ascending")
+        self.fd = fd
+        self.probe_times_s = tuple(probe_times_s)
+
+    def _alive_after(self, bank: int, row: int, n_frac: int, wait_s: float) -> np.ndarray:
+        """One pass: init ones, Frac, leak, read; True where the bit held."""
+        self.fd.fill_row(bank, row, True)
+        if n_frac > 0:
+            self.fd.frac(bank, row, n_frac)
+        if wait_s > 0:
+            # Chips with command-spacing checks drop the Frac PRECHARGEs
+            # and leave the row open; close everything before leaking.
+            self.fd.precharge_all()
+            self.fd.advance_time(wait_s)
+        return self.fd.read_row(bank, row).astype(bool)
+
+    def bucket_row(self, bank: int, row: int, n_frac: int) -> np.ndarray:
+        """Retention bucket index per column for one Frac count."""
+        n_cols = self.fd.columns
+        bucket = np.full(n_cols, N_BUCKETS - 1, dtype=int)
+        resolved = np.zeros(n_cols, dtype=bool)
+        for probe_index, wait_s in enumerate(self.probe_times_s):
+            alive = self._alive_after(bank, row, n_frac, wait_s)
+            newly_dead = ~alive & ~resolved
+            bucket[newly_dead] = probe_index
+            resolved |= newly_dead
+            if resolved.all():
+                break
+        return bucket
+
+    def profile_row(self, bank: int, row: int,
+                    n_fracs: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                    ) -> RetentionProfile:
+        """Full Figure 6 profile of one row across Frac counts."""
+        buckets = np.stack(
+            [self.bucket_row(bank, row, n) for n in n_fracs])
+        return RetentionProfile(tuple(n_fracs), buckets)
+
+    def profile_rows(self, targets: Sequence[tuple[int, int]],
+                     n_fracs: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                     ) -> RetentionProfile:
+        """Profile several (bank, row) targets and pool their columns."""
+        profiles = [self.profile_row(bank, row, n_fracs) for bank, row in targets]
+        pooled = np.concatenate([p.buckets for p in profiles], axis=1)
+        return RetentionProfile(tuple(n_fracs), pooled)

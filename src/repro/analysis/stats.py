@@ -1,0 +1,100 @@
+"""Statistical helpers shared by the experiments.
+
+Implements the metrics the paper reports: normalized Hamming distance and
+weight (PUF, Section VI-B), empirical CDFs (F-MAJ stability, Figure 10),
+and mean confidence intervals (the shaded bands of Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..errors import InsufficientDataError
+
+__all__ = [
+    "hamming_distance",
+    "hamming_weight",
+    "pairwise_hamming_distances",
+    "empirical_cdf",
+    "mean_confidence_interval",
+    "fraction",
+]
+
+
+def _as_bits(bits: Sequence[bool]) -> np.ndarray:
+    array = np.asarray(bits, dtype=bool)
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D bit vector, got shape {array.shape}")
+    return array
+
+
+def hamming_distance(a: Sequence[bool], b: Sequence[bool]) -> float:
+    """Normalized Hamming distance: differing bits / total bits."""
+    bits_a, bits_b = _as_bits(a), _as_bits(b)
+    if bits_a.shape != bits_b.shape:
+        raise ValueError(f"length mismatch: {bits_a.shape} vs {bits_b.shape}")
+    if bits_a.size == 0:
+        raise InsufficientDataError("cannot compute HD of empty vectors")
+    return float(np.mean(bits_a ^ bits_b))
+
+
+def hamming_weight(bits: Sequence[bool]) -> float:
+    """Fraction of one-bits."""
+    array = _as_bits(bits)
+    if array.size == 0:
+        raise InsufficientDataError("cannot compute weight of an empty vector")
+    return float(np.mean(array))
+
+
+def pairwise_hamming_distances(responses: Sequence[Sequence[bool]]) -> np.ndarray:
+    """All pairwise normalized HDs among a set of equal-length responses."""
+    stacked = np.asarray([_as_bits(r) for r in responses], dtype=bool)
+    count = stacked.shape[0]
+    if count < 2:
+        raise InsufficientDataError("need at least two responses for pairwise HD")
+    distances = []
+    for i in range(count):
+        diffs = stacked[i + 1:] ^ stacked[i]
+        distances.extend(np.mean(diffs, axis=1).tolist())
+    return np.asarray(distances)
+
+
+def empirical_cdf(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns (sorted values, cumulative fractions)."""
+    array = np.sort(np.asarray(list(values), dtype=float))
+    if array.size == 0:
+        raise InsufficientDataError("cannot compute the CDF of no samples")
+    fractions = np.arange(1, array.size + 1) / array.size
+    return array, fractions
+
+
+def mean_confidence_interval(values: Iterable[float],
+                             confidence: float = 0.95,
+                             ) -> tuple[float, float, float]:
+    """(mean, lower, upper) of a t-distribution confidence interval.
+
+    With a single sample the interval degenerates to the point estimate.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise InsufficientDataError("cannot compute a CI of no samples")
+    mean = float(np.mean(array))
+    if array.size == 1:
+        return mean, mean, mean
+    sem = scipy_stats.sem(array)
+    if sem == 0:
+        return mean, mean, mean
+    lower, upper = scipy_stats.t.interval(
+        confidence, df=array.size - 1, loc=mean, scale=sem)
+    return mean, float(lower), float(upper)
+
+
+def fraction(mask: Sequence[bool]) -> float:
+    """Fraction of True entries in a boolean mask."""
+    array = np.asarray(mask, dtype=bool)
+    if array.size == 0:
+        raise InsufficientDataError("cannot compute a fraction of no entries")
+    return float(np.mean(array))

@@ -1,0 +1,8 @@
+"""Bulk bitwise / arithmetic computing on in-DRAM majority."""
+
+from .alu import BitwiseAlu, OpCost
+from .arith import SimdArithmetic, from_bitsliced, to_bitsliced
+from .masking import ColumnMask, characterize_columns
+
+__all__ = ["BitwiseAlu", "ColumnMask", "OpCost", "SimdArithmetic",
+           "characterize_columns", "from_bitsliced", "to_bitsliced"]

@@ -1,0 +1,203 @@
+"""Bulk bitwise computing on FracDRAM majority (ComputeDRAM-style).
+
+Majority-of-three is logically complete for AND/OR given constant rows:
+
+    AND(a, b) = MAJ(a, b, 0)         OR(a, b) = MAJ(a, b, 1)
+
+NOT has no in-DRAM implementation on unmodified chips (Ambit's dual-
+contact cells would be a hardware change), so the ALU performs inversion
+through the memory controller (read + inverted write), and composes
+XOR/NAND/NOR/XNOR from these pieces.  Every operation reports its modeled
+DRAM-bus cycle cost, using the ComputeDRAM reserved-row strategy: operands
+are copied into the rows that participate in the multi-row activation and
+the result is copied back out, so application data never sits in the
+glitch-prone rows.
+
+The ALU automatically selects the majority engine: original MAJ3 on
+three-row-capable devices, F-MAJ elsewhere — the paper's point that
+fractional values extend in-memory computing to more modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import FracDram
+from ..dram.parameters import MEMORY_CYCLE_NS
+from ..errors import ConfigurationError, UnsupportedOperationError
+
+__all__ = ["BitwiseAlu", "OpCost"]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Modeled cost of one bulk operation over a full row."""
+
+    operation: str
+    bus_cycles: int
+
+    @property
+    def nanoseconds(self) -> float:
+        return self.bus_cycles * MEMORY_CYCLE_NS
+
+
+class BitwiseAlu:
+    """Row-wide boolean operations over one sub-array."""
+
+    def __init__(self, fd: FracDram, *, bank: int = 0, subarray: int = 0,
+                 engine: str = "auto") -> None:
+        if engine not in ("auto", "maj3", "f-maj"):
+            raise ConfigurationError(
+                f"engine must be auto/maj3/f-maj, got {engine!r}")
+        if engine == "auto":
+            engine = "maj3" if fd.can_three_row else "f-maj"
+        if engine == "maj3" and not fd.can_three_row:
+            raise UnsupportedOperationError(
+                f"group {fd.group.group_id} cannot run the MAJ3 engine")
+        if engine == "f-maj" and not fd.can_four_row:
+            raise UnsupportedOperationError(
+                f"group {fd.group.group_id} cannot run the F-MAJ engine")
+        self.fd = fd
+        self.bank = bank
+        self.subarray = subarray
+        self.engine = engine
+        self._costs: list[OpCost] = []
+        self._constants: dict[bool, np.ndarray] = {
+            False: np.zeros(fd.columns, dtype=bool),
+            True: np.ones(fd.columns, dtype=bool),
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> int:
+        return self.fd.columns
+
+    @property
+    def op_log(self) -> tuple[OpCost, ...]:
+        """Cost log of every operation performed."""
+        return tuple(self._costs)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(cost.bus_cycles for cost in self._costs)
+
+    def _record(self, operation: str, start_cycle: int) -> None:
+        self._costs.append(OpCost(operation, self.fd.mc.cycle - start_cycle))
+
+    def _check_operand(self, bits: np.ndarray) -> np.ndarray:
+        array = np.asarray(bits, dtype=bool)
+        if array.shape != (self.columns,):
+            raise ConfigurationError(
+                f"operand shape {array.shape} != ({self.columns},)")
+        return array
+
+    # ------------------------------------------------------------------
+    # primitive: majority
+    # ------------------------------------------------------------------
+
+    def maj(self, a, b, c) -> np.ndarray:
+        """In-DRAM majority-of-three of full rows."""
+        operands = [self._check_operand(x) for x in (a, b, c)]
+        start = self.fd.mc.cycle
+        if self.engine == "maj3":
+            result = self.fd.maj3(self.bank, operands, self.subarray)
+        else:
+            result = self.fd.f_maj(self.bank, operands,
+                                   subarray=self.subarray)
+        self._record("maj", start)
+        return result.astype(bool)
+
+    # ------------------------------------------------------------------
+    # derived boolean operations
+    # ------------------------------------------------------------------
+
+    def and_(self, a, b) -> np.ndarray:
+        """AND(a, b) = MAJ(a, b, 0)."""
+        return self.maj(a, b, self._constants[False])
+
+    def or_(self, a, b) -> np.ndarray:
+        """OR(a, b) = MAJ(a, b, 1)."""
+        return self.maj(a, b, self._constants[True])
+
+    def not_(self, a) -> np.ndarray:
+        """Controller-assisted inversion (a row write of ~a).
+
+        Costs one row write; counted so compositions report honest totals.
+        """
+        operand = self._check_operand(a)
+        start = self.fd.mc.cycle
+        scratch_row = self._scratch_row()
+        self.fd.write_row(self.bank, scratch_row, ~operand)
+        result = self.fd.read_row(self.bank, scratch_row)
+        self._record("not", start)
+        return result.astype(bool)
+
+    def nand(self, a, b) -> np.ndarray:
+        return self.not_(self.and_(a, b))
+
+    def nor(self, a, b) -> np.ndarray:
+        return self.not_(self.or_(a, b))
+
+    def xor(self, a, b) -> np.ndarray:
+        """XOR = OR(AND(a, ~b), AND(~a, b))."""
+        not_a = self.not_(a)
+        not_b = self.not_(b)
+        return self.or_(self.and_(a, not_b), self.and_(not_a, b))
+
+    def xnor(self, a, b) -> np.ndarray:
+        return self.not_(self.xor(a, b))
+
+    def mux(self, select, a, b) -> np.ndarray:
+        """Bitwise multiplexer: select ? a : b."""
+        not_select = self.not_(select)
+        return self.or_(self.and_(select, a), self.and_(not_select, b))
+
+    # ------------------------------------------------------------------
+    # arithmetic built on the boolean layer
+    # ------------------------------------------------------------------
+
+    def full_add(self, a, b, carry_in) -> tuple[np.ndarray, np.ndarray]:
+        """Bit-sliced full adder: returns (sum, carry_out).
+
+        carry_out = MAJ(a, b, cin) — a single in-DRAM operation — and
+        sum = a XOR b XOR cin.  This is the textbook argument for
+        majority-based in-memory arithmetic.
+        """
+        carry_out = self.maj(a, b, carry_in)
+        partial = self.xor(a, b)
+        total = self.xor(partial, carry_in)
+        return total, carry_out
+
+    def ripple_add(self, words_a: np.ndarray, words_b: np.ndarray,
+                   width: int) -> np.ndarray:
+        """Add ``columns`` independent ``width``-bit integers.
+
+        ``words_a``/``words_b`` have shape (width, columns): bit-sliced
+        layout, LSB first — the natural layout for bulk in-DRAM SIMD.
+        """
+        words_a = np.asarray(words_a, dtype=bool)
+        words_b = np.asarray(words_b, dtype=bool)
+        if words_a.shape != (width, self.columns) or words_b.shape != words_a.shape:
+            raise ConfigurationError("operands must be (width, columns)")
+        carry = self._constants[False]
+        total = np.zeros_like(words_a)
+        for bit in range(width):
+            total[bit], carry = self.full_add(words_a[bit], words_b[bit], carry)
+        return total
+
+    # ------------------------------------------------------------------
+
+    def _scratch_row(self) -> int:
+        """A row outside the compute set used for controller inversions."""
+        rows_per_subarray = int(self.fd.device.geometry.rows_per_subarray)
+        base = self.subarray * rows_per_subarray
+        compute_rows = set(self.fd.quad_plan(self.bank, self.subarray).opened
+                           if self.fd.can_four_row
+                           else self.fd.triple_plan(self.bank, self.subarray).opened)
+        for row in range(base + rows_per_subarray - 1, base - 1, -1):
+            if row not in compute_rows:
+                return row
+        raise ConfigurationError("no scratch row available")  # pragma: no cover

@@ -1,0 +1,133 @@
+"""Bit-sliced SIMD arithmetic on the majority ALU.
+
+In-DRAM computing operates on whole rows at once, so the natural data
+layout is *bit-sliced*: a (width, columns) boolean matrix holds one
+``width``-bit integer per column, LSB first, and every arithmetic step is
+a row-wide boolean operation.  On top of :class:`BitwiseAlu` this module
+builds the classic bit-serial kernels:
+
+* addition / subtraction (two's complement, via the majority carry),
+* comparison (via subtraction borrow),
+* shift-and-add multiplication,
+* population count across operand rows (a majority/adder tree).
+
+All kernels report honest cycle costs through the ALU's operation log,
+so the examples can contrast in-DRAM SIMD cost against one-lane CPU
+work — the energy argument that motivates the processing-in-memory
+literature the paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .alu import BitwiseAlu
+
+__all__ = ["SimdArithmetic", "to_bitsliced", "from_bitsliced"]
+
+
+def to_bitsliced(values: Sequence[int], width: int, columns: int) -> np.ndarray:
+    """Pack per-column integers into a (width, columns) LSB-first matrix."""
+    array = np.asarray(values, dtype=np.int64)
+    if array.shape != (columns,):
+        raise ConfigurationError(f"expected {columns} values, got {array.shape}")
+    if (array < 0).any() or (array >= (1 << width)).any():
+        raise ConfigurationError(f"values must fit in {width} bits")
+    return np.stack([(array >> bit) & 1 for bit in range(width)]).astype(bool)
+
+
+def from_bitsliced(words: np.ndarray) -> np.ndarray:
+    """Unpack a (width, columns) LSB-first matrix into integers."""
+    words = np.asarray(words, dtype=bool)
+    return sum(words[bit].astype(np.int64) << bit
+               for bit in range(words.shape[0]))
+
+
+class SimdArithmetic:
+    """Vectorized integer kernels over one :class:`BitwiseAlu`."""
+
+    def __init__(self, alu: BitwiseAlu) -> None:
+        self.alu = alu
+
+    @property
+    def columns(self) -> int:
+        return self.alu.columns
+
+    def _check(self, words: np.ndarray, width: int) -> np.ndarray:
+        array = np.asarray(words, dtype=bool)
+        if array.shape != (width, self.columns):
+            raise ConfigurationError(
+                f"expected shape ({width}, {self.columns}), got {array.shape}")
+        return array
+
+    # ------------------------------------------------------------------
+
+    def add(self, a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+        """Per-column addition modulo 2^width."""
+        return self.alu.ripple_add(self._check(a, width),
+                                   self._check(b, width), width)
+
+    def negate(self, a: np.ndarray, width: int) -> np.ndarray:
+        """Two's complement: ~a + 1."""
+        a = self._check(a, width)
+        inverted = np.stack([self.alu.not_(a[bit]) for bit in range(width)])
+        one = np.zeros((width, self.columns), dtype=bool)
+        one[0] = True
+        return self.alu.ripple_add(inverted, one, width)
+
+    def subtract(self, a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+        """Per-column subtraction modulo 2^width (a - b)."""
+        return self.add(self._check(a, width), self.negate(b, width), width)
+
+    def less_than(self, a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+        """Unsigned per-column a < b, via the subtraction borrow.
+
+        Computed with one extra bit of headroom: a < b iff the top bit of
+        (a - b) over width+1 bits is set.
+        """
+        extended_a = np.vstack([self._check(a, width),
+                                np.zeros((1, self.columns), dtype=bool)])
+        extended_b = np.vstack([self._check(b, width),
+                                np.zeros((1, self.columns), dtype=bool)])
+        difference = self.subtract(extended_a, extended_b, width + 1)
+        return difference[width]
+
+    def multiply(self, a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+        """Shift-and-add multiplication, result modulo 2^width."""
+        a = self._check(a, width)
+        b = self._check(b, width)
+        accumulator = np.zeros((width, self.columns), dtype=bool)
+        for shift in range(width):
+            # Partial product: (a << shift) gated by bit `shift` of b.
+            partial = np.zeros((width, self.columns), dtype=bool)
+            gate = b[shift]
+            for bit in range(shift, width):
+                partial[bit] = self.alu.and_(a[bit - shift], gate)
+            accumulator = self.alu.ripple_add(accumulator, partial, width)
+        return accumulator
+
+    def popcount(self, operands: Sequence[np.ndarray],
+                 width: int | None = None) -> np.ndarray:
+        """Per-column count of set bits across ``operands`` rows.
+
+        Classic adder-tree reduction; with three rows the first level is
+        literally one majority (carry) and one double-XOR (sum) — the
+        full-adder identity that makes MAJ3 arithmetically fundamental.
+        """
+        rows = [np.asarray(op, dtype=bool) for op in operands]
+        if not rows:
+            raise ConfigurationError("popcount needs at least one operand")
+        for row in rows:
+            if row.shape != (self.columns,):
+                raise ConfigurationError("operands must be full rows")
+        if width is None:
+            width = max(1, int(np.ceil(np.log2(len(rows) + 1))))
+        total = np.zeros((width, self.columns), dtype=bool)
+        for row in rows:
+            addend = np.zeros((width, self.columns), dtype=bool)
+            addend[0] = row
+            total = self.alu.ripple_add(total, addend, width)
+        return total

@@ -1,0 +1,91 @@
+"""Column characterization and masking for in-DRAM compute.
+
+ComputeDRAM-style systems never use every column: a characterization pass
+finds the bit-lines that compute majority reliably, and software packs its
+data into those columns only (the paper's "coverage" is exactly the size
+of this usable set).  :class:`ColumnMask` runs the characterization —
+each of the six input combinations, repeated — and provides pack/unpack
+helpers so application vectors only ever touch reliable columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ops import FMajConfig, FracDram
+from ..errors import ConfigurationError, InsufficientDataError
+
+__all__ = ["ColumnMask", "characterize_columns"]
+
+_SIX_COMBOS = ((1, 0, 0), (0, 1, 0), (0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0))
+
+
+def characterize_columns(fd: FracDram, *, bank: int = 0, subarray: int = 0,
+                         engine: str = "auto", rounds: int = 2,
+                         fmaj_config: FMajConfig | None = None) -> np.ndarray:
+    """Boolean mask of columns that computed every combo correctly in
+    every characterization round."""
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    if engine == "auto":
+        engine = "maj3" if fd.can_three_row else "f-maj"
+    reliable = np.ones(fd.columns, dtype=bool)
+    for _ in range(rounds):
+        for pattern in _SIX_COMBOS:
+            operands = [np.full(fd.columns, bool(value)) for value in pattern]
+            expected = sum(pattern) >= 2
+            if engine == "maj3":
+                result = fd.maj3(bank, operands, subarray)
+            else:
+                result = fd.f_maj(bank, operands, fmaj_config, subarray)
+            reliable &= result == expected
+    return reliable
+
+
+@dataclass(frozen=True)
+class ColumnMask:
+    """A reliable-column set with pack/unpack data movement."""
+
+    mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.mask.dtype != bool or self.mask.ndim != 1:
+            raise ConfigurationError("mask must be a 1-D boolean array")
+        if not self.mask.any():
+            raise InsufficientDataError("no reliable columns to compute in")
+
+    @classmethod
+    def characterize(cls, fd: FracDram, **kwargs) -> "ColumnMask":
+        return cls(characterize_columns(fd, **kwargs))
+
+    @property
+    def capacity(self) -> int:
+        """Usable vector width."""
+        return int(np.count_nonzero(self.mask))
+
+    @property
+    def coverage(self) -> float:
+        return self.capacity / self.mask.size
+
+    def pack(self, data: np.ndarray) -> np.ndarray:
+        """Spread ``capacity`` data bits into a full-width row vector.
+
+        Unreliable columns get zeros (their compute results are ignored).
+        """
+        bits = np.asarray(data, dtype=bool)
+        if bits.shape != (self.capacity,):
+            raise ConfigurationError(
+                f"expected {self.capacity} data bits, got {bits.shape}")
+        row = np.zeros(self.mask.size, dtype=bool)
+        row[self.mask] = bits
+        return row
+
+    def unpack(self, row: np.ndarray) -> np.ndarray:
+        """Extract the data bits from a full-width result vector."""
+        bits = np.asarray(row, dtype=bool)
+        if bits.shape != (self.mask.size,):
+            raise ConfigurationError(
+                f"expected a {self.mask.size}-bit row, got {bits.shape}")
+        return bits[self.mask]

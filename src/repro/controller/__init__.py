@@ -1,0 +1,65 @@
+"""Software memory controller: commands, sequence builders, SoftMC engine."""
+
+from .commands import (
+    Activate,
+    Command,
+    CommandSequence,
+    Precharge,
+    PrechargeAll,
+    ReadRow,
+    TimedCommand,
+    WriteRow,
+)
+from .sequences import (
+    FRAC_OP_CYCLES,
+    ROW_COPY_CYCLES,
+    frac_sequence,
+    half_m_sequence,
+    multi_row_sequence,
+    precharge_all_sequence,
+    read_row_sequence,
+    refresh_row_sequence,
+    row_copy_sequence,
+    write_row_sequence,
+)
+from .program import Assembler, ProgramError, assemble, disassemble
+from .refresh_engine import AutoRefreshEngine, RefreshTrace
+from .scheduler import BankScheduler, InterleaveResult, interleave
+from .trace import TraceEntry, TraceRecorder, trace_to_program
+from .softmc import DeviceLike, JedecChecker, SoftMC
+
+__all__ = [
+    "Activate",
+    "Assembler",
+    "AutoRefreshEngine",
+    "BankScheduler",
+    "InterleaveResult",
+    "RefreshTrace",
+    "TraceEntry",
+    "TraceRecorder",
+    "interleave",
+    "trace_to_program",
+    "ProgramError",
+    "assemble",
+    "disassemble",
+    "Command",
+    "CommandSequence",
+    "DeviceLike",
+    "FRAC_OP_CYCLES",
+    "JedecChecker",
+    "Precharge",
+    "PrechargeAll",
+    "ROW_COPY_CYCLES",
+    "ReadRow",
+    "SoftMC",
+    "TimedCommand",
+    "WriteRow",
+    "frac_sequence",
+    "half_m_sequence",
+    "multi_row_sequence",
+    "precharge_all_sequence",
+    "read_row_sequence",
+    "refresh_row_sequence",
+    "row_copy_sequence",
+    "write_row_sequence",
+]

@@ -1,0 +1,247 @@
+"""SoftMC-style program assembly: a tiny ISA over DRAM commands.
+
+The real SoftMC platform (Hassan et al., HPCA'17) does not accept ad-hoc
+command lists; the host assembles small *programs* — instructions with
+explicit waits and hardware loops — that the FPGA replays with exact
+timing.  This module reproduces that workflow:
+
+* a text assembly format (one instruction per line, ``#`` comments)::
+
+      # one Frac operation on bank 0 row 1
+      ACT 0 1
+      PRE 0
+      WAIT 5
+      # four-row activation
+      LOOP 3
+        ACT 0 8
+        PRE 0
+        ACT 0 1
+        WAIT 11
+      ENDLOOP
+
+* an :class:`Assembler` that expands loops/waits into a cycle-stamped
+  :class:`CommandSequence` ready for :class:`SoftMC.run`, and
+
+* a :func:`disassemble` that renders any ``CommandSequence`` back to the
+  assembly text (round-trip tested), which doubles as a trace format for
+  recording and replaying experiments.
+
+Instruction set (mirroring SoftMC's DDR3 instructions):
+
+==========  =============================  ==================================
+mnemonic    operands                       effect
+==========  =============================  ==================================
+``ACT``     bank row                       ACTIVATE
+``PRE``     bank                           PRECHARGE one bank
+``PREA``    —                              PRECHARGE all banks
+``WR``      bank row bits…                 whole-row write (bits as 0/1 str)
+``RD``      bank row                       whole-row read (returned by run)
+``WAIT``    cycles                         idle cycles before next command
+``LOOP``    count                          repeat block ``count`` times
+``ENDLOOP``  —                             close innermost loop
+==========  =============================  ==================================
+
+Commands are issued back-to-back (1 cycle apart) unless separated by
+``WAIT`` — exactly the convention FracDRAM's sequences need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CommandSequenceError
+from .commands import (
+    Activate,
+    Command,
+    CommandSequence,
+    Precharge,
+    PrechargeAll,
+    ReadRow,
+    TimedCommand,
+    WriteRow,
+)
+
+__all__ = ["Assembler", "assemble", "disassemble", "ProgramError"]
+
+
+class ProgramError(CommandSequenceError):
+    """A SoftMC program failed to assemble."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+@dataclass
+class _Instruction:
+    line_number: int
+    mnemonic: str
+    operands: tuple[str, ...]
+
+
+def _tokenize(source: str) -> list[_Instruction]:
+    instructions = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        mnemonic, *operands = line.split()
+        instructions.append(_Instruction(line_number, mnemonic.upper(),
+                                         tuple(operands)))
+    return instructions
+
+
+def _parse_int(value: str, what: str, line_number: int) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ProgramError(f"{what} must be an integer, got {value!r}",
+                           line_number) from None
+    if parsed < 0:
+        raise ProgramError(f"{what} must be non-negative", line_number)
+    return parsed
+
+
+class Assembler:
+    """Expands a SoftMC program into a :class:`CommandSequence`."""
+
+    #: Commands are spaced this many cycles apart by default.
+    DEFAULT_SPACING: int = 1
+
+    def __init__(self, *, label: str = "softmc-program") -> None:
+        self.label = label
+
+    def assemble(self, source: str) -> CommandSequence:
+        instructions = _tokenize(source)
+        body, remainder = self._assemble_block(instructions, 0, top_level=True)
+        if remainder != len(instructions):
+            raise ProgramError("unexpected ENDLOOP",
+                               instructions[remainder].line_number)
+        commands: list[TimedCommand] = []
+        cycle = 0
+        for command, wait_after in body:
+            commands.append(TimedCommand(cycle, command))
+            cycle += self.DEFAULT_SPACING + wait_after
+        return CommandSequence(tuple(commands), max(cycle, 1), self.label)
+
+    # ------------------------------------------------------------------
+
+    def _assemble_block(self, instructions: list[_Instruction], index: int,
+                        *, top_level: bool,
+                        ) -> tuple[list[tuple[Command, int]], int]:
+        """Returns [(command, extra idle cycles after it)], next index."""
+        body: list[tuple[Command, int]] = []
+
+        def add_wait(cycles: int, line_number: int) -> None:
+            if not body:
+                raise ProgramError("WAIT before any command", line_number)
+            command, wait_after = body[-1]
+            body[-1] = (command, wait_after + cycles)
+
+        while index < len(instructions):
+            instruction = instructions[index]
+            mnemonic = instruction.mnemonic
+            operands = instruction.operands
+            line = instruction.line_number
+            if mnemonic == "ENDLOOP":
+                if top_level:
+                    raise ProgramError("ENDLOOP without LOOP", line)
+                return body, index
+            index += 1
+            if mnemonic == "ACT":
+                self._expect(operands, 2, "ACT bank row", line)
+                body.append((Activate(_parse_int(operands[0], "bank", line),
+                                      _parse_int(operands[1], "row", line)), 0))
+            elif mnemonic == "PRE":
+                self._expect(operands, 1, "PRE bank", line)
+                body.append((Precharge(_parse_int(operands[0], "bank", line)), 0))
+            elif mnemonic == "PREA":
+                self._expect(operands, 0, "PREA", line)
+                body.append((PrechargeAll(), 0))
+            elif mnemonic == "RD":
+                self._expect(operands, 2, "RD bank row", line)
+                body.append((ReadRow(_parse_int(operands[0], "bank", line),
+                                     _parse_int(operands[1], "row", line)), 0))
+            elif mnemonic == "WR":
+                if len(operands) != 3:
+                    raise ProgramError("WR needs bank row bits", line)
+                bits = operands[2]
+                if set(bits) - {"0", "1"}:
+                    raise ProgramError("WR bits must be a 0/1 string", line)
+                body.append((WriteRow(
+                    _parse_int(operands[0], "bank", line),
+                    _parse_int(operands[1], "row", line),
+                    tuple(bit == "1" for bit in bits)), 0))
+            elif mnemonic == "WAIT":
+                self._expect(operands, 1, "WAIT cycles", line)
+                add_wait(_parse_int(operands[0], "cycles", line), line)
+            elif mnemonic == "LOOP":
+                self._expect(operands, 1, "LOOP count", line)
+                count = _parse_int(operands[0], "count", line)
+                if count < 1:
+                    raise ProgramError("LOOP count must be >= 1", line)
+                inner, index = self._assemble_block(
+                    instructions, index, top_level=False)
+                if index >= len(instructions) or (
+                        instructions[index].mnemonic != "ENDLOOP"):
+                    raise ProgramError("LOOP without ENDLOOP", line)
+                index += 1  # consume ENDLOOP
+                if not inner:
+                    raise ProgramError("empty LOOP body", line)
+                body.extend(inner * count)
+            else:
+                raise ProgramError(f"unknown mnemonic {mnemonic!r}", line)
+        if not top_level:
+            raise ProgramError("LOOP without ENDLOOP",
+                               instructions[-1].line_number if instructions
+                               else None)
+        return body, index
+
+    @staticmethod
+    def _expect(operands: tuple[str, ...], count: int, usage: str,
+                line: int) -> None:
+        if len(operands) != count:
+            raise ProgramError(f"expected '{usage}'", line)
+
+
+def assemble(source: str, *, label: str = "softmc-program") -> CommandSequence:
+    """Assemble SoftMC program text into a command sequence."""
+    return Assembler(label=label).assemble(source)
+
+
+def disassemble(sequence: CommandSequence) -> str:
+    """Render a command sequence as replayable SoftMC program text.
+
+    Inter-command gaps larger than one cycle become ``WAIT`` lines, so
+    ``assemble(disassemble(seq))`` reproduces the exact timing.
+    """
+    lines = [f"# {sequence.label or 'sequence'}"]
+    previous_cycle: int | None = None
+    for timed in sequence:
+        if previous_cycle is not None:
+            gap = timed.cycle - previous_cycle - 1
+            if gap > 0:
+                lines.append(f"WAIT {gap}")
+        command = timed.command
+        if isinstance(command, Activate):
+            lines.append(f"ACT {command.bank} {command.row}")
+        elif isinstance(command, Precharge):
+            lines.append(f"PRE {command.bank}")
+        elif isinstance(command, PrechargeAll):
+            lines.append("PREA")
+        elif isinstance(command, ReadRow):
+            lines.append(f"RD {command.bank} {command.row}")
+        elif isinstance(command, WriteRow):
+            bits = "".join("1" if bit else "0" for bit in command.data)
+            lines.append(f"WR {command.bank} {command.row} {bits}")
+        else:  # pragma: no cover - defensive
+            raise CommandSequenceError(f"cannot disassemble {command!r}")
+        previous_cycle = timed.cycle
+    tail = sequence.duration - (previous_cycle if previous_cycle is not None
+                                else 0) - 1
+    if tail > 0:
+        lines.append(f"WAIT {tail}")
+    return "\n".join(lines) + "\n"

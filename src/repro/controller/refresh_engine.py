@@ -1,0 +1,128 @@
+"""The JEDEC REFRESH command and auto-refresh scheduling.
+
+Real controllers do not refresh rows one by one through ACT/PRE; they
+issue all-bank ``REF`` commands every tREFI (7.8 us) and the DRAM's
+internal counter walks the rows — 8192 REF commands cover the array every
+64 ms.  Section III-C's hazard is precisely this machinery: a REF landing
+while a fractional value is live destroys it, and the application cannot
+see the internal counter.
+
+:class:`AutoRefreshEngine` reproduces the mechanism:
+
+* a per-device refresh counter advanced by :meth:`refresh`, mirroring the
+  DRAM-internal row counter (all banks refresh the same row index),
+* :meth:`elapse` — advance simulated time while issuing the REF commands
+  a controller would have issued, honouring an optional *pause window*
+  (the paper's mitigation: hold refresh while fractional state is live),
+* bookkeeping of which rows a fractional-value application must fear.
+
+This sits *below* :class:`repro.core.refresh.RefreshManager` (the policy
+layer); the engine is the mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dram.parameters import MEMORY_CYCLE_NS, TimingParams
+from ..errors import ConfigurationError
+from .softmc import SoftMC
+
+__all__ = ["AutoRefreshEngine", "RefreshTrace"]
+
+
+@dataclass(frozen=True)
+class RefreshTrace:
+    """What one ``elapse`` call did."""
+
+    elapsed_s: float
+    ref_commands: int
+    rows_refreshed: tuple[tuple[int, int], ...]  # (bank, row) pairs
+    skipped_while_paused: int
+
+
+class AutoRefreshEngine:
+    """All-bank auto refresh with an internal row counter."""
+
+    def __init__(self, mc: SoftMC, *, timing: TimingParams | None = None) -> None:
+        self.mc = mc
+        self.timing = timing or mc.timing
+        self.row_counter = 0
+        self.paused = False
+        self.total_ref_commands = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def rows_per_bank(self) -> int:
+        return int(self.mc.device.rows_per_bank)  # type: ignore[attr-defined]
+
+    @property
+    def refresh_interval_s(self) -> float:
+        """tREFI scaled to the simulated array.
+
+        Real DDR3 spreads 8192 REFs over 64 ms; the simulated array has
+        fewer rows, so the same 64 ms retention guarantee needs one REF
+        per row per 64 ms window.
+        """
+        return (self.timing.retention_window_ms / 1000.0) / self.rows_per_bank
+
+    # ------------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Hold refresh (the Section III-C mitigation)."""
+        self.paused = True
+
+    def resume(self) -> None:
+        self.paused = False
+
+    def refresh(self) -> tuple[tuple[int, int], ...]:
+        """Issue one all-bank REF: the counter row refreshes in every bank."""
+        device = self.mc.device
+        row = self.row_counter
+        refreshed = []
+        for bank in range(int(device.n_banks)):
+            self.mc.refresh_row(bank, row)
+            refreshed.append((bank, row))
+        self.row_counter = (self.row_counter + 1) % self.rows_per_bank
+        self.total_ref_commands += 1
+        return tuple(refreshed)
+
+    def elapse(self, seconds: float) -> RefreshTrace:
+        """Advance time, issuing the REFs a controller would schedule.
+
+        While paused, time still passes but no REF is issued — rows leak,
+        exactly the exposure the paper's applications accept for their
+        sub-64 ms lifetimes.
+        """
+        if seconds < 0:
+            raise ConfigurationError("seconds must be non-negative")
+        interval = self.refresh_interval_s
+        n_refs = int(seconds / interval)
+        refreshed: list[tuple[int, int]] = []
+        skipped = 0
+        remaining = seconds
+        device = self.mc.device
+        for _ in range(n_refs):
+            device.advance_time(interval)  # type: ignore[attr-defined]
+            remaining -= interval
+            if self.paused:
+                skipped += 1
+            else:
+                refreshed.extend(self.refresh())
+        if remaining > 0:
+            device.advance_time(remaining)  # type: ignore[attr-defined]
+        return RefreshTrace(
+            elapsed_s=seconds,
+            ref_commands=n_refs - skipped,
+            rows_refreshed=tuple(refreshed),
+            skipped_while_paused=skipped,
+        )
+
+    # ------------------------------------------------------------------
+
+    def window_until_row(self, bank_row: int) -> float:
+        """Seconds until the counter reaches ``bank_row`` — the safe window
+        an application has before auto refresh touches that row."""
+        distance = (bank_row - self.row_counter) % self.rows_per_bank
+        return distance * self.refresh_interval_s

@@ -1,0 +1,230 @@
+"""SoftMC-style software memory controller (cycle-accurate).
+
+:class:`SoftMC` replays :class:`CommandSequence` streams against a
+simulated device (:class:`~repro.dram.chip.DramChip` or
+:class:`~repro.dram.module_.DramModule`), keeping a global cycle counter so
+experiments can account latency exactly as the paper does (2.5 ns/cycle).
+
+Two operating modes mirror the real SoftMC:
+
+* **permissive** (default) — commands are issued with whatever timing the
+  sequence encodes, including JEDEC violations; this is FracDRAM mode.
+* **strict** — a :class:`JedecChecker` validates every inter-command gap
+  and raises :class:`TimingViolationError` on the first violation; used to
+  demonstrate that normal read/write/refresh traffic is in-spec while every
+  FracDRAM primitive is not.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence as SequenceType
+
+import numpy as np
+
+from ..dram.parameters import MEMORY_CYCLE_NS, ElectricalParams, TimingParams
+from ..errors import TimingViolationError
+from .commands import (
+    Activate,
+    CommandSequence,
+    Precharge,
+    PrechargeAll,
+    ReadRow,
+    TimedCommand,
+    WriteRow,
+)
+from . import sequences as seq
+
+__all__ = ["SoftMC", "JedecChecker", "DeviceLike"]
+
+
+class DeviceLike(Protocol):
+    """Command-level interface shared by DramChip and DramModule."""
+
+    n_banks: int
+
+    def activate(self, bank: int, row: int, cycle: int) -> None: ...
+    def precharge(self, bank: int, cycle: int) -> None: ...
+    def precharge_all(self, cycle: int) -> None: ...
+    def settle(self, cycle: int) -> None: ...
+    def finish(self, cycle: int) -> None: ...
+    def row_buffer_logical(self, bank: int, row: int) -> np.ndarray: ...
+    def write_open(self, bank: int, row: int, bits: SequenceType[bool]) -> None: ...
+
+
+class JedecChecker:
+    """Validates command gaps against the JEDEC DDR3 timing constraints."""
+
+    def __init__(self, timing: TimingParams) -> None:
+        self.timing = timing
+        far_past = -(10 ** 9)
+        self._last_act: dict[int, int] = {}
+        self._last_pre: dict[int, int] = {}
+        self._open: dict[int, bool] = {}
+        self._far_past = far_past
+
+    def _bank_state(self, bank: int) -> tuple[int, int, bool]:
+        return (
+            self._last_act.get(bank, self._far_past),
+            self._last_pre.get(bank, self._far_past),
+            self._open.get(bank, False),
+        )
+
+    def check(self, cycle: int, command) -> None:
+        timing = self.timing
+        if isinstance(command, Activate):
+            last_act, last_pre, is_open = self._bank_state(command.bank)
+            if is_open:
+                raise TimingViolationError(
+                    f"ACT to bank {command.bank} while a row is open",
+                    constraint="one-row-per-bank")
+            if cycle - last_pre < timing.t_rp:
+                raise TimingViolationError(
+                    f"ACT {cycle - last_pre} cycles after PRE (tRP={timing.t_rp})",
+                    constraint="tRP", required_cycles=timing.t_rp,
+                    actual_cycles=cycle - last_pre)
+            if cycle - last_act < timing.t_rc:
+                raise TimingViolationError(
+                    f"ACT {cycle - last_act} cycles after ACT (tRC={timing.t_rc})",
+                    constraint="tRC", required_cycles=timing.t_rc,
+                    actual_cycles=cycle - last_act)
+            self._last_act[command.bank] = cycle
+            self._open[command.bank] = True
+        elif isinstance(command, Precharge):
+            last_act, _, is_open = self._bank_state(command.bank)
+            if is_open and cycle - last_act < timing.t_ras:
+                raise TimingViolationError(
+                    f"PRE {cycle - last_act} cycles after ACT (tRAS={timing.t_ras})",
+                    constraint="tRAS", required_cycles=timing.t_ras,
+                    actual_cycles=cycle - last_act)
+            self._last_pre[command.bank] = cycle
+            self._open[command.bank] = False
+        elif isinstance(command, PrechargeAll):
+            for bank, is_open in list(self._open.items()):
+                last_act = self._last_act.get(bank, self._far_past)
+                if is_open and cycle - last_act < timing.t_ras:
+                    raise TimingViolationError(
+                        f"PREA {cycle - last_act} cycles after ACT on bank {bank}",
+                        constraint="tRAS", required_cycles=timing.t_ras,
+                        actual_cycles=cycle - last_act)
+            for bank in set(self._last_act) | set(self._last_pre) | set(self._open):
+                self._last_pre[bank] = cycle
+                self._open[bank] = False
+        elif isinstance(command, (ReadRow, WriteRow)):
+            last_act, _, is_open = self._bank_state(command.bank)
+            if not is_open:
+                raise TimingViolationError(
+                    f"column access to bank {command.bank} with no open row",
+                    constraint="row-open")
+            if cycle - last_act < timing.t_rcd:
+                raise TimingViolationError(
+                    f"column access {cycle - last_act} cycles after ACT "
+                    f"(tRCD={timing.t_rcd})",
+                    constraint="tRCD", required_cycles=timing.t_rcd,
+                    actual_cycles=cycle - last_act)
+
+
+class SoftMC:
+    """Software memory controller driving one simulated device."""
+
+    def __init__(self, device: DeviceLike, *, timing: TimingParams | None = None,
+                 electrical: ElectricalParams | None = None,
+                 strict: bool = False) -> None:
+        self.device = device
+        self.timing = timing or TimingParams()
+        self.electrical = electrical or getattr(
+            getattr(device, "group", None), "electrical", None) or ElectricalParams()
+        self.strict = strict
+        self.cycle: int = 0
+
+    # ------------------------------------------------------------------
+    # core engine
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Wall-clock bus time consumed so far."""
+        return self.cycle * MEMORY_CYCLE_NS
+
+    def run(self, sequence: CommandSequence) -> list[np.ndarray]:
+        """Issue a sequence starting at the current cycle.
+
+        Returns the data of every READ in the sequence, in issue order.
+        """
+        checker = JedecChecker(self.timing) if self.strict else None
+        reads: list[np.ndarray] = []
+        base = self.cycle
+        for timed in sequence:
+            cycle = base + timed.cycle
+            command = timed.command
+            if checker is not None:
+                checker.check(timed.cycle, command)
+            if isinstance(command, Activate):
+                self.device.activate(command.bank, command.row, cycle)
+            elif isinstance(command, Precharge):
+                self.device.precharge(command.bank, cycle)
+            elif isinstance(command, PrechargeAll):
+                self.device.precharge_all(cycle)
+            elif isinstance(command, ReadRow):
+                self.device.settle(cycle)
+                reads.append(self.device.row_buffer_logical(command.bank, command.row))
+            elif isinstance(command, WriteRow):
+                self.device.settle(cycle)
+                self.device.write_open(command.bank, command.row,
+                                       np.asarray(command.data, dtype=bool))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown command {command!r}")
+        self.cycle = base + sequence.duration
+        self.device.finish(self.cycle)
+        return reads
+
+    def idle(self, cycles: int) -> None:
+        """Advance the bus clock without issuing commands."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.cycle += cycles
+        self.device.finish(self.cycle)
+
+    # ------------------------------------------------------------------
+    # convenience wrappers (one per paper sequence)
+    # ------------------------------------------------------------------
+
+    def precharge_all(self) -> None:
+        self.run(seq.precharge_all_sequence(self.timing))
+
+    def write_row(self, bank: int, row: int, bits: SequenceType[bool]) -> None:
+        self.run(seq.write_row_sequence(bank, row, bits, self.timing))
+
+    def fill_row(self, bank: int, row: int, value: bool) -> None:
+        """Store all-ones or all-zeros into a row."""
+        width = _device_columns(self.device)
+        self.write_row(bank, row, np.full(width, bool(value)))
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        (data,) = self.run(seq.read_row_sequence(bank, row, self.timing))
+        return data
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        self.run(seq.refresh_row_sequence(bank, row, self.timing))
+
+    def frac(self, bank: int, row: int, n_frac: int = 1) -> None:
+        """Issue ``n_frac`` Frac operations (Section III-A)."""
+        self.run(seq.frac_sequence(bank, row, n_frac, self.timing))
+
+    def multi_row_activate(self, bank: int, r1: int, r2: int) -> None:
+        """ComputeDRAM multi-row activation with sense-amp completion."""
+        self.run(seq.multi_row_sequence(bank, r1, r2, self.timing, self.electrical))
+
+    def half_m(self, bank: int, r1: int, r2: int) -> None:
+        """Interrupted four-row activation (Section III-B)."""
+        self.run(seq.half_m_sequence(bank, r1, r2, self.timing))
+
+    def row_copy(self, bank: int, src: int, dst: int) -> None:
+        """In-DRAM row copy (18 cycles, Section VI-A.1)."""
+        self.run(seq.row_copy_sequence(bank, src, dst, self.timing, self.electrical))
+
+
+def _device_columns(device: DeviceLike) -> int:
+    columns = getattr(device, "columns", None)
+    if columns is None:  # pragma: no cover - defensive
+        raise AttributeError("device exposes no column count")
+    return int(columns)

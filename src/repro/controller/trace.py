@@ -1,0 +1,122 @@
+"""Command-trace recording and replay.
+
+Debugging out-of-spec DRAM behaviour lives and dies by knowing *exactly*
+what went on the bus.  :class:`TraceRecorder` wraps a :class:`SoftMC` and
+logs every issued command with its absolute cycle, the sequence label it
+came from, and summaries of data payloads.  Traces render as text (and
+round-trip through the SoftMC program assembler via
+:func:`trace_to_program`), so a failing experiment can be reduced to a
+replayable command stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..dram.parameters import MEMORY_CYCLE_NS
+from .commands import Command, CommandSequence, TimedCommand
+from .softmc import SoftMC
+
+__all__ = ["TraceEntry", "TraceRecorder", "trace_to_program"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One command as it went on the bus."""
+
+    absolute_cycle: int
+    command: Command
+    sequence_label: str
+
+    @property
+    def time_ns(self) -> float:
+        return self.absolute_cycle * MEMORY_CYCLE_NS
+
+    def render(self) -> str:
+        return (f"@{self.absolute_cycle:>8d} ({self.time_ns:>10.1f} ns)  "
+                f"{self.command.mnemonic():<18s}  # {self.sequence_label}")
+
+
+class TraceRecorder:
+    """Records every command a SoftMC issues.
+
+    Usage::
+
+        mc = SoftMC(chip)
+        recorder = TraceRecorder(mc)   # wraps mc.run in place
+        ... run experiment ...
+        print(recorder.render())
+        recorder.stop()                # restore the unwrapped engine
+    """
+
+    def __init__(self, mc: SoftMC) -> None:
+        self.mc = mc
+        self.entries: list[TraceEntry] = []
+        self._original_run = mc.run
+        mc.run = self._recording_run  # type: ignore[method-assign]
+        self._active = True
+
+    # ------------------------------------------------------------------
+
+    def _recording_run(self, sequence: CommandSequence):
+        base = self.mc.cycle
+        for timed in sequence:
+            self.entries.append(TraceEntry(
+                absolute_cycle=base + timed.cycle,
+                command=timed.command,
+                sequence_label=sequence.label or "sequence",
+            ))
+        return self._original_run(sequence)
+
+    def stop(self) -> None:
+        """Unhook from the controller (idempotent)."""
+        if self._active:
+            self.mc.run = self._original_run  # type: ignore[method-assign]
+            self._active = False
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def commands_in(self, label_fragment: str) -> list[TraceEntry]:
+        """Entries whose sequence label contains ``label_fragment``."""
+        return [entry for entry in self.entries
+                if label_fragment in entry.sequence_label]
+
+    def bus_utilization(self) -> float:
+        """Commands per elapsed cycle over the traced span."""
+        if not self.entries:
+            return 0.0
+        span = (self.entries[-1].absolute_cycle
+                - self.entries[0].absolute_cycle + 1)
+        return len(self.entries) / span
+
+    def render(self, limit: int | None = None) -> str:
+        entries = self.entries if limit is None else self.entries[:limit]
+        lines = [entry.render() for entry in entries]
+        if limit is not None and len(self.entries) > limit:
+            lines.append(f"... {len(self.entries) - limit} more")
+        return "\n".join(lines)
+
+
+def trace_to_program(entries: Iterable[TraceEntry],
+                     label: str = "trace") -> str:
+    """Convert trace entries into replayable SoftMC program text."""
+    from .program import disassemble
+
+    entries = list(entries)
+    if not entries:
+        return f"# {label} (empty)\n"
+    origin = entries[0].absolute_cycle
+    commands = tuple(
+        TimedCommand(entry.absolute_cycle - origin, entry.command)
+        for entry in entries)
+    duration = commands[-1].cycle + 1
+    return disassemble(CommandSequence(commands, duration, label))

@@ -1,0 +1,21 @@
+"""FracDRAM core: primitives, verification, refresh policy, ternary storage."""
+
+from .ops import FMajConfig, FracDram, MultiRowPlan
+from .refresh import PinRecord, RefreshManager
+from .ternary import TRIT_HALF, TRIT_ONE, TRIT_ZERO, TernaryStore
+from .verify import COMBO_LABELS, MajVerifyResult, verify_frac_by_maj3
+
+__all__ = [
+    "COMBO_LABELS",
+    "FMajConfig",
+    "FracDram",
+    "MajVerifyResult",
+    "MultiRowPlan",
+    "PinRecord",
+    "RefreshManager",
+    "TRIT_HALF",
+    "TRIT_ONE",
+    "TRIT_ZERO",
+    "TernaryStore",
+    "verify_frac_by_maj3",
+]

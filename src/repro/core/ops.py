@@ -1,0 +1,267 @@
+"""FracDRAM public facade: the paper's primitive and compute operations.
+
+:class:`FracDram` wraps a simulated device and a :class:`SoftMC` controller
+and exposes every operation the paper builds:
+
+* ``frac`` — store a fractional value in an entire row (Section III-A),
+* ``half_m`` primitives — fractional values on masked bits (Section III-B),
+* ``maj3`` — the ComputeDRAM-style in-memory majority baseline,
+* ``f_maj`` — majority-of-three via four-row activation with a fractional
+  operand (Section VI-A), the paper's headline compute contribution,
+* ``row_copy`` — ComputeDRAM/RowClone-style copy used for initialization.
+
+Address conventions follow the paper: MAJ3 uses the first three rows of a
+sub-array (activate R1=1, R2=2, which also opens R3=0); group B's four-row
+set is {8, 1, 0, 9} (activate R1=8, R2=1) and groups C/D use {1, 2, 0, 3}
+(activate R1=1, R2=2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..controller.softmc import DeviceLike, SoftMC
+from ..dram.decoder import resolve_glitch
+from ..dram.vendor import GroupProfile, PreferredFMajConfig
+from ..errors import ConfigurationError, UnsupportedOperationError
+
+__all__ = ["FracDram", "FMajConfig", "MultiRowPlan"]
+
+#: Configuration of an F-MAJ run: which opened-row position holds the
+#: fractional value, the init polarity before Frac, and the Frac count.
+FMajConfig = PreferredFMajConfig
+
+
+@dataclass(frozen=True)
+class MultiRowPlan:
+    """A resolved multi-row activation: what to activate, what opens.
+
+    ``act_pair`` is the (R1, R2) to put on the bus; ``opened`` is the
+    ordered tuple of rows that end up open (bank-global addresses, in the
+    paper's R1..R4 naming order).
+    """
+
+    bank: int
+    act_pair: tuple[int, int]
+    opened: tuple[int, ...]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.opened)
+
+
+class FracDram:
+    """High-level FracDRAM operations over one simulated device."""
+
+    def __init__(self, device: DeviceLike, *, strict: bool = False) -> None:
+        self.device = device
+        self.group: GroupProfile = device.group  # type: ignore[attr-defined]
+        self.mc = SoftMC(device, strict=strict,
+                         electrical=self.group.electrical)
+
+    # ------------------------------------------------------------------
+    # capability queries (Table I)
+    # ------------------------------------------------------------------
+
+    @property
+    def can_frac(self) -> bool:
+        return not self.group.decoder.enforces_command_spacing
+
+    @property
+    def can_three_row(self) -> bool:
+        return self.group.decoder.supports_three_row
+
+    @property
+    def can_four_row(self) -> bool:
+        return self.group.decoder.supports_four_row
+
+    def _require(self, condition: bool, operation: str) -> None:
+        if not condition:
+            raise UnsupportedOperationError(
+                f"group {self.group.group_id} ({self.group.vendor}) "
+                f"cannot perform {operation}")
+
+    # ------------------------------------------------------------------
+    # basic data path
+    # ------------------------------------------------------------------
+
+    @property
+    def columns(self) -> int:
+        return int(self.device.columns)  # type: ignore[attr-defined]
+
+    def write_row(self, bank: int, row: int, bits: Sequence[bool]) -> None:
+        """Store logical data (in-spec ACT/WRITE/PRE)."""
+        self.mc.write_row(bank, row, bits)
+
+    def fill_row(self, bank: int, row: int, value: bool) -> None:
+        """Store all-ones or all-zeros."""
+        self.mc.fill_row(bank, row, value)
+
+    def read_row(self, bank: int, row: int) -> np.ndarray:
+        """Read logical data; destroys any fractional value in the row."""
+        return self.mc.read_row(bank, row)
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        self.mc.refresh_row(bank, row)
+
+    def precharge_all(self) -> None:
+        self.mc.precharge_all()
+
+    def advance_time(self, seconds: float) -> None:
+        """Pause command traffic and let charge leak."""
+        self.device.advance_time(seconds)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # FracDRAM primitives
+    # ------------------------------------------------------------------
+
+    def frac(self, bank: int, row: int, n_frac: int = 1) -> None:
+        """Store a fractional value into an entire row.
+
+        On groups with command-spacing enforcement (J/K/L) the sequence is
+        issued but silently dropped by the chip, matching Table I — no
+        error is raised so capability probing works uniformly.
+        """
+        self.mc.frac(bank, row, n_frac)
+
+    def row_copy(self, bank: int, src: int, dst: int) -> None:
+        """In-DRAM copy of ``src`` onto ``dst`` (18 cycles)."""
+        self.mc.row_copy(bank, src, dst)
+
+    # ------------------------------------------------------------------
+    # multi-row plans
+    # ------------------------------------------------------------------
+
+    def _rows_per_subarray(self) -> int:
+        return int(self.device.geometry.rows_per_subarray)  # type: ignore[attr-defined]
+
+    def _row_map(self):
+        return self.device.row_map  # type: ignore[attr-defined]
+
+    def _globalize_physical(self, subarray: int,
+                            physical_rows: tuple[int, ...]) -> tuple[int, ...]:
+        """Physical local rows -> bank-global logical addresses."""
+        base = subarray * self._rows_per_subarray()
+        row_map = self._row_map()
+        return tuple(base + row_map.to_logical(row) for row in physical_rows)
+
+    def plan_multi_row(self, bank: int, r1: int, r2: int) -> MultiRowPlan:
+        """Predict which rows ``ACT(r1)-PRE-ACT(r2)`` opens (bank-global).
+
+        The decoder glitch acts on *physical* addresses, so the plan
+        resolves through the device's (possibly scrambled) row map.
+        """
+        rows_per_subarray = self._rows_per_subarray()
+        subarray_1, local_1 = divmod(r1, rows_per_subarray)
+        subarray_2, local_2 = divmod(r2, rows_per_subarray)
+        if subarray_1 != subarray_2:
+            raise ConfigurationError(
+                f"rows {r1} and {r2} are in different sub-arrays; the "
+                "decoder glitch only spans one sub-array")
+        row_map = self._row_map()
+        opened_physical = resolve_glitch(
+            self.group.decoder,
+            row_map.to_physical(local_1), row_map.to_physical(local_2),
+            rows_per_subarray)
+        return MultiRowPlan(bank, (r1, r2),
+                            self._globalize_physical(subarray_1, opened_physical))
+
+    def _act_pair_for_physical(self, bank: int, subarray: int,
+                               physical_pair: tuple[int, int]) -> tuple[int, int]:
+        base = subarray * self._rows_per_subarray()
+        row_map = self._row_map()
+        return (base + row_map.to_logical(physical_pair[0]),
+                base + row_map.to_logical(physical_pair[1]))
+
+    def triple_plan(self, bank: int, subarray: int = 0) -> MultiRowPlan:
+        """The paper's MAJ3 row set: physical (1, 2), opening (1, 2, 0)."""
+        self._require(self.can_three_row, "three-row activation")
+        r1, r2 = self._act_pair_for_physical(bank, subarray, (1, 2))
+        return self.plan_multi_row(bank, r1, r2)
+
+    def quad_plan(self, bank: int, subarray: int = 0) -> MultiRowPlan:
+        """The group's four-row set: B -> {8,1,0,9}; C/D -> {1,2,0,3}."""
+        self._require(self.can_four_row, "four-row activation")
+        pair = next(iter(sorted(self.group.decoder.quad_bit_pairs)))
+        physical_pair = (1 << pair[1], 1 << pair[0])
+        if pair == (0, 1):
+            # Match the paper's C/D convention: activate (1, 2).
+            physical_pair = (1, 2)
+        r1, r2 = self._act_pair_for_physical(bank, subarray, physical_pair)
+        plan = self.plan_multi_row(bank, r1, r2)
+        if plan.n_rows != 4:
+            raise UnsupportedOperationError(
+                f"group {self.group.group_id}: expected a four-row glitch, "
+                f"got {plan.opened}")
+        return plan
+
+    def multi_row_activate(self, plan: MultiRowPlan) -> None:
+        """Issue the plan's ACT-PRE-ACT and let the sense amps complete."""
+        self.mc.multi_row_activate(plan.bank, *plan.act_pair)
+
+    def half_m_activate(self, plan: MultiRowPlan) -> None:
+        """Issue the plan's ACT-PRE-ACT with the interrupting trailing PRE."""
+        self.mc.half_m(plan.bank, *plan.act_pair)
+
+    # ------------------------------------------------------------------
+    # in-memory majority
+    # ------------------------------------------------------------------
+
+    def maj3(self, bank: int, operands: Sequence[Sequence[bool]],
+             subarray: int = 0) -> np.ndarray:
+        """ComputeDRAM-style majority-of-three (baseline, group B only).
+
+        Operands are written to the opened triple (R1, R2, R3) in order;
+        the charge-sharing result is read back from R1.
+        """
+        plan = self.triple_plan(bank, subarray)
+        self._store_operands(plan, operands, skip_position=None)
+        self.multi_row_activate(plan)
+        return self.read_row(bank, plan.opened[0])
+
+    def f_maj(self, bank: int, operands: Sequence[Sequence[bool]],
+              config: FMajConfig | None = None, subarray: int = 0,
+              ) -> np.ndarray:
+        """Majority-of-three via four-row activation + a fractional operand.
+
+        Follows the Section VI-A procedure: store a fractional value into
+        the configured opened-row position (initialize, then ``n_frac``
+        Frac ops), store the three operands into the remaining rows, issue
+        the four-row activation, and read the result.
+        """
+        config = config or self.group.preferred_fmaj
+        if config is None:
+            raise ConfigurationError(
+                f"group {self.group.group_id} has no preferred F-MAJ config; "
+                "pass one explicitly")
+        plan = self.quad_plan(bank, subarray)
+        if not 0 <= config.frac_position < plan.n_rows:
+            raise ConfigurationError(
+                f"frac_position {config.frac_position} outside opened set")
+        frac_row = plan.opened[config.frac_position]
+        self.fill_row(bank, frac_row, config.init_ones)
+        if config.n_frac > 0:
+            self.frac(bank, frac_row, config.n_frac)
+        self._store_operands(plan, operands, skip_position=config.frac_position)
+        self.multi_row_activate(plan)
+        result_position = 0 if config.frac_position != 0 else 1
+        return self.read_row(bank, plan.opened[result_position])
+
+    def _store_operands(self, plan: MultiRowPlan,
+                        operands: Sequence[Sequence[bool]],
+                        skip_position: int | None) -> None:
+        target_positions = [index for index in range(plan.n_rows)
+                            if index != skip_position]
+        if len(operands) != len(target_positions):
+            raise ConfigurationError(
+                f"expected {len(target_positions)} operands for this plan, "
+                f"got {len(operands)}")
+        for position, operand in zip(target_positions, operands):
+            bits = np.asarray(operand, dtype=bool)
+            if bits.shape != (self.columns,):
+                raise ConfigurationError(
+                    f"operand shape {bits.shape} != ({self.columns},)")
+            self.write_row(plan.bank, plan.opened[position], bits)

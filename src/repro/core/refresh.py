@@ -1,0 +1,130 @@
+"""Refresh scheduling around fractional values (Section III-C).
+
+Any row activation — including REFRESH — destroys a fractional value, so
+while an application holds fractional state the controller must steer
+refresh away from those rows, while still refreshing rows whose normal
+binary data must survive.  The nominal per-row refresh period is 64 ms,
+comfortably longer than every FracDRAM application (a PUF evaluation takes
+~1.5 us), but the scheduler must be careful: a single REFRESH landing
+mid-application ruins it.
+
+:class:`RefreshManager` models this policy:
+
+* ``track`` registers rows whose binary data must be preserved;
+* ``pin_fractional`` marks rows currently holding fractional values —
+  refreshing them raises :class:`RefreshViolationError`;
+* ``elapse`` advances simulated time while keeping tracked, unpinned rows
+  refreshed.  Time is advanced in chunks with a refresh pass after each
+  chunk; within a chunk the leakage of a healthy cell is orders of
+  magnitude below the sensing threshold, so chunked refresh is equivalent
+  to the real 64 ms cadence for every cell whose retention exceeds the
+  chunk length (the paper itself reports < 1e-4 of cells retain for less
+  than seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import RefreshViolationError
+from .ops import FracDram
+
+__all__ = ["RefreshManager", "PinRecord"]
+
+
+@dataclass(frozen=True)
+class PinRecord:
+    """When a row was pinned, in simulated nanoseconds since epoch."""
+
+    bank: int
+    row: int
+    pinned_at_ns: float
+
+
+class RefreshManager:
+    """Keeps tracked rows alive while protecting fractional rows."""
+
+    def __init__(self, fd: FracDram, *, chunk_s: float = 1.0,
+                 max_chunks: int = 64) -> None:
+        if chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        self.fd = fd
+        self.chunk_s = chunk_s
+        self.max_chunks = max_chunks
+        self._tracked: set[tuple[int, int]] = set()
+        self._pinned: dict[tuple[int, int], PinRecord] = {}
+
+    # ------------------------------------------------------------------
+
+    def _now_ns(self) -> float:
+        device_time_s = getattr(self.fd.device, "time_s", 0.0)
+        return device_time_s * 1e9 + self.fd.mc.elapsed_ns
+
+    def track(self, bank: int, row: int) -> None:
+        """Keep this row's binary data refreshed during ``elapse``."""
+        self._tracked.add((bank, row))
+
+    def untrack(self, bank: int, row: int) -> None:
+        self._tracked.discard((bank, row))
+
+    def pin_fractional(self, bank: int, row: int) -> None:
+        """Mark a row as holding a fractional value: no refresh allowed."""
+        key = (bank, row)
+        self._pinned[key] = PinRecord(bank, row, self._now_ns())
+
+    def unpin(self, bank: int, row: int) -> None:
+        self._pinned.pop((bank, row), None)
+
+    def is_pinned(self, bank: int, row: int) -> bool:
+        return (bank, row) in self._pinned
+
+    @property
+    def pinned_rows(self) -> tuple[PinRecord, ...]:
+        return tuple(self._pinned.values())
+
+    def overdue_pins(self) -> tuple[PinRecord, ...]:
+        """Pinned rows older than the 64 ms refresh window.
+
+        An application still relying on a fractional value past this point
+        is outside the paper's safe envelope (Section III-C).
+        """
+        window_ns = self.fd.mc.timing.retention_window_ms * 1e6
+        now = self._now_ns()
+        return tuple(record for record in self._pinned.values()
+                     if now - record.pinned_at_ns > window_ns)
+
+    # ------------------------------------------------------------------
+
+    def refresh_row(self, bank: int, row: int) -> None:
+        """Refresh one row, refusing to touch pinned fractional rows."""
+        if self.is_pinned(bank, row):
+            raise RefreshViolationError(
+                f"refresh would destroy the fractional value in "
+                f"bank {bank} row {row}")
+        self.fd.refresh_row(bank, row)
+
+    def refresh_tracked(self) -> int:
+        """Refresh every tracked, unpinned row; returns the count."""
+        refreshed = 0
+        for bank, row in sorted(self._tracked):
+            if not self.is_pinned(bank, row):
+                self.fd.refresh_row(bank, row)
+                refreshed += 1
+        return refreshed
+
+    def elapse(self, seconds: float) -> None:
+        """Advance simulated time while maintaining tracked rows.
+
+        Pinned rows leak for the whole interval (their fractional values
+        decay physically, as they must); tracked rows are re-restored
+        after each chunk.
+        """
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        if seconds == 0:
+            return
+        n_chunks = min(self.max_chunks, max(1, int(seconds / self.chunk_s)))
+        chunk = seconds / n_chunks
+        for _ in range(n_chunks):
+            self.fd.advance_time(chunk)
+            self.refresh_tracked()

@@ -1,0 +1,114 @@
+"""Ternary (three-state) storage via Half-m (Section VI-C).
+
+With *Half-m*, a cell can hold one of three distinguishable states — weak
+zero, Half (~Vdd/2), weak one — so one cell stores one *trit*.  The cost:
+
+* writing one row of trits takes four binary row writes plus the Half-m
+  four-row activation;
+* reading is destructive and needs the MAJ3 verification procedure, which
+  consumes two prepared copies of the data (X1 with a carrier of ones, X2
+  with a carrier of zeros) — this is why the paper calls the readout
+  mechanism "not mature yet" and leaves recovery to future work.
+
+:class:`TernaryStore` implements exactly that scheme on a group-B device
+(the only group with both four-row activation for writing and three-row
+activation for the destructive read).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError, UnsupportedOperationError
+from .ops import FracDram, MultiRowPlan
+
+__all__ = ["TernaryStore", "TRIT_ZERO", "TRIT_ONE", "TRIT_HALF"]
+
+TRIT_ZERO: int = 0
+TRIT_ONE: int = 1
+TRIT_HALF: int = 2
+
+
+class TernaryStore:
+    """Store and destructively read trits using Half-m + MAJ3."""
+
+    def __init__(self, fd: FracDram, bank: int = 0) -> None:
+        if not (fd.can_four_row and fd.can_three_row):
+            raise UnsupportedOperationError(
+                "ternary storage needs both four-row (write) and three-row "
+                "(read) activation — use a group B device")
+        self.fd = fd
+        self.bank = bank
+
+    # ------------------------------------------------------------------
+
+    def _operand_rows(self, trits: np.ndarray) -> list[np.ndarray]:
+        """Binary patterns for the four opened rows (R1..R4).
+
+        Trit 0 -> four zeros (weak zero); trit 1 -> four ones (weak one);
+        trit Half -> ones in R1/R3, zeros in R2/R4 (two-vs-two split, the
+        paper's Half recipe).
+        """
+        ones_everywhere = trits == TRIT_ONE
+        half = trits == TRIT_HALF
+        r1 = ones_everywhere | half
+        r2 = ones_everywhere.copy()
+        r3 = ones_everywhere | half
+        r4 = ones_everywhere.copy()
+        return [r1, r2, r3, r4]
+
+    def write_trits(self, trits: Sequence[int], subarray: int = 0) -> MultiRowPlan:
+        """Encode one row of trits into sub-array ``subarray``.
+
+        Returns the multi-row plan; the result lives in all four opened
+        rows (the quad includes local rows 0 and 1, which the destructive
+        read later combines with row 2).
+        """
+        values = np.asarray(trits, dtype=int)
+        if values.shape != (self.fd.columns,):
+            raise ConfigurationError(
+                f"expected {self.fd.columns} trits, got shape {values.shape}")
+        if not np.isin(values, (TRIT_ZERO, TRIT_ONE, TRIT_HALF)).all():
+            raise ConfigurationError("trits must be 0, 1, or 2 (Half)")
+        plan = self.fd.quad_plan(self.bank, subarray)
+        for row, bits in zip(plan.opened, self._operand_rows(values)):
+            self.fd.write_row(self.bank, row, bits)
+        self.fd.half_m_activate(plan)
+        return plan
+
+    def read_trits_destructive(self, subarray_x1: int, subarray_x2: int) -> np.ndarray:
+        """Destructively decode trits from two identically written copies.
+
+        ``subarray_x1`` and ``subarray_x2`` must each hold the same trits
+        (written via :meth:`write_trits`).  The first copy is consumed with
+        a carrier of ones (X1), the second with a carrier of zeros (X2):
+        X1=X2=1 -> one; X1=X2=0 -> zero; X1=1,X2=0 -> Half.  Columns where
+        the Half charge split fell outside the sense window decode to the
+        binary value both reads agree on being impossible (X1=0, X2=1) and
+        are reported as Half as well — they are counted by callers via
+        :meth:`decode_fidelity`.
+        """
+        x1 = self._maj3_with_carrier(subarray_x1, carrier_ones=True)
+        x2 = self._maj3_with_carrier(subarray_x2, carrier_ones=False)
+        trits = np.full(self.fd.columns, TRIT_HALF, dtype=int)
+        trits[x1 & x2] = TRIT_ONE
+        trits[~x1 & ~x2] = TRIT_ZERO
+        return trits
+
+    def _maj3_with_carrier(self, subarray: int, carrier_ones: bool) -> np.ndarray:
+        plan = self.fd.triple_plan(self.bank, subarray)
+        carrier_row = plan.opened[1]  # local row 2 — not part of the quad result
+        self.fd.fill_row(self.bank, carrier_row, carrier_ones)
+        self.fd.multi_row_activate(plan)
+        return self.fd.read_row(self.bank, plan.opened[0]).astype(bool)
+
+    @staticmethod
+    def decode_fidelity(written: Sequence[int], decoded: Sequence[int]) -> float:
+        """Fraction of trits decoded to the value written."""
+        written_arr = np.asarray(written, dtype=int)
+        decoded_arr = np.asarray(decoded, dtype=int)
+        if written_arr.shape != decoded_arr.shape:
+            raise ConfigurationError("written/decoded shapes differ")
+        return float(np.mean(written_arr == decoded_arr))

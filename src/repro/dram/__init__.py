@@ -1,0 +1,70 @@
+"""DRAM electrical substrate: chips, banks, sub-arrays, and group profiles.
+
+This subpackage replaces the physical DDR3 devices of the paper with a
+circuit-level software model (see DESIGN.md section 1 for the substitution
+rationale).  The public surface is:
+
+* :class:`DramChip` / :class:`DramModule` — simulated devices,
+* :class:`Environment` — temperature / supply-voltage operating point,
+* :class:`GeometryParams` and friends — model configuration,
+* :data:`GROUPS` / :func:`get_group` — the Table I vendor group profiles.
+"""
+
+from .addressing import BitScrambleMap, IdentityMap, RowAddressMap, random_scramble
+from .chip import DramChip
+from .decoder import DecoderProfile, differing_bits, hypercube_rows, resolve_glitch
+from .environment import Environment, NOMINAL_TEMPERATURE_C, NOMINAL_VDD_VOLTS
+from .module_ import DramModule
+from .parameters import (
+    MEMORY_CYCLE_NS,
+    ElectricalParams,
+    GeometryParams,
+    TimingParams,
+    VariationParams,
+)
+from .polarity import POLARITY_SCHEMES, is_anti_row, polarity_map
+from .rng import NoiseSource, derive_rng, derive_seed
+from .subarray import CouplingProfile, SubArray
+from .vendor import (
+    CHIPS_PER_MODULE,
+    GROUPS,
+    GroupProfile,
+    PreferredFMajConfig,
+    get_group,
+    group_ids,
+)
+
+__all__ = [
+    "BitScrambleMap",
+    "CHIPS_PER_MODULE",
+    "IdentityMap",
+    "RowAddressMap",
+    "random_scramble",
+    "CouplingProfile",
+    "DecoderProfile",
+    "DramChip",
+    "DramModule",
+    "ElectricalParams",
+    "Environment",
+    "GROUPS",
+    "GeometryParams",
+    "GroupProfile",
+    "MEMORY_CYCLE_NS",
+    "NOMINAL_TEMPERATURE_C",
+    "NOMINAL_VDD_VOLTS",
+    "NoiseSource",
+    "POLARITY_SCHEMES",
+    "PreferredFMajConfig",
+    "SubArray",
+    "TimingParams",
+    "VariationParams",
+    "derive_rng",
+    "derive_seed",
+    "differing_bits",
+    "get_group",
+    "group_ids",
+    "hypercube_rows",
+    "is_anti_row",
+    "polarity_map",
+    "resolve_glitch",
+]

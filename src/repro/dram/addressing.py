@@ -1,0 +1,120 @@
+"""Logical-to-physical row address mapping (vendor scrambling).
+
+DRAM vendors remap the row addresses a controller issues onto physical
+word-lines — for repair (redundant rows) and layout reasons — and do not
+document the mapping.  The multi-row-activation glitch operates on
+*physical* addresses, which is why the paper had to search for working
+(R1, R2) combinations empirically, and why it observes that "not all
+combinations of R1 and R2 that have k different bits can open 2^k rows":
+the controller's view of a physical hypercube looks arbitrary.
+
+This module provides the mapping layer (identity by default; an XOR/bit-
+permutation scramble for studies) and pairs with
+:func:`repro.analysis.reverse_engineering.discover_multi_row_pairs`,
+which recovers the working combinations black-box, exactly like the
+authors' exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["RowAddressMap", "IdentityMap", "BitScrambleMap", "random_scramble"]
+
+
+@runtime_checkable
+class RowAddressMap(Protocol):
+    """Bijection between local logical and physical row addresses."""
+
+    n_rows: int
+
+    def to_physical(self, logical: int) -> int: ...
+    def to_logical(self, physical: int) -> int: ...
+
+
+@dataclass(frozen=True)
+class IdentityMap:
+    """No scrambling: logical == physical (the default)."""
+
+    n_rows: int
+
+    def to_physical(self, logical: int) -> int:
+        self._check(logical)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        self._check(physical)
+        return physical
+
+    def _check(self, row: int) -> None:
+        if not 0 <= row < self.n_rows:
+            raise ConfigurationError(f"row {row} outside 0..{self.n_rows - 1}")
+
+
+@dataclass(frozen=True)
+class BitScrambleMap:
+    """Bit permutation + XOR mask over the row address bits.
+
+    ``physical = permute(logical) ^ xor_mask`` where ``permutation[i]``
+    names the logical bit that feeds physical bit ``i``.  Both operations
+    are involutions of structure the decoder glitch "sees through": a
+    physical two-bit hypercube maps to a logical set whose pairwise XORs
+    are constant — the signature the reverse-engineering tool exploits.
+    """
+
+    permutation: tuple[int, ...]
+    xor_mask: int
+
+    def __post_init__(self) -> None:
+        if sorted(self.permutation) != list(range(len(self.permutation))):
+            raise ConfigurationError(
+                f"{self.permutation!r} is not a permutation of bit indices")
+        if not 0 <= self.xor_mask < self.n_rows:
+            raise ConfigurationError("xor_mask outside the address space")
+
+    @property
+    def n_bits(self) -> int:
+        return len(self.permutation)
+
+    @property
+    def n_rows(self) -> int:
+        return 1 << self.n_bits
+
+    def _permute(self, value: int, permutation: tuple[int, ...]) -> int:
+        result = 0
+        for target_bit, source_bit in enumerate(permutation):
+            if value >> source_bit & 1:
+                result |= 1 << target_bit
+        return result
+
+    def to_physical(self, logical: int) -> int:
+        if not 0 <= logical < self.n_rows:
+            raise ConfigurationError(f"row {logical} outside address space")
+        return self._permute(logical, self.permutation) ^ self.xor_mask
+
+    def to_logical(self, physical: int) -> int:
+        if not 0 <= physical < self.n_rows:
+            raise ConfigurationError(f"row {physical} outside address space")
+        unmasked = physical ^ self.xor_mask
+        inverse = tuple(self.permutation.index(bit)
+                        for bit in range(self.n_bits))
+        return self._permute(unmasked, inverse)
+
+
+def random_scramble(n_rows: int, seed: int) -> BitScrambleMap:
+    """A reproducible scramble for an address space of ``n_rows``.
+
+    ``n_rows`` must be a power of two (row decoders address bit-wise).
+    """
+    n_bits = n_rows.bit_length() - 1
+    if 1 << n_bits != n_rows:
+        raise ConfigurationError("n_rows must be a power of two")
+    rng = np.random.default_rng(seed)
+    permutation = tuple(int(x) for x in rng.permutation(n_bits))
+    xor_mask = int(rng.integers(0, n_rows))
+    return BitScrambleMap(permutation=permutation, xor_mask=xor_mask)

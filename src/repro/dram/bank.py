@@ -1,0 +1,124 @@
+"""A DRAM bank: a stack of sub-arrays sharing one command interface.
+
+Row addresses within a bank are *global*; the bank maps them onto
+(sub-array index, local row).  Multi-row activation glitches only ever
+involve rows of the same sub-array — the decoder hierarchy that the glitch
+exploits is per-sub-array — so the mapping also defines which row pairs
+can participate in MAJ3 / Half-m together.
+
+A PRECHARGE targets the whole bank: every sub-array closes its rows and
+precharges its bit-lines, matching the JEDEC command semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AddressError
+from .addressing import IdentityMap, RowAddressMap
+from .decoder import DecoderProfile
+from .environment import Environment
+from .parameters import ElectricalParams, VariationParams
+from .rng import NoiseSource
+from .subarray import CouplingProfile, SubArray
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """One bank of ``subarrays_per_bank`` sub-arrays."""
+
+    def __init__(
+        self,
+        *,
+        bank_index: int,
+        subarrays_per_bank: int,
+        rows_per_subarray: int,
+        n_cols: int,
+        electrical: ElectricalParams,
+        variation: VariationParams,
+        decoder_profile: DecoderProfile,
+        coupling: CouplingProfile,
+        fabrication_rng: np.random.Generator,
+        noise: NoiseSource,
+        row_map: RowAddressMap | None = None,
+    ) -> None:
+        self.bank_index = bank_index
+        self.rows_per_subarray = rows_per_subarray
+        self.n_cols = n_cols
+        self.row_map: RowAddressMap = row_map or IdentityMap(rows_per_subarray)
+        if self.row_map.n_rows != rows_per_subarray:
+            raise AddressError(
+                f"row map covers {self.row_map.n_rows} rows, sub-arrays "
+                f"have {rows_per_subarray}")
+        self.subarrays = [
+            SubArray(
+                n_rows=rows_per_subarray,
+                n_cols=n_cols,
+                electrical=electrical,
+                variation=variation,
+                decoder_profile=decoder_profile,
+                coupling=coupling,
+                fabrication_rng=np.random.default_rng(
+                    fabrication_rng.integers(0, 2 ** 63)),
+                noise=noise.spawn("bank", bank_index, "subarray", index),
+            )
+            for index in range(subarrays_per_bank)
+        ]
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.subarrays) * self.rows_per_subarray
+
+    def locate(self, row: int) -> tuple[int, int]:
+        """Map a bank-global *logical* row to (sub-array index, physical
+        local row), applying the vendor's address scramble."""
+        if not 0 <= row < self.n_rows:
+            raise AddressError(
+                f"row {row} out of range for bank with {self.n_rows} rows")
+        subarray_index, local_logical = divmod(row, self.rows_per_subarray)
+        return subarray_index, self.row_map.to_physical(local_logical)
+
+    def same_subarray(self, row_a: int, row_b: int) -> bool:
+        """Whether two bank rows share a sub-array (glitch prerequisite)."""
+        return self.locate(row_a)[0] == self.locate(row_b)[0]
+
+    # ------------------------------------------------------------------
+    # command routing
+    # ------------------------------------------------------------------
+
+    def activate(self, row: int, cycle: int, env: Environment) -> None:
+        subarray_index, local_row = self.locate(row)
+        self.subarrays[subarray_index].activate(local_row, cycle, env)
+
+    def precharge(self, cycle: int, env: Environment) -> None:
+        for subarray in self.subarrays:
+            subarray.precharge(cycle, env)
+
+    def settle(self, cycle: int, env: Environment) -> None:
+        for subarray in self.subarrays:
+            subarray.settle(cycle, env)
+
+    def finish(self, cycle: int, env: Environment) -> None:
+        for subarray in self.subarrays:
+            subarray.finish(cycle, env)
+
+    def subarray_of(self, row: int) -> SubArray:
+        return self.subarrays[self.locate(row)[0]]
+
+    @property
+    def is_idle(self) -> bool:
+        return all(subarray.is_idle for subarray in self.subarrays)
+
+    def open_rows(self) -> list[int]:
+        """Bank-global *logical* addresses of all currently open rows."""
+        opened = []
+        for index, subarray in enumerate(self.subarrays):
+            base = index * self.rows_per_subarray
+            opened.extend(base + self.row_map.to_logical(physical)
+                          for physical in subarray.open_rows)
+        return opened
+
+    def leak(self, dt_s: float, env: Environment) -> None:
+        for subarray in self.subarrays:
+            subarray.leak(dt_s, env)

@@ -1,0 +1,212 @@
+"""A simulated DDR3 chip: banks, polarity, environment, command spacing.
+
+:class:`DramChip` is the unit the memory controller talks to.  It routes
+timed commands to banks/sub-arrays, applies true-/anti-cell polarity on
+the data path, tracks simulated wall-clock time for retention experiments,
+and — for groups J/K/L — enforces minimum command spacing, silently
+dropping commands that arrive too close together (the paper's explanation
+for why Frac has no effect on those vendors).
+
+Chips are deterministic: two chips constructed with the same
+``(master_seed, group, serial)`` are identical silicon, while different
+serials differ in all manufacturing variation.  This property underpins
+the PUF experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AddressError, CommandSequenceError, ConfigurationError
+from .bank import Bank
+from .environment import Environment
+from .parameters import GeometryParams
+from .polarity import is_anti_row, polarity_map
+from .rng import NoiseSource, derive_rng
+from .subarray import SubArray
+from .vendor import GroupProfile, get_group
+
+__all__ = ["DramChip", "MIN_COMMAND_SPACING_CYCLES"]
+
+#: Groups with spacing-check circuits drop commands closer than this.
+MIN_COMMAND_SPACING_CYCLES: int = 4
+
+
+class DramChip:
+    """One simulated DRAM device."""
+
+    def __init__(
+        self,
+        group: GroupProfile | str,
+        *,
+        geometry: GeometryParams | None = None,
+        serial: int = 0,
+        master_seed: int = 0,
+        environment: Environment | None = None,
+        polarity_scheme: str = "true-only",
+        row_map=None,
+    ) -> None:
+        self.group: GroupProfile = (
+            get_group(group) if isinstance(group, str) else group)
+        self.geometry = geometry or GeometryParams()
+        self.serial = serial
+        self.master_seed = master_seed
+        self.environment = environment or Environment()
+        self.polarity_scheme = polarity_scheme
+        # Validate the scheme eagerly so errors surface at construction.
+        polarity_map(polarity_scheme, self.geometry.rows_per_subarray)
+
+        from .addressing import IdentityMap
+
+        self.row_map = row_map or IdentityMap(self.geometry.rows_per_subarray)
+        self.noise = NoiseSource(master_seed, "chip", self.group.group_id, serial)
+        fabrication = derive_rng(master_seed, "fab", self.group.group_id, serial)
+        self.banks = [
+            Bank(
+                bank_index=index,
+                subarrays_per_bank=self.geometry.subarrays_per_bank,
+                rows_per_subarray=self.geometry.rows_per_subarray,
+                n_cols=self.geometry.columns,
+                electrical=self.group.electrical,
+                variation=self.group.variation,
+                decoder_profile=self.group.decoder,
+                coupling=self.group.coupling,
+                fabrication_rng=fabrication,
+                noise=self.noise,
+                row_map=self.row_map,
+            )
+            for index in range(self.geometry.n_banks)
+        ]
+        self.time_s: float = 0.0
+        self.dropped_commands: int = 0
+        self._last_command_cycle: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # identity / bookkeeping
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DramChip(group={self.group.group_id!r}, serial={self.serial}, "
+                f"geometry={self.geometry})")
+
+    @property
+    def n_banks(self) -> int:
+        return self.geometry.n_banks
+
+    @property
+    def columns(self) -> int:
+        return self.geometry.columns
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.geometry.rows_per_bank
+
+    def bank(self, index: int) -> Bank:
+        if not 0 <= index < len(self.banks):
+            raise AddressError(f"bank {index} out of range")
+        return self.banks[index]
+
+    def subarray_of(self, bank: int, row: int) -> SubArray:
+        """Simulator-only introspection helper."""
+        return self.bank(bank).subarray_of(row)
+
+    def is_anti(self, row: int) -> bool:
+        """Polarity of a bank-global (logical) row address.
+
+        Polarity is a physical-layout property, so the scramble applies
+        before the lookup.
+        """
+        local_logical = row % self.geometry.rows_per_subarray
+        physical = self.row_map.to_physical(local_logical)
+        return is_anti_row(self.polarity_scheme, physical)
+
+    def reseed_noise(self, epoch: int | None = None) -> None:
+        """Start a new measurement-noise epoch (see :class:`NoiseSource`).
+
+        Per-sub-array noise sources are spawned children of the chip
+        source, so reseeding recreates the tree for a fresh campaign.
+        """
+        self.noise.reseed(epoch)
+        for bank in self.banks:
+            for index, subarray in enumerate(bank.subarrays):
+                subarray._noise = self.noise.spawn(
+                    "bank", bank.bank_index, "subarray", index)
+
+    # ------------------------------------------------------------------
+    # command interface
+    # ------------------------------------------------------------------
+
+    def _spacing_allows(self, bank: int, cycle: int) -> bool:
+        """Apply the J/K/L command-spacing check; True means 'execute'."""
+        if not self.group.decoder.enforces_command_spacing:
+            self._last_command_cycle[bank] = cycle
+            return True
+        last = self._last_command_cycle.get(bank)
+        if last is not None and cycle - last < MIN_COMMAND_SPACING_CYCLES:
+            self.dropped_commands += 1
+            return False
+        self._last_command_cycle[bank] = cycle
+        return True
+
+    def activate(self, bank: int, row: int, cycle: int) -> None:
+        if self._spacing_allows(bank, cycle):
+            self.bank(bank).activate(row, cycle, self.environment)
+
+    def precharge(self, bank: int, cycle: int) -> None:
+        if self._spacing_allows(bank, cycle):
+            self.bank(bank).precharge(cycle, self.environment)
+
+    def precharge_all(self, cycle: int) -> None:
+        for index in range(self.n_banks):
+            self.precharge(index, cycle)
+
+    def settle(self, cycle: int) -> None:
+        for bank in self.banks:
+            bank.settle(cycle, self.environment)
+
+    def finish(self, cycle: int) -> None:
+        """End-of-sequence: resolve all pending sub-array transitions."""
+        for bank in self.banks:
+            bank.finish(cycle, self.environment)
+
+    # ------------------------------------------------------------------
+    # data path (used by the controller's read/write sequences)
+    # ------------------------------------------------------------------
+
+    def row_buffer_logical(self, bank: int, row: int) -> np.ndarray:
+        """Logical bits sensed for ``row`` (polarity-corrected)."""
+        physical = self.bank(bank).subarray_of(row).row_buffer()
+        if self.is_anti(row):
+            return ~physical
+        return physical
+
+    def write_open(self, bank: int, row: int, logical_bits: Sequence[bool]) -> None:
+        """Drive logical data into the (normally activated) open row."""
+        bits = np.asarray(logical_bits, dtype=bool)
+        physical = ~bits if self.is_anti(row) else bits
+        self.bank(bank).subarray_of(row).write_open_row(physical)
+
+    # ------------------------------------------------------------------
+    # time / retention
+    # ------------------------------------------------------------------
+
+    @property
+    def is_idle(self) -> bool:
+        return all(bank.is_idle for bank in self.banks)
+
+    def advance_time(self, dt_s: float) -> None:
+        """Let ``dt_s`` seconds of leakage pass with no commands issued."""
+        if not self.is_idle:
+            raise CommandSequenceError(
+                "advance_time requires all banks idle (precharge first)")
+        for bank in self.banks:
+            bank.leak(dt_s, self.environment)
+        self.time_s += dt_s
+
+    def set_environment(self, environment: Environment) -> None:
+        """Change the operating point (temperature / supply voltage)."""
+        if not isinstance(environment, Environment):
+            raise ConfigurationError("environment must be an Environment")
+        self.environment = environment

@@ -1,0 +1,62 @@
+"""DDR4 outlook profiles (extension — Section VII).
+
+The paper evaluates DDR3 only ("due to the limitation of our experiment
+platform") but argues its techniques carry to DDR4 because QUAC-TRNG
+demonstrated four-row activation on commodity DDR4 chips.  These profiles
+make that outlook executable: DDR4-like groups with four-row (but no
+three-row) decoder glitches, DDR4 electrical context (1.2 V nominal is
+handled by Environment scaling; the normalized model is unchanged), and
+the QUAC paper's observation that *all* tested DDR4 modules opened four
+rows.
+
+These are **hypothetical calibrations** — no DDR4 silicon stands behind
+the distributions — kept in a separate registry so Table I experiments
+never mix them with the paper's evaluated groups.  They exist so the
+DDR4-relevant code paths (F-MAJ, Half-m, QUAC TRNG) have a first-class
+target, as DESIGN.md section 5 describes.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from .vendor import GroupProfile, PreferredFMajConfig, _make_group
+
+__all__ = ["DDR4_GROUPS", "get_ddr4_group"]
+
+#: Hypothetical DDR4 groups, named Q1-Q3 after QUAC-TRNG's module sets.
+DDR4_GROUPS: dict[str, GroupProfile] = {
+    "Q1": _make_group("Q1", "SK Hynix (DDR4)", 2400, 32, frac=True,
+                      four_row=True,
+                      hamming_weight=0.45, strong_fraction=0.86,
+                      primary_quad=1, primary_mean=0.22,
+                      primary_sigma=0.15, primary_module_sigma=0.05,
+                      multirow_bias=0.005, bias_module_sigma=0.002,
+                      weight_jitter=0.11,
+                      preferred_fmaj=PreferredFMajConfig(1, True, 2)),
+    "Q2": _make_group("Q2", "Samsung (DDR4)", 2666, 32, frac=True,
+                      four_row=True,
+                      hamming_weight=0.50, strong_fraction=0.84,
+                      primary_quad=0, primary_mean=0.35,
+                      primary_sigma=0.25, primary_module_sigma=0.10,
+                      multirow_bias=0.008, bias_module_sigma=0.003,
+                      weight_jitter=0.12,
+                      preferred_fmaj=PreferredFMajConfig(0, True, 1)),
+    "Q3": _make_group("Q3", "Micron (DDR4)", 3200, 32, frac=True,
+                      four_row=True,
+                      hamming_weight=0.40, strong_fraction=0.88,
+                      primary_quad=3, primary_mean=0.30,
+                      primary_sigma=0.22, primary_module_sigma=0.08,
+                      multirow_bias=-0.006, bias_module_sigma=0.003,
+                      weight_jitter=0.10,
+                      preferred_fmaj=PreferredFMajConfig(3, False, 2)),
+}
+
+
+def get_ddr4_group(group_id: str) -> GroupProfile:
+    """Look up a DDR4 outlook profile (Q1-Q3)."""
+    try:
+        return DDR4_GROUPS[group_id.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown DDR4 group {group_id!r}; expected one of "
+            f"{', '.join(DDR4_GROUPS)}") from None

@@ -1,0 +1,153 @@
+"""Row-decoder glitch model for out-of-spec multi-row activation.
+
+Under nominal timing the row decoder latches exactly one word-line.  The
+ComputeDRAM / QUAC-TRNG command sequence ``ACTIVATE(R1)-PRECHARGE-
+ACTIVATE(R2)`` with zero idle cycles interrupts the decoder mid-reset and
+implicitly raises *extra* word-lines.  Section VI-A.1 of FracDRAM reports
+the empirical structure of this glitch for DDR3:
+
+* Only ``2**k`` rows can open simultaneously, and every ``(R1, R2)`` pair
+  that opens ``2**k`` rows differs in exactly ``k`` address bits — but not
+  every such pair works; the differing bits must fall on positions the
+  (vendor-specific) predecoder exposes.
+
+* Group B additionally supports a *three*-row glitch: e.g. activating
+  ``R1=1, R2=2`` opens rows ``{0, 1, 2}`` — the two-bit hypercube minus its
+  top element (``R1 | R2``).  This asymmetric set is what ComputeDRAM's
+  MAJ3 builds on.
+
+* Group B's four-row combos, e.g. ``R1=8, R2=1`` opening ``{0, 1, 8, 9}``,
+  and groups C/D's combos (``R1=1, R2=2`` opening ``{0, 1, 2, 3}``) are
+  full two-bit hypercubes.
+
+The *order* of the returned rows is significant downstream: charge-sharing
+coupling weights are assigned per position (R1 opened earliest, glitch rows
+last), which is the source of the "primary row" asymmetry.  We return rows
+in the paper's naming order ``(R1, R2, R3, R4)`` where ``R3 = R1 & R2``
+(the hypercube base) and ``R4 = R1 | R2`` (the top).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Tuple
+
+from ..errors import ConfigurationError
+
+__all__ = ["DecoderProfile", "resolve_glitch", "differing_bits", "hypercube_rows"]
+
+BitPair = Tuple[int, int]
+
+
+def differing_bits(r1: int, r2: int) -> tuple[int, ...]:
+    """Bit positions where two row addresses differ, ascending.
+
+    >>> differing_bits(8, 1)
+    (0, 3)
+    """
+    xor = r1 ^ r2
+    bits = []
+    position = 0
+    while xor:
+        if xor & 1:
+            bits.append(position)
+        xor >>= 1
+        position += 1
+    return tuple(bits)
+
+
+def hypercube_rows(r1: int, r2: int) -> tuple[int, ...]:
+    """All addresses in the hypercube spanned by ``r1`` and ``r2``.
+
+    Returned in paper order: ``(R1, R2, base, ..., top)`` for the two-bit
+    case; for larger cubes the base-derived members follow in ascending
+    order after R1 and R2.
+
+    >>> hypercube_rows(8, 1)
+    (8, 1, 0, 9)
+    >>> hypercube_rows(1, 2)
+    (1, 2, 0, 3)
+    """
+    base = r1 & r2
+    bits = differing_bits(r1, r2)
+    members = set()
+    for mask_index in range(1 << len(bits)):
+        member = base
+        for bit_index, bit in enumerate(bits):
+            if mask_index >> bit_index & 1:
+                member |= 1 << bit
+        members.add(member)
+    rest = sorted(members - {r1, r2})
+    return (r1, r2, *rest)
+
+
+@dataclass(frozen=True)
+class DecoderProfile:
+    """Vendor-specific multi-row-activation capability.
+
+    ``triple_bit_pairs`` — differing-bit pairs for which the glitch opens
+    the hypercube *minus its top* (three rows).  Only group B has these.
+
+    ``quad_bit_pairs`` — differing-bit pairs for which the glitch opens the
+    full two-bit hypercube (four rows).  Groups B, C, D.
+
+    ``enforces_command_spacing`` — groups J/K/L implement a command-spacing
+    check and silently drop commands arriving too close together, which
+    defeats both the glitch *and* the Frac interrupt.
+    """
+
+    triple_bit_pairs: FrozenSet[BitPair] = field(default_factory=frozenset)
+    quad_bit_pairs: FrozenSet[BitPair] = field(default_factory=frozenset)
+    enforces_command_spacing: bool = False
+
+    def __post_init__(self) -> None:
+        for pair in (*self.triple_bit_pairs, *self.quad_bit_pairs):
+            if len(pair) != 2 or pair[0] >= pair[1] or pair[0] < 0:
+                raise ConfigurationError(
+                    f"bit pair {pair!r} must be an ascending pair of bit positions")
+
+    @property
+    def supports_three_row(self) -> bool:
+        return bool(self.triple_bit_pairs)
+
+    @property
+    def supports_four_row(self) -> bool:
+        return bool(self.quad_bit_pairs)
+
+    @property
+    def supports_glitch(self) -> bool:
+        return self.supports_three_row or self.supports_four_row
+
+
+def resolve_glitch(profile: DecoderProfile, r1: int, r2: int,
+                   rows_per_subarray: int) -> tuple[int, ...]:
+    """Rows opened by ``ACT(r1)-PRE-ACT(r2)`` with zero idle cycles.
+
+    ``r1`` and ``r2`` are *local* (sub-array) row addresses.  Returns the
+    ordered tuple of open rows; when no glitch fires the result is simply
+    ``(r1, r2)`` (both word-lines end up raised, no implicit extras).
+    """
+    if not 0 <= r1 < rows_per_subarray or not 0 <= r2 < rows_per_subarray:
+        raise ConfigurationError(
+            f"rows ({r1}, {r2}) outside sub-array of {rows_per_subarray} rows")
+    if r1 == r2:
+        return (r1,)
+    bits = differing_bits(r1, r2)
+    if len(bits) != 2:
+        return (r1, r2)
+    pair: BitPair = (bits[0], bits[1])
+    cube = hypercube_rows(r1, r2)
+    if any(row >= rows_per_subarray for row in cube):
+        return (r1, r2)
+    if pair in profile.triple_bit_pairs:
+        # The triple glitch additionally latches the bitwise-AND address
+        # (e.g. R1=1, R2=2 also opens R3=0); the cube top (R1|R2) is not
+        # latched.  When one activated row *is* the base or the top (one
+        # address bitwise contains the other), no extra row opens.
+        base = r1 & r2
+        if base in (r1, r2):
+            return (r1, r2)
+        return (r1, r2, base)
+    if pair in profile.quad_bit_pairs:
+        return cube
+    return (r1, r2)

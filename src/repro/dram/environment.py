@@ -1,0 +1,81 @@
+"""Operating environment: temperature and supply voltage.
+
+The environment influences the model in three physically motivated ways:
+
+* **Leakage acceleration** — cell leakage is thermally activated; we apply
+  an Arrhenius-style factor doubling leakage roughly every 10 C (the
+  commonly used rule of thumb for DRAM retention, cf. Liu et al. 2013).
+
+* **Read noise** — thermal noise grows mildly with temperature.  This is
+  the mechanism behind the small intra-HD increase with temperature seen in
+  Figure 12(b).
+
+* **Supply voltage** — all cell voltages, the bit-line precharge level, and
+  the sense-amp threshold scale *together* with Vdd because the sense amp
+  is a ratio-metric comparator.  Consequently a Vdd change barely perturbs
+  PUF responses (Figure 12(a)) — the normalized decision margin is
+  unchanged; only a small secondary offset-shift term remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Environment", "NOMINAL_VDD_VOLTS", "NOMINAL_TEMPERATURE_C"]
+
+NOMINAL_VDD_VOLTS: float = 1.5
+NOMINAL_TEMPERATURE_C: float = 20.0
+
+#: Leakage doubles every this many degrees C.
+_LEAKAGE_DOUBLING_C: float = 10.0
+
+#: Fraction of a sense-amp offset that does NOT track Vdd (residual
+#: non-ratiometric component, e.g. device Vt mismatch).
+_OFFSET_VDD_SENSITIVITY: float = 0.08
+
+
+@dataclass(frozen=True)
+class Environment:
+    """Immutable operating point of a DRAM device."""
+
+    temperature_c: float = NOMINAL_TEMPERATURE_C
+    vdd_volts: float = NOMINAL_VDD_VOLTS
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.vdd_volts <= 2.5:
+            raise ValueError(f"vdd {self.vdd_volts} V outside plausible DDR3 range")
+        if not -40.0 <= self.temperature_c <= 125.0:
+            raise ValueError(f"temperature {self.temperature_c} C outside model range")
+
+    @property
+    def leakage_acceleration(self) -> float:
+        """Multiplier on leakage rate relative to 20 C (Arrhenius-like)."""
+        return 2.0 ** ((self.temperature_c - NOMINAL_TEMPERATURE_C) / _LEAKAGE_DOUBLING_C)
+
+    @property
+    def vdd_ratio(self) -> float:
+        """Supply voltage relative to nominal."""
+        return self.vdd_volts / NOMINAL_VDD_VOLTS
+
+    def read_noise_scale(self, base_sigma: float, temp_coeff: float) -> float:
+        """Effective read-noise sigma at this operating point."""
+        delta = max(self.temperature_c - NOMINAL_TEMPERATURE_C, 0.0)
+        return base_sigma * (1.0 + temp_coeff * delta)
+
+    def effective_offset_shift(self) -> float:
+        """Additive shift (Vdd units) applied to all thresholds off-nominal.
+
+        The sense amplifier is ratio-metric, so most of an offset tracks
+        Vdd; the small non-tracking residue shows up as a common-mode shift
+        when the supply moves.  At nominal Vdd this is exactly zero.
+        """
+        return _OFFSET_VDD_SENSITIVITY * (1.0 - self.vdd_ratio) * 0.05
+
+    def with_temperature(self, temperature_c: float) -> "Environment":
+        return replace(self, temperature_c=temperature_c)
+
+    def with_vdd(self, vdd_volts: float) -> "Environment":
+        return replace(self, vdd_volts=vdd_volts)
+
+
+NOMINAL_ENVIRONMENT = Environment()

@@ -1,0 +1,147 @@
+"""Fault injection for robustness studies.
+
+Real DRAM populations include defective cells; any system built on
+out-of-spec behaviour must tolerate them.  This module injects classic
+fault models into a simulated chip *post-fabrication*, so experiments can
+study how each FracDRAM application degrades:
+
+* ``stuck-at`` — the cell reads a constant regardless of writes (modeled
+  by pinning its voltage after every operation is insufficient; instead
+  the cell's time constant is zeroed / its voltage forced at fault-apply
+  time and re-forced by a wrapper around the sub-array ops),
+* ``leaky`` — retention time collapsed by orders of magnitude,
+* ``coupled`` — a column's sense threshold pushed far off nominal
+  (victim of bit-line imbalance).
+
+Faults are applied through :class:`FaultInjector`, which records every
+injection so tests can compare against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .chip import DramChip
+from .subarray import SubArray
+
+__all__ = ["Fault", "FaultInjector"]
+
+FaultKind = Literal["stuck-at-0", "stuck-at-1", "leaky", "offset"]
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected defect."""
+
+    kind: FaultKind
+    bank: int
+    row: int
+    column: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stuck-at-0", "stuck-at-1", "leaky", "offset"):
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+
+
+class _StuckCellPatch:
+    """Wraps a sub-array so stuck cells re-assert after every operation."""
+
+    def __init__(self, subarray: SubArray) -> None:
+        self.subarray = subarray
+        self.stuck_rows: list[int] = []
+        self.stuck_cols: list[int] = []
+        self.stuck_values: list[float] = []
+        self._original_charge_share = subarray._charge_share
+        self._original_fire = subarray._fire_sense_amps
+        subarray._charge_share = self._wrapped(self._original_charge_share)
+        subarray._fire_sense_amps = self._wrapped(self._original_fire)
+
+    def add(self, row: int, column: int, value: float) -> None:
+        self.stuck_rows.append(row)
+        self.stuck_cols.append(column)
+        self.stuck_values.append(value)
+        self._assert_stuck()
+
+    def _assert_stuck(self) -> None:
+        self.subarray.cell_v[self.stuck_rows, self.stuck_cols] = self.stuck_values
+
+    def _wrapped(self, original):
+        def run(*args, **kwargs):
+            self._assert_stuck()
+            result = original(*args, **kwargs)
+            self._assert_stuck()
+            return result
+
+        return run
+
+
+class FaultInjector:
+    """Applies and tracks faults on one chip."""
+
+    def __init__(self, chip: DramChip) -> None:
+        self.chip = chip
+        self.faults: list[Fault] = []
+        self._patches: dict[int, _StuckCellPatch] = {}
+
+    def _subarray(self, bank: int, row: int) -> tuple[SubArray, int]:
+        subarray = self.chip.bank(bank).subarray_of(row)
+        local_row = row % self.chip.geometry.rows_per_subarray
+        return subarray, local_row
+
+    def _patch_for(self, subarray: SubArray) -> _StuckCellPatch:
+        key = id(subarray)
+        if key not in self._patches:
+            self._patches[key] = _StuckCellPatch(subarray)
+        return self._patches[key]
+
+    # ------------------------------------------------------------------
+
+    def inject(self, fault: Fault) -> None:
+        """Apply one fault to the chip."""
+        subarray, local_row = self._subarray(fault.bank, fault.row)
+        if not 0 <= fault.column < subarray.n_cols:
+            raise ConfigurationError(f"column {fault.column} out of range")
+        if fault.kind in ("stuck-at-0", "stuck-at-1"):
+            value = 1.0 if fault.kind == "stuck-at-1" else 0.0
+            self._patch_for(subarray).add(local_row, fault.column, value)
+        elif fault.kind == "leaky":
+            subarray.tau_s[local_row, fault.column] = 1e-3
+        elif fault.kind == "offset":
+            # Push the column's comparator far off nominal: every cell on
+            # this bit-line becomes unreliable near Vdd/2.
+            subarray.sa_offset[fault.column] += 0.2
+        self.faults.append(fault)
+
+    def inject_random(self, kind: FaultKind, count: int,
+                      rng: np.random.Generator) -> list[Fault]:
+        """Sprinkle ``count`` faults of one kind uniformly over the chip."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        geometry = self.chip.geometry
+        faults = []
+        for _ in range(count):
+            fault = Fault(
+                kind=kind,
+                bank=int(rng.integers(geometry.n_banks)),
+                row=int(rng.integers(geometry.rows_per_bank)),
+                column=int(rng.integers(geometry.columns)),
+            )
+            self.inject(fault)
+            faults.append(fault)
+        return faults
+
+    # ------------------------------------------------------------------
+
+    def faulty_cells(self, bank: int) -> set[tuple[int, int]]:
+        """(row, column) pairs with injected cell faults in ``bank``."""
+        return {(fault.row, fault.column) for fault in self.faults
+                if fault.bank == bank and fault.kind != "offset"}
+
+    def faulty_columns(self, bank: int) -> set[int]:
+        """Columns with injected offset faults in ``bank``."""
+        return {fault.column for fault in self.faults
+                if fault.bank == bank and fault.kind == "offset"}

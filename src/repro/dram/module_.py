@@ -1,0 +1,168 @@
+"""A DRAM module: several chips sharing one command/address bus.
+
+A DDR3 UDIMM rank spreads each 64-bit word across eight x8 chips, so an
+8 KB module row is backed by a 1 KB row in each chip.  Commands broadcast
+to every chip; data concatenates across them.  The module exposes the same
+command-level interface as :class:`~repro.dram.chip.DramChip`, so the
+memory controller is agnostic to which one it drives.
+
+Most experiments use single-chip "modules" for speed; the PUF experiments
+use real multi-chip modules because a module is the unit of authentication
+in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .chip import DramChip
+from .environment import Environment
+from .parameters import GeometryParams
+from .vendor import GroupProfile, get_group
+
+__all__ = ["DramModule"]
+
+
+class DramModule:
+    """A rank of identical chips addressed in lock-step."""
+
+    def __init__(
+        self,
+        group: GroupProfile | str,
+        *,
+        n_chips: int = 1,
+        geometry: GeometryParams | None = None,
+        module_serial: int = 0,
+        master_seed: int = 0,
+        environment: Environment | None = None,
+        polarity_scheme: str = "true-only",
+        row_map=None,
+    ) -> None:
+        if n_chips < 1:
+            raise ConfigurationError("a module needs at least one chip")
+        profile = get_group(group) if isinstance(group, str) else group
+        self.group = profile
+        self.module_serial = module_serial
+        self.chips = [
+            DramChip(
+                profile,
+                geometry=geometry,
+                serial=(module_serial, chip_index),
+                master_seed=master_seed,
+                environment=environment,
+                polarity_scheme=polarity_scheme,
+                row_map=row_map,
+            )
+            for chip_index in range(n_chips)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DramModule(group={self.group.group_id!r}, "
+                f"serial={self.module_serial}, chips={len(self.chips)})")
+
+    @property
+    def geometry(self) -> GeometryParams:
+        return self.chips[0].geometry
+
+    @property
+    def n_banks(self) -> int:
+        return self.chips[0].n_banks
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.chips[0].rows_per_bank
+
+    @property
+    def columns(self) -> int:
+        """Total data width: sum of the chips' columns."""
+        return sum(chip.columns for chip in self.chips)
+
+    @property
+    def is_idle(self) -> bool:
+        return all(chip.is_idle for chip in self.chips)
+
+    @property
+    def dropped_commands(self) -> int:
+        return sum(chip.dropped_commands for chip in self.chips)
+
+    def bank(self, index: int):
+        """First chip's bank — for address arithmetic only."""
+        return self.chips[0].bank(index)
+
+    def is_anti(self, row: int) -> bool:
+        return self.chips[0].is_anti(row)
+
+    @property
+    def row_map(self):
+        return self.chips[0].row_map
+
+    def reseed_noise(self, epoch: int | None = None) -> None:
+        for chip in self.chips:
+            chip.reseed_noise(epoch)
+
+    # ------------------------------------------------------------------
+    # broadcast command interface (mirrors DramChip)
+    # ------------------------------------------------------------------
+
+    def activate(self, bank: int, row: int, cycle: int) -> None:
+        for chip in self.chips:
+            chip.activate(bank, row, cycle)
+
+    def precharge(self, bank: int, cycle: int) -> None:
+        for chip in self.chips:
+            chip.precharge(bank, cycle)
+
+    def precharge_all(self, cycle: int) -> None:
+        for chip in self.chips:
+            chip.precharge_all(cycle)
+
+    def settle(self, cycle: int) -> None:
+        for chip in self.chips:
+            chip.settle(cycle)
+
+    def finish(self, cycle: int) -> None:
+        for chip in self.chips:
+            chip.finish(cycle)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def row_buffer_logical(self, bank: int, row: int) -> np.ndarray:
+        return np.concatenate(
+            [chip.row_buffer_logical(bank, row) for chip in self.chips])
+
+    def write_open(self, bank: int, row: int, logical_bits: Sequence[bool]) -> None:
+        bits = np.asarray(logical_bits, dtype=bool)
+        if bits.shape != (self.columns,):
+            raise ConfigurationError(
+                f"module write expects {self.columns} bits, got {bits.shape}")
+        offset = 0
+        for chip in self.chips:
+            chip.write_open(bank, row, bits[offset:offset + chip.columns])
+            offset += chip.columns
+
+    # ------------------------------------------------------------------
+    # time / environment
+    # ------------------------------------------------------------------
+
+    @property
+    def time_s(self) -> float:
+        return self.chips[0].time_s
+
+    def advance_time(self, dt_s: float) -> None:
+        for chip in self.chips:
+            chip.advance_time(dt_s)
+
+    def set_environment(self, environment: Environment) -> None:
+        for chip in self.chips:
+            chip.set_environment(environment)
+
+    @property
+    def environment(self) -> Environment:
+        return self.chips[0].environment

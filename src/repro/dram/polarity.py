@@ -1,0 +1,58 @@
+"""True-cell / anti-cell polarity maps (Section II-C).
+
+Modern DRAM reuses a neighboring bit-line as the sense-amp reference, so
+half of the cells ("anti-cells") store the *inverse* physical voltage of
+their logical value: Vdd in an anti-cell reads as logical zero.  Anti-cells
+can be located empirically by pausing refresh and watching which bits leak
+from logical zero toward one (true cells only leak one -> zero).
+
+The paper writes inverted data to anti-cells so all cells physically hold
+the same voltage, then treats everything as true cells.  We expose polarity
+schemes so this behaviour can be reproduced and tested:
+
+* ``"true-only"`` (default) — every cell is a true cell; experiments match
+  the paper's simplifying assumption.
+* ``"row-paired"`` — rows come in true/anti pairs (rows with bit 1 of the
+  local address set are anti), mimicking a folded bit-line layout.
+
+The chip applies the logical<->physical inversion automatically on reads
+and writes, which is exactly the paper's "store opposite logic values to
+anti-cells by default" policy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["POLARITY_SCHEMES", "polarity_map", "is_anti_row"]
+
+POLARITY_SCHEMES = ("true-only", "row-paired")
+
+
+def polarity_map(scheme: str, n_rows: int) -> np.ndarray:
+    """Boolean vector over local row addresses; ``True`` marks anti rows.
+
+    >>> polarity_map("row-paired", 8).tolist()
+    [False, False, True, True, False, False, True, True]
+    """
+    if n_rows < 0:
+        raise ConfigurationError("n_rows must be non-negative")
+    if scheme == "true-only":
+        return np.zeros(n_rows, dtype=bool)
+    if scheme == "row-paired":
+        rows = np.arange(n_rows)
+        return (rows >> 1 & 1).astype(bool)
+    raise ConfigurationError(
+        f"unknown polarity scheme {scheme!r}; expected one of {POLARITY_SCHEMES}")
+
+
+def is_anti_row(scheme: str, local_row: int) -> bool:
+    """Polarity of a single local row under ``scheme``."""
+    if scheme == "true-only":
+        return False
+    if scheme == "row-paired":
+        return bool(local_row >> 1 & 1)
+    raise ConfigurationError(
+        f"unknown polarity scheme {scheme!r}; expected one of {POLARITY_SCHEMES}")

@@ -1,0 +1,10 @@
+"""Experiment harnesses: one module per paper table/figure (see DESIGN.md).
+
+``python -m repro.experiments.runner`` runs everything and prints the
+paper-style tables; each sub-module also exposes ``run(config)`` for
+programmatic use.
+"""
+
+from .base import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["DEFAULT_CONFIG", "ExperimentConfig"]

@@ -1,0 +1,131 @@
+"""Shared configuration and helpers for the experiment harnesses.
+
+Every experiment module exposes ``run(config) -> *Result`` where the
+result carries the measured series plus a ``format_table()`` renderer that
+prints the same rows/series the paper reports.  ``ExperimentConfig``
+scales the simulated hardware: the defaults are sized so the full suite
+runs in minutes; ``paper_scale()`` approaches the paper's geometry (8 KB
+rows, hundreds of chips) for overnight runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.ops import FracDram
+from ..dram.chip import DramChip
+from ..dram.environment import Environment
+from ..dram.module_ import DramModule
+from ..dram.parameters import GeometryParams
+from ..dram.vendor import GroupProfile, get_group
+
+__all__ = ["ExperimentConfig", "make_chip", "make_fd", "make_module",
+           "markdown_table", "percent"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``columns`` is the simulated row width in bits (the paper's module rows
+    are 65536 bits = 8 KB); ``chips_per_group`` is how many distinct chip
+    instances ("modules") to fabricate per vendor group.
+    """
+
+    master_seed: int = 2022
+    columns: int = 1024
+    rows_per_subarray: int = 16
+    subarrays_per_bank: int = 2
+    n_banks: int = 2
+    chips_per_group: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rows_per_subarray < 10:
+            raise ValueError(
+                "rows_per_subarray must be >= 10 (group B's four-row set "
+                "uses local rows {8,1,0,9})")
+
+    def geometry(self) -> GeometryParams:
+        return GeometryParams(
+            n_banks=self.n_banks,
+            subarrays_per_bank=self.subarrays_per_bank,
+            rows_per_subarray=self.rows_per_subarray,
+            columns=self.columns,
+        )
+
+    def scaled(self, **overrides) -> "ExperimentConfig":
+        return replace(self, **overrides)
+
+    @staticmethod
+    def paper_scale() -> "ExperimentConfig":
+        """Geometry approaching the paper's setup (slow; for full runs)."""
+        return ExperimentConfig(
+            columns=65536, rows_per_subarray=16, subarrays_per_bank=4,
+            n_banks=2, chips_per_group=4)
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+def make_chip(group: str | GroupProfile, config: ExperimentConfig,
+              serial: int = 0,
+              environment: Environment | None = None) -> DramChip:
+    """Fabricate one deterministic chip for an experiment."""
+    return DramChip(
+        group,
+        geometry=config.geometry(),
+        serial=serial,
+        master_seed=config.master_seed,
+        environment=environment,
+    )
+
+
+def make_module(group: str | GroupProfile, config: ExperimentConfig,
+                module_serial: int = 0, n_chips: int = 1,
+                environment: Environment | None = None) -> DramModule:
+    """Fabricate a module (defaults to a single-chip module for speed)."""
+    return DramModule(
+        group,
+        n_chips=n_chips,
+        geometry=config.geometry(),
+        module_serial=module_serial,
+        master_seed=config.master_seed,
+        environment=environment,
+    )
+
+
+def make_fd(group: str | GroupProfile, config: ExperimentConfig,
+            serial: int = 0) -> FracDram:
+    return FracDram(make_chip(group, config, serial))
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Render a fraction as a fixed-width percentage string."""
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple GitHub-flavored markdown table."""
+    header_line = "| " + " | ".join(str(h) for h in headers) + " |"
+    separator = "|" + "|".join("---" for _ in headers) + "|"
+    body = ["| " + " | ".join(str(cell) for cell in row) + " |" for row in rows]
+    return "\n".join([header_line, separator, *body])
+
+
+def subarray_targets(config: ExperimentConfig) -> list[tuple[int, int]]:
+    """All (bank, subarray) pairs of the configured geometry."""
+    return [(bank, subarray)
+            for bank in range(config.n_banks)
+            for subarray in range(config.subarrays_per_bank)]
+
+
+def input_combos(columns: int) -> list[tuple[tuple[int, int, int], list[np.ndarray]]]:
+    """The paper's six MAJ3 input combinations as full-row operand sets."""
+    patterns = [(1, 0, 0), (0, 1, 0), (0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 0)]
+    return [
+        (pattern, [np.full(columns, bool(value)) for value in pattern])
+        for pattern in patterns
+    ]

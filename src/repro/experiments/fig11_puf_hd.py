@@ -1,0 +1,149 @@
+"""Experiment F11: Figure 11 — PUF intra-/inter-HD per group.
+
+For every Frac-capable group (A-I) we fabricate multiple modules, send
+the same challenge set to each, and collect responses twice (two
+measurement-noise epochs, the paper's repeated collections).  We report:
+
+* Intra-HD — same module, same challenge, different collections (ideal 0),
+* Inter-HD — same challenge, different modules of the same group, plus
+  the cross-group inter-HD pool,
+* the per-group mean Hamming weight printed under each group in Figure 11.
+
+Paper expectations: intra-HD concentrates near zero (max 0.051, group G);
+inter-HD clusters below 0.5 for groups with biased Hamming weight (A at
+HW ~ 0.21 gives inter-HD ~ 0.33); the minimum inter-HD (paper: 0.27)
+stays far above the maximum intra-HD — uniqueness is guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..puf.frac_puf import Challenge, FracPuf
+from ..puf.metrics import inter_hd_distances, intra_hd_distances, response_weights
+from ..dram.vendor import GROUPS
+from .base import DEFAULT_CONFIG, ExperimentConfig, make_chip, markdown_table
+
+__all__ = ["Fig11Group", "Fig11Result", "run", "default_challenges"]
+
+PAPER_EXPECTATION = (
+    "Figure 11: intra-HD ~ 0 (max 0.051); inter-HD clusters reflect each "
+    "group's Hamming weight (A ~ 0.21 -> inter ~ 0.33); min inter-HD "
+    "(0.27) >> max intra-HD.")
+
+FRAC_CAPABLE_GROUPS = ("A", "B", "C", "D", "E", "F", "G", "H", "I")
+
+
+def default_challenges(config: ExperimentConfig,
+                       n_challenges: int) -> list[Challenge]:
+    """Challenges spread over banks/rows, avoiding each sub-array's
+    reserved initialization row."""
+    geometry = config.geometry()
+    challenges = []
+    for bank in range(geometry.n_banks):
+        for row in range(geometry.rows_per_bank):
+            if (row + 1) % geometry.rows_per_subarray == 0:
+                continue  # reserved all-ones row
+            challenges.append(Challenge(bank, row))
+    if len(challenges) < n_challenges:
+        raise ValueError(
+            f"geometry provides only {len(challenges)} challenge rows, "
+            f"need {n_challenges}")
+    return challenges[:n_challenges]
+
+
+@dataclass(frozen=True)
+class Fig11Group:
+    group_id: str
+    intra: np.ndarray
+    inter: np.ndarray
+    hamming_weight: float
+
+    @property
+    def max_intra(self) -> float:
+        return float(np.max(self.intra))
+
+    @property
+    def mean_inter(self) -> float:
+        return float(np.mean(self.inter))
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    groups: tuple[Fig11Group, ...]
+    cross_group_inter: np.ndarray
+
+    @property
+    def max_intra(self) -> float:
+        return max(group.max_intra for group in self.groups)
+
+    @property
+    def min_inter(self) -> float:
+        within = min(float(np.min(group.inter)) for group in self.groups)
+        return min(within, float(np.min(self.cross_group_inter)))
+
+    def uniqueness_guaranteed(self) -> bool:
+        return self.min_inter > self.max_intra
+
+    def format_table(self) -> str:
+        lines = ["Figure 11 — PUF intra-/inter-HD per group"]
+        header = ("group", "mean HW", "max intra-HD", "mean intra-HD",
+                  "mean inter-HD", "min inter-HD")
+        rows = []
+        for group in self.groups:
+            rows.append((
+                group.group_id,
+                f"{group.hamming_weight:.2f}",
+                f"{group.max_intra:.3f}",
+                f"{float(np.mean(group.intra)):.3f}",
+                f"{group.mean_inter:.3f}",
+                f"{float(np.min(group.inter)):.3f}",
+            ))
+        lines.append(markdown_table(header, rows))
+        lines.append(
+            f"\ncross-group inter-HD: mean "
+            f"{float(np.mean(self.cross_group_inter)):.3f}, min "
+            f"{float(np.min(self.cross_group_inter)):.3f}")
+        lines.append(
+            f"overall: max intra-HD {self.max_intra:.3f} vs min inter-HD "
+            f"{self.min_inter:.3f} (paper: 0.051 vs 0.27) -> uniqueness "
+            + ("guaranteed" if self.uniqueness_guaranteed() else "VIOLATED"))
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        n_challenges: int = 24, modules_per_group: int = 2) -> Fig11Result:
+    challenges = default_challenges(config, n_challenges)
+    group_results = []
+    first_collections: dict[str, list[np.ndarray]] = {}
+    for group_id in FRAC_CAPABLE_GROUPS:
+        collections_by_module: list[list[np.ndarray]] = []
+        for serial in range(modules_per_group):
+            chip = make_chip(group_id, config, serial)
+            puf = FracPuf(chip)
+            trials = []
+            for epoch in range(2):
+                chip.reseed_noise(epoch)
+                trials.append(puf.evaluate_many(challenges))
+            collections_by_module.append(trials)
+        intra = np.concatenate([
+            intra_hd_distances(trials) for trials in collections_by_module])
+        first = [trials[0] for trials in collections_by_module]
+        inter = inter_hd_distances(first)
+        weight = float(np.mean([response_weights(responses)
+                                for responses in first]))
+        first_collections[group_id] = first
+        group_results.append(Fig11Group(group_id, intra, inter, weight))
+
+    cross: list[float] = []
+    group_ids = list(first_collections)
+    for index_a in range(len(group_ids)):
+        for index_b in range(index_a + 1, len(group_ids)):
+            responses_a = first_collections[group_ids[index_a]][0]
+            responses_b = first_collections[group_ids[index_b]][0]
+            cross.extend(
+                float(np.mean(ra ^ rb))
+                for ra, rb in zip(responses_a, responses_b))
+    return Fig11Result(tuple(group_results), np.asarray(cross))

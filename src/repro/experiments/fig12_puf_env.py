@@ -1,0 +1,136 @@
+"""Experiment F12: Figure 12 — PUF robustness to supply voltage and
+temperature.
+
+We enroll responses at the nominal operating point (1.5 V, 20 C), then
+re-collect under (a) a reduced supply of 1.4 V and (b) temperatures from
+20 C to 60 C, each in a fresh measurement-noise epoch (the paper's
+collections were days to months apart).  Intra-HD compares each module's
+off-nominal responses with its own enrollment; inter-HD compares across
+modules under the changed environment.
+
+Paper expectations: at 1.4 V the max intra-HD is 0.07 and the min
+inter-HD 0.30; intra-HD grows mildly with temperature but the maximum
+stays far below the minimum inter-HD — the PUF is robust because the
+sense amplifier is a ratio-metric comparator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram.environment import Environment
+from ..puf.frac_puf import Challenge, FracPuf
+from ..puf.metrics import inter_hd_distances
+from .base import DEFAULT_CONFIG, ExperimentConfig, make_chip, markdown_table
+from .fig11_puf_hd import default_challenges
+
+__all__ = ["EnvCondition", "Fig12Result", "run"]
+
+PAPER_EXPECTATION = (
+    "Figure 12: max intra-HD 0.07 at Vdd=1.4V with min inter-HD 0.30; "
+    "intra-HD rises mildly with temperature but max intra stays well "
+    "below min inter at every condition.")
+
+TEMPERATURES_C = (20.0, 30.0, 40.0, 50.0, 60.0)
+GROUPS_TESTED = ("A", "B", "E", "G", "I")
+
+
+@dataclass(frozen=True)
+class EnvCondition:
+    """HD statistics for one environmental condition."""
+
+    label: str
+    max_intra: float
+    mean_intra: float
+    min_inter: float
+
+    @property
+    def separated(self) -> bool:
+        return self.min_inter > self.max_intra
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    voltage_condition: EnvCondition
+    temperature_conditions: tuple[EnvCondition, ...]
+
+    def robust(self) -> bool:
+        return (self.voltage_condition.separated
+                and all(c.separated for c in self.temperature_conditions))
+
+    def intra_grows_with_temperature(self) -> bool:
+        means = [c.mean_intra for c in self.temperature_conditions]
+        return means[-1] >= means[0]
+
+    def format_table(self) -> str:
+        lines = ["Figure 12 — PUF under supply-voltage and temperature "
+                 "changes"]
+        header = ("condition", "max intra-HD", "mean intra-HD",
+                  "min inter-HD", "separated")
+        rows = []
+        for condition in (self.voltage_condition,
+                          *self.temperature_conditions):
+            rows.append((condition.label,
+                         f"{condition.max_intra:.3f}",
+                         f"{condition.mean_intra:.4f}",
+                         f"{condition.min_inter:.3f}",
+                         "yes" if condition.separated else "NO"))
+        lines.append(markdown_table(header, rows))
+        lines.append(
+            "\nPaper: max intra-HD 0.07 / min inter-HD 0.30 at 1.4 V; "
+            "robust across 20-60 C.")
+        return "\n".join(lines)
+
+
+def _collect(config: ExperimentConfig, challenges: list[Challenge],
+             environment: Environment, epoch: int,
+             modules_per_group: int) -> dict[tuple[str, int], np.ndarray]:
+    responses = {}
+    for group_id in GROUPS_TESTED:
+        for serial in range(modules_per_group):
+            chip = make_chip(group_id, config, serial, environment=environment)
+            chip.reseed_noise(epoch)
+            puf = FracPuf(chip)
+            responses[(group_id, serial)] = puf.evaluate_many(challenges)
+    return responses
+
+
+def _condition(label: str,
+               enrollment: dict[tuple[str, int], np.ndarray],
+               probe: dict[tuple[str, int], np.ndarray]) -> EnvCondition:
+    intra = []
+    for key, enrolled in enrollment.items():
+        for response_ref, response_new in zip(enrolled, probe[key]):
+            intra.append(float(np.mean(response_ref ^ response_new)))
+    inter = inter_hd_distances(list(probe.values()))
+    return EnvCondition(
+        label=label,
+        max_intra=float(np.max(intra)),
+        mean_intra=float(np.mean(intra)),
+        min_inter=float(np.min(inter)),
+    )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        n_challenges: int = 16, modules_per_group: int = 2) -> Fig12Result:
+    challenges = default_challenges(config, n_challenges)
+    nominal = Environment()
+    enrollment = _collect(config, challenges, nominal, epoch=0,
+                          modules_per_group=modules_per_group)
+
+    low_vdd = _collect(config, challenges, nominal.with_vdd(1.4), epoch=1,
+                       modules_per_group=modules_per_group)
+    voltage_condition = _condition("Vdd 1.5V -> 1.4V", enrollment, low_vdd)
+
+    temperature_conditions = []
+    for index, temperature in enumerate(TEMPERATURES_C):
+        probe = _collect(config, challenges,
+                         nominal.with_temperature(temperature),
+                         epoch=2 + index,
+                         modules_per_group=modules_per_group)
+        temperature_conditions.append(
+            _condition(f"{temperature:.0f} C", enrollment, probe))
+
+    return Fig12Result(voltage_condition, tuple(temperature_conditions))

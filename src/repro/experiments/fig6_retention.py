@@ -1,0 +1,126 @@
+"""Experiment F6: Figure 6 — retention-time profiles under 0-5 Frac ops.
+
+For each Frac-capable group (A-I) we profile sampled rows: the PDF of
+retention buckets per Frac count (the heat-map columns of Figure 6) and
+the three-way cell classification printed in the figure's brackets as
+``[long retention, monotonic decrease, others]``.
+
+Paper expectation: issuing more Frac operations shifts the PDF mass toward
+shorter retention; on average ~55% of cells show a monotonic decrease,
+~44% stay in the > 12 h bucket, < 1% behave irregularly (VRT).  Groups
+J/K/L show no change at all and are omitted from the paper's plot; we
+include them with a flat profile check instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.retention import (
+    N_BUCKETS,
+    RETENTION_BUCKET_LABELS,
+    CellCategory,
+    RetentionProfile,
+    RetentionProfiler,
+)
+from ..dram.vendor import GROUPS
+from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table, percent
+
+__all__ = ["Fig6GroupResult", "Fig6Result", "run"]
+
+PAPER_EXPECTATION = (
+    "Figure 6: PDF mass moves to shorter retention buckets as Frac count "
+    "rises; on average ~55% of cells decrease monotonically, <1% are "
+    "irregular; groups J/K/L are unaffected.")
+
+FRAC_COUNTS = (0, 1, 2, 3, 4, 5)
+
+
+@dataclass(frozen=True)
+class Fig6GroupResult:
+    """One group's heat-map column data and category split."""
+
+    group_id: str
+    profile: RetentionProfile
+
+    @property
+    def categories(self) -> dict[str, float]:
+        return self.profile.category_fractions()
+
+    def bracket(self) -> str:
+        """The paper's ``[long, monotonic, others]`` annotation."""
+        cats = self.categories
+        return (f"[{cats[CellCategory.LONG]:.2f}, "
+                f"{cats[CellCategory.MONOTONIC]:.2f}, "
+                f"{cats[CellCategory.OTHER]:.2f}]")
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    groups: tuple[Fig6GroupResult, ...]
+    unaffected_groups: tuple[str, ...]
+
+    def mean_monotonic_fraction(self) -> float:
+        return float(np.mean(
+            [g.categories[CellCategory.MONOTONIC] for g in self.groups]))
+
+    def format_table(self) -> str:
+        lines = ["Figure 6 — retention-time PDFs (rows: buckets; cols: #Frac)"]
+        for group in self.groups:
+            lines.append(f"\nGroup {group.group_id}  {group.bracket()} "
+                         "[long, monotonic, others]")
+            pdf = group.profile.pdf_matrix()
+            header = ("bucket \\ #Frac", *[str(n) for n in FRAC_COUNTS])
+            rows = []
+            for bucket in range(N_BUCKETS - 1, -1, -1):
+                rows.append((RETENTION_BUCKET_LABELS[bucket],
+                             *[f"{pdf[i, bucket]:.2f}"
+                               for i in range(len(FRAC_COUNTS))]))
+            lines.append(markdown_table(header, rows))
+        lines.append(
+            f"\nMean monotonic-decrease fraction: "
+            f"{percent(self.mean_monotonic_fraction())} (paper: ~55%)")
+        lines.append(
+            "Groups unaffected by Frac (omitted from the paper's plot): "
+            + ", ".join(self.unaffected_groups))
+        return "\n".join(lines)
+
+
+def _sample_rows(config: ExperimentConfig, rows_per_bank_sample: int,
+                 rng: np.random.Generator, rows_per_bank: int,
+                 n_banks: int) -> list[tuple[int, int]]:
+    targets = []
+    for bank in range(n_banks):
+        rows = rng.choice(rows_per_bank, size=min(rows_per_bank_sample,
+                                                  rows_per_bank), replace=False)
+        targets.extend((bank, int(row)) for row in rows)
+    return targets
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        rows_per_bank_sample: int = 2) -> Fig6Result:
+    """Profile retention for every Frac-capable group."""
+    rng = np.random.default_rng(config.master_seed + 6)
+    results = []
+    unaffected = []
+    geometry = config.geometry()
+    for group_id, profile in GROUPS.items():
+        fd = make_fd(group_id, config, serial=0)
+        targets = _sample_rows(config, rows_per_bank_sample, rng,
+                               geometry.rows_per_bank, geometry.n_banks)
+        profiler = RetentionProfiler(fd)
+        retention = profiler.profile_rows(targets, FRAC_COUNTS)
+        if not profile.frac_capable:
+            # Sanity check the paper's omission: Frac must have no effect
+            # (up to VRT-cell noise on repeated measurements).
+            baseline = retention.buckets[0]
+            changed = max(
+                float(np.mean(retention.buckets[i] != baseline))
+                for i in range(len(FRAC_COUNTS)))
+            if changed < 0.02:
+                unaffected.append(group_id)
+            continue
+        results.append(Fig6GroupResult(group_id, retention))
+    return Fig6Result(tuple(results), tuple(unaffected))

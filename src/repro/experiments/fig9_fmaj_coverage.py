@@ -1,0 +1,154 @@
+"""Experiment F9: Figure 9 — F-MAJ coverage vs configuration.
+
+For each four-row-capable group (B, C, D) we sweep every F-MAJ
+configuration — which opened row holds the fractional value (R1..R4),
+the initial value before Frac (ones/zeros), and the number of Frac
+operations — and measure coverage: the fraction of columns that produce
+the correct majority for all six input combinations.  Group B also gets
+the original three-row MAJ3 as the dashed baseline.
+
+Paper expectations: a non-zero coverage for every group (F-MAJ works on
+all four-row-capable chips); different groups favor different
+configurations (B: frac in R2 init ones; C: R1 init ones; D: R4 init
+zeros); B's best configuration beats the MAJ3 baseline (99.8% vs 98.0%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.stats import mean_confidence_interval
+from ..core.ops import FMajConfig, FracDram
+from .base import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    input_combos,
+    make_fd,
+    markdown_table,
+    percent,
+    subarray_targets,
+)
+
+__all__ = ["Fig9Curve", "Fig9Result", "run", "coverage_maj3", "coverage_fmaj"]
+
+PAPER_EXPECTATION = (
+    "Figure 9: non-zero F-MAJ coverage on every four-row group; best "
+    "configs are B: (R2, ones), C: (R1, ones), D: (R4, zeros); B's best "
+    "coverage (paper 99.8%) exceeds the MAJ3 baseline (98.0%).")
+
+FRAC_COUNTS = (0, 1, 2, 3, 4, 5)
+GROUPS_WITH_FOUR_ROW = ("B", "C", "D")
+
+
+def coverage_maj3(fd: FracDram, bank: int, subarray: int) -> float:
+    """Fraction of columns computing all six MAJ3 combos correctly."""
+    correct = np.ones(fd.columns, dtype=bool)
+    for pattern, operands in input_combos(fd.columns):
+        expected = sum(pattern) >= 2
+        result = fd.maj3(bank, operands, subarray)
+        correct &= result == expected
+    return float(np.mean(correct))
+
+
+def coverage_fmaj(fd: FracDram, config: FMajConfig, bank: int,
+                  subarray: int) -> float:
+    """Fraction of columns computing all six F-MAJ combos correctly."""
+    correct = np.ones(fd.columns, dtype=bool)
+    for pattern, operands in input_combos(fd.columns):
+        expected = sum(pattern) >= 2
+        result = fd.f_maj(bank, operands, config, subarray)
+        correct &= result == expected
+    return float(np.mean(correct))
+
+
+@dataclass(frozen=True)
+class Fig9Curve:
+    """Coverage vs #Frac for one (group, frac row, init) configuration."""
+
+    group_id: str
+    frac_position: int
+    init_ones: bool
+    #: (mean, ci_low, ci_high) per Frac count.
+    points: tuple[tuple[float, float, float], ...]
+
+    @property
+    def label(self) -> str:
+        init = "ones" if self.init_ones else "zeros"
+        return f"R{self.frac_position + 1} init {init}"
+
+    @property
+    def best(self) -> tuple[int, float]:
+        """(n_frac, coverage) at this curve's best point."""
+        means = [point[0] for point in self.points]
+        index = int(np.argmax(means))
+        return FRAC_COUNTS[index], means[index]
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    curves: dict[str, tuple[Fig9Curve, ...]]
+    maj3_baseline: float  # group B dashed line
+
+    def best_curve(self, group_id: str) -> Fig9Curve:
+        return max(self.curves[group_id], key=lambda curve: curve.best[1])
+
+    def best_beats_baseline(self) -> bool:
+        return self.best_curve("B").best[1] > self.maj3_baseline
+
+    def all_groups_nonzero(self) -> bool:
+        return all(self.best_curve(group).best[1] > 0.0
+                   for group in self.curves)
+
+    def format_table(self) -> str:
+        lines = ["Figure 9 — F-MAJ coverage vs number of Frac operations"]
+        for group_id, curves in self.curves.items():
+            lines.append(f"\nGroup {group_id} (mean coverage, 95% CI "
+                         "across chips/sub-arrays):")
+            header = ("config \\ #Frac", *[str(n) for n in FRAC_COUNTS])
+            rows = []
+            for curve in curves:
+                rows.append((curve.label,
+                             *[f"{mean:.3f}" for mean, _, _ in curve.points]))
+            lines.append(markdown_table(header, rows))
+            best = self.best_curve(group_id)
+            lines.append(f"best: {best.label} with {best.best[0]} Frac -> "
+                         f"{percent(best.best[1])}")
+        lines.append(f"\nGroup B MAJ3 baseline (dashed line): "
+                     f"{percent(self.maj3_baseline)}")
+        verdict = ("beats" if self.best_beats_baseline() else "does NOT beat")
+        lines.append(f"Group B best F-MAJ {verdict} the MAJ3 baseline "
+                     "(paper: 99.8% vs 98.0%).")
+        return "\n".join(lines)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        frac_counts: tuple[int, ...] = FRAC_COUNTS) -> Fig9Result:
+    curves: dict[str, tuple[Fig9Curve, ...]] = {}
+    maj3_values: list[float] = []
+    targets = subarray_targets(config)
+    for group_id in GROUPS_WITH_FOUR_ROW:
+        group_curves = []
+        devices = [make_fd(group_id, config, serial)
+                   for serial in range(config.chips_per_group)]
+        if group_id == "B":
+            for fd in devices:
+                maj3_values.extend(
+                    coverage_maj3(fd, bank, subarray)
+                    for bank, subarray in targets)
+        for frac_position in range(4):
+            for init_ones in (True, False):
+                points = []
+                for n_frac in frac_counts:
+                    fmaj_config = FMajConfig(frac_position, init_ones, n_frac)
+                    values = [
+                        coverage_fmaj(fd, fmaj_config, bank, subarray)
+                        for fd in devices
+                        for bank, subarray in targets
+                    ]
+                    points.append(mean_confidence_interval(values))
+                group_curves.append(Fig9Curve(
+                    group_id, frac_position, init_ones, tuple(points)))
+        curves[group_id] = tuple(group_curves)
+    return Fig9Result(curves, float(np.mean(maj3_values)))

@@ -1,0 +1,98 @@
+"""Experiment NIST: Section VI-B2 — randomness of whitened PUF responses.
+
+The raw Frac-PUF response is biased (per-group Hamming weight != 0.5), so
+the paper whitens it with a modified Von Neumann extractor, concatenates
+responses from different addresses, and feeds one million bits per module
+into the 15-test NIST SP800-22 suite — all tests pass.
+
+A response's entropy lives in the per-column sense-amp offsets, which are
+shared by all rows of a sub-array (each sub-array has its own sense-amp
+stripe).  Challenges must therefore target *distinct sub-arrays*; this
+experiment uses a wide, many-sub-array geometry and one challenge per
+sub-array.  ``paper_scale=True`` collects >= 1 Mbit of whitened stream as
+in the paper; the default collects a smaller stream that still satisfies
+the length prerequisites of 13 of the 15 tests (the two random-excursion
+tests need ~500 zero-crossing cycles, which requires close to the full
+million bits — they are reported as skipped on quick runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dram.parameters import GeometryParams
+from ..dram.chip import DramChip
+from ..puf.extractor import von_neumann_extract
+from ..puf.frac_puf import Challenge, FracPuf
+from ..puf.nist import SuiteResult, run_all
+from .base import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["NistExperimentResult", "run"]
+
+PAPER_EXPECTATION = (
+    "Section VI-B2: after Von Neumann whitening, 1 Mbit per module "
+    "passes all 15 NIST SP800-22 tests.")
+
+
+@dataclass(frozen=True)
+class NistExperimentResult:
+    group_id: str
+    raw_bits: int
+    whitened_bits: int
+    raw_weight: float
+    whitened_weight: float
+    suite: SuiteResult
+
+    @property
+    def all_passed(self) -> bool:
+        return self.suite.all_passed
+
+    def format_table(self) -> str:
+        lines = [
+            "NIST SP800-22 on whitened Frac-PUF responses "
+            f"(group {self.group_id})",
+            f"raw stream: {self.raw_bits} bits, weight {self.raw_weight:.3f}",
+            f"whitened stream: {self.whitened_bits} bits, weight "
+            f"{self.whitened_weight:.3f}",
+            "",
+            self.suite.format_table(),
+        ]
+        return "\n".join(lines)
+
+
+def _nist_geometry(paper_scale: bool) -> GeometryParams:
+    if paper_scale:
+        # ~1.8 Mbit raw -> ~0.4 Mbit whitened: enough zero-crossing
+        # cycles (J >= 500) for the two random-excursion tests.
+        return GeometryParams(n_banks=6, subarrays_per_bank=36,
+                              rows_per_subarray=10, columns=8192)
+    return GeometryParams(n_banks=2, subarrays_per_bank=32,
+                          rows_per_subarray=10, columns=8192)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, group_id: str = "B",
+        paper_scale: bool = False) -> NistExperimentResult:
+    geometry = _nist_geometry(paper_scale)
+    chip = DramChip(group_id, geometry=geometry,
+                    master_seed=config.master_seed, serial=99)
+    puf = FracPuf(chip)
+    challenges = []
+    for bank in range(geometry.n_banks):
+        for subarray in range(geometry.subarrays_per_bank):
+            # One challenge per sub-array: its sense-amp stripe is the
+            # entropy source; row 0 is as good as any non-reserved row.
+            challenges.append(
+                Challenge(bank, subarray * geometry.rows_per_subarray))
+    raw = puf.concatenated_bitstream(challenges)
+    whitened = von_neumann_extract(raw)
+    suite = run_all(whitened)
+    return NistExperimentResult(
+        group_id=group_id,
+        raw_bits=int(raw.size),
+        whitened_bits=int(whitened.size),
+        raw_weight=float(np.mean(raw)),
+        whitened_weight=float(np.mean(whitened)),
+        suite=suite,
+    )

@@ -1,0 +1,108 @@
+"""Run every experiment and print the paper-style tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # quick configuration
+    python -m repro.experiments.runner --only fig9 fig10
+    python -m repro.experiments.runner --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from . import (
+    ddr4_outlook,
+    fig6_retention,
+    fig7_maj3,
+    fig8_half_m,
+    fig9_fmaj_coverage,
+    fig10_fmaj_stability,
+    fig11_puf_hd,
+    fig12_puf_env,
+    latency,
+    nist_randomness,
+    table1,
+    timing_sweep,
+)
+from .base import DEFAULT_CONFIG, ExperimentConfig
+
+__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+
+#: name -> (description, callable(config) -> result with format_table()).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "table1": ("Table I — group capability matrix",
+               lambda config: table1.run(config)),
+    "fig6": ("Figure 6 — retention profiles under Frac",
+             lambda config: fig6_retention.run(config)),
+    "fig7": ("Figure 7 — MAJ3 verification of Frac",
+             lambda config: fig7_maj3.run(config)),
+    "fig8": ("Figure 8 — Half-m evaluation",
+             lambda config: fig8_half_m.run(config)),
+    "fig9": ("Figure 9 — F-MAJ coverage sweep",
+             lambda config: fig9_fmaj_coverage.run(config)),
+    "fig10": ("Figure 10 — F-MAJ stability CDFs",
+              lambda config: fig10_fmaj_stability.run(config)),
+    "fig11": ("Figure 11 — PUF intra/inter Hamming distance",
+              lambda config: fig11_puf_hd.run(config)),
+    "fig12": ("Figure 12 — PUF under voltage/temperature changes",
+              lambda config: fig12_puf_env.run(config)),
+    "nist": ("Section VI-B2 — NIST SP800-22 on whitened responses",
+             lambda config: nist_randomness.run(config)),
+    "latency": ("Latency accounting (7/18 cycles, +29%, 1.5 us)",
+                lambda config: latency.run()),
+    "timing": ("Timing-window exploration (Frac/glitch windows)",
+               lambda config: timing_sweep.run(config)),
+    "ddr4": ("Section VII outlook on hypothetical DDR4 profiles",
+             lambda config: ddr4_outlook.run(config)),
+}
+
+
+def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG):
+    """Run one experiment by name and return its result object."""
+    try:
+        _, runner = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
+        ) from None
+    return runner(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="FracDRAM reproduction experiment runner")
+    parser.add_argument("--only", nargs="*", metavar="NAME",
+                        help="run only the named experiments")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("--seed", type=int, default=DEFAULT_CONFIG.master_seed)
+    parser.add_argument("--columns", type=int, default=DEFAULT_CONFIG.columns,
+                        help="row width in bits (paper: 65536)")
+    arguments = parser.parse_args(argv)
+
+    if arguments.list:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:<10s} {description}")
+        return 0
+
+    config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
+                                   columns=arguments.columns)
+    names = arguments.only or list(EXPERIMENTS)
+    for name in names:
+        description, _ = EXPERIMENTS[name]
+        print("=" * 72)
+        print(f"{name}: {description}")
+        print("=" * 72)
+        started = time.time()
+        result = run_experiment(name, config)
+        print(result.format_table())
+        print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

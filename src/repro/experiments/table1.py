@@ -1,0 +1,141 @@
+"""Experiment T1: reproduce Table I — per-group capability matrix.
+
+The probes are purely behavioural (no simulator introspection), mirroring
+how the authors characterized real chips:
+
+* **Frac capability** — initialize a row to all ones, issue ten Frac
+  operations, read back: a chip that honors the out-of-spec sequence
+  yields a mixed readout (the sense amps resolve ~Vdd/2 by their offsets);
+  a chip with command-spacing checks returns the intact all-ones data.
+
+* **Multi-row activation** — for every row pair (R1, R2) in a sub-array,
+  store a shared random pattern in R1/R2 and distinct random patterns
+  everywhere else, issue ACT(R1)-PRE-ACT(R2), and count how many *other*
+  rows were overwritten: one extra row means a three-row activation, two
+  extra rows a four-row activation (the Section VI-A.1 exploration).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.reverse_engineering import probe_opened_rows
+from ..core.ops import FracDram
+from ..dram.vendor import GROUPS, GroupProfile
+from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table
+
+__all__ = ["Table1Row", "Table1Result", "run", "probe_frac", "probe_pair"]
+
+PAPER_EXPECTATION = (
+    "Table I: groups A-I support Frac; only B supports three-row "
+    "activation; B, C, D support four-row activation; J, K, L support "
+    "nothing (command-spacing checks).")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured capabilities of one group."""
+
+    group_id: str
+    vendor: str
+    freq_mhz: int
+    n_chips: int
+    frac: bool
+    three_row: bool
+    four_row: bool
+
+    def matches(self, profile: GroupProfile) -> bool:
+        return (self.frac == profile.frac_capable
+                and self.three_row == profile.three_row
+                and self.four_row == profile.four_row)
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    rows: tuple[Table1Row, ...]
+    matches_paper: bool
+
+    def format_table(self) -> str:
+        def check(flag: bool) -> str:
+            return "yes" if flag else ""
+
+        body = [
+            (row.group_id, row.vendor, row.freq_mhz, row.n_chips,
+             check(row.frac), check(row.three_row), check(row.four_row))
+            for row in self.rows
+        ]
+        table = markdown_table(
+            ("Group", "Vendor", "Freq(MHz)", "#Chips", "Frac",
+             "Three-row-activation", "Four-row-activation"),
+            body)
+        verdict = ("matches Table I" if self.matches_paper
+                   else "DEVIATES from Table I")
+        return f"{table}\n\nCapability matrix {verdict}."
+
+
+def probe_frac(fd: FracDram, bank: int = 0, row: int = 1) -> bool:
+    """Behavioural Frac probe: does 10x Frac disturb stored all-ones?"""
+    fd.fill_row(bank, row, True)
+    fd.frac(bank, row, 10)
+    weight = float(np.mean(fd.read_row(bank, row)))
+    return 0.02 < weight < 0.98
+
+
+def probe_pair(fd: FracDram, bank: int, r1: int, r2: int,
+               rng: np.random.Generator,
+               changed_threshold: float = 0.15,
+               repeats: int = 2) -> int:
+    """Count rows opened by ACT(r1)-PRE-ACT(r2) within r1's sub-array.
+
+    Delegates to the black-box probe in
+    :mod:`repro.analysis.reverse_engineering`; returns 2 when no extra
+    rows open (or the chip dropped the sequence).
+    """
+    opened = probe_opened_rows(fd, bank, r1, r2, rng,
+                               changed_threshold=changed_threshold,
+                               repeats=repeats)
+    return len(opened)
+
+
+def probe_multi_row_support(fd: FracDram, bank: int = 0,
+                            max_rows: int = 16,
+                            seed: int = 7) -> tuple[bool, bool]:
+    """Scan all pairs in sub-array 0: (three-row support, four-row support)."""
+    rng = np.random.default_rng(seed)
+    rows_per_subarray = int(fd.device.geometry.rows_per_subarray)
+    scan_rows = min(max_rows, rows_per_subarray)
+    saw_three = saw_four = False
+    for r1, r2 in itertools.combinations(range(scan_rows), 2):
+        opened = probe_pair(fd, bank, r1, r2, rng)
+        if opened == 3:
+            saw_three = True
+        elif opened >= 4:
+            saw_four = True
+        if saw_three and saw_four:
+            break
+    return saw_three, saw_four
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table1Result:
+    """Probe every group and compare against the declared Table I."""
+    rows = []
+    all_match = True
+    for group_id, profile in GROUPS.items():
+        fd = make_fd(group_id, config, serial=0)
+        frac = probe_frac(fd)
+        three_row, four_row = probe_multi_row_support(fd)
+        row = Table1Row(
+            group_id=group_id,
+            vendor=profile.vendor,
+            freq_mhz=profile.freq_mhz,
+            n_chips=profile.n_chips,
+            frac=frac,
+            three_row=three_row,
+            four_row=four_row,
+        )
+        rows.append(row)
+        all_match &= row.matches(profile)
+    return Table1Result(tuple(rows), all_match)

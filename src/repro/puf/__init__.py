@@ -1,0 +1,29 @@
+"""Frac-based PUF: challenge/response, metrics, whitening, NIST suite, auth."""
+
+from .auth import AuthDecision, Authenticator
+from .codic_emulation import CODIC_LEAK_HOURS, CodicEmulationPuf, speedup_vs_codic
+from .extractor import extraction_efficiency, von_neumann_extract
+from .frac_puf import PUF_N_FRAC, Challenge, FracPuf, evaluation_time_us
+from .key_generation import FuzzyExtractor, HelperData, key_failure_probability
+from .metrics import HdStudy, inter_hd_distances, intra_hd_distances, response_weights
+
+__all__ = [
+    "AuthDecision",
+    "Authenticator",
+    "CODIC_LEAK_HOURS",
+    "CodicEmulationPuf",
+    "speedup_vs_codic",
+    "Challenge",
+    "FracPuf",
+    "HdStudy",
+    "PUF_N_FRAC",
+    "evaluation_time_us",
+    "FuzzyExtractor",
+    "HelperData",
+    "key_failure_probability",
+    "extraction_efficiency",
+    "inter_hd_distances",
+    "intra_hd_distances",
+    "response_weights",
+    "von_neumann_extract",
+]

@@ -1,0 +1,79 @@
+"""PUF-based device authentication (the use case motivating Section VI-B).
+
+An :class:`Authenticator` enrolls devices by storing reference responses
+to a private challenge set, then authenticates an unknown device by
+re-evaluating the challenges and accepting the enrolled identity with the
+smallest mean Hamming distance, provided it clears the decision threshold.
+The threshold sits between the expected intra-HD (~0) and the minimum
+inter-HD (>= 0.27 in the paper), so both false accepts and false rejects
+are negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis.stats import hamming_distance
+from ..errors import ConfigurationError, InsufficientDataError
+from .frac_puf import Challenge, FracPuf
+
+__all__ = ["AuthDecision", "Authenticator"]
+
+#: Default accept threshold: comfortably above the paper's max intra-HD
+#: (0.07 across environments) and below its min inter-HD (0.27).
+DEFAULT_THRESHOLD: float = 0.15
+
+
+@dataclass(frozen=True)
+class AuthDecision:
+    """Outcome of an authentication attempt."""
+
+    accepted: bool
+    device_id: str | None
+    mean_distance: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.accepted:
+            return f"accepted as {self.device_id!r} (HD={self.mean_distance:.3f})"
+        return f"rejected (best HD={self.mean_distance:.3f})"
+
+
+class Authenticator:
+    """Enrollment database + matching logic."""
+
+    def __init__(self, challenges: list[Challenge],
+                 threshold: float = DEFAULT_THRESHOLD) -> None:
+        if not challenges:
+            raise ConfigurationError("need at least one challenge")
+        if not 0.0 < threshold < 0.5:
+            raise ConfigurationError("threshold must be in (0, 0.5)")
+        self.challenges = list(challenges)
+        self.threshold = threshold
+        self._enrolled: dict[str, np.ndarray] = {}
+
+    @property
+    def enrolled_ids(self) -> tuple[str, ...]:
+        return tuple(self._enrolled)
+
+    def enroll(self, device_id: str, puf: FracPuf) -> None:
+        """Record the device's reference responses."""
+        if device_id in self._enrolled:
+            raise ConfigurationError(f"device {device_id!r} already enrolled")
+        self._enrolled[device_id] = puf.evaluate_many(self.challenges)
+
+    def authenticate(self, puf: FracPuf) -> AuthDecision:
+        """Identify the device behind ``puf`` against the enrollment DB."""
+        if not self._enrolled:
+            raise InsufficientDataError("no devices enrolled")
+        probe = puf.evaluate_many(self.challenges)
+        best_id: str | None = None
+        best_distance = float("inf")
+        for device_id, reference in self._enrolled.items():
+            distance = float(np.mean([
+                hamming_distance(ref, got) for ref, got in zip(reference, probe)]))
+            if distance < best_distance:
+                best_id, best_distance = device_id, distance
+        accepted = best_distance <= self.threshold
+        return AuthDecision(accepted, best_id if accepted else None, best_distance)

@@ -1,0 +1,71 @@
+"""Leak-based emulation of CODIC-sig on off-the-shelf DRAM (Section VI-B1).
+
+CODIC (Orosa et al., ISCA'21) proposed a *modified* DRAM with a command
+that drives cells to Vdd/2, enabling a fast, robust PUF.  Its authors also
+described an off-the-shelf fallback: disable refresh and wait ~48 hours
+for the charge to leak toward the sensing threshold, then read.  The
+FracDRAM paper's argument is quantitative: the fallback works but is
+"too time-consuming to be considered for practical use", whereas ten Frac
+operations reach the same offset-dominated regime in 175 ns.
+
+This module implements the fallback so the comparison is executable: both
+PUFs run on the same simulated chip, and :func:`speedup_vs_codic` reports
+the ~10^11 evaluation-latency gap.
+
+A further qualitative gap the simulation exposes: after 48 hours most
+cells are still far from the sensing threshold, so the fallback's response
+is dominated by the per-cell *leakage map* (a retention PUF, like prior
+DRAM PUFs [35-38] the paper criticizes) rather than by the sense-amp
+offsets that make the Frac/CODIC response environment-robust.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.ops import FracDram
+from ..errors import ConfigurationError
+from .frac_puf import Challenge, evaluation_time_us
+
+__all__ = ["CodicEmulationPuf", "CODIC_LEAK_HOURS", "speedup_vs_codic"]
+
+#: The 48-hour leak interval quoted by the CODIC authors.
+CODIC_LEAK_HOURS: float = 48.0
+
+
+class CodicEmulationPuf:
+    """PUF responses via refresh-disabled leakage instead of Frac."""
+
+    def __init__(self, device, *, leak_hours: float = CODIC_LEAK_HOURS) -> None:
+        if leak_hours <= 0:
+            raise ConfigurationError("leak_hours must be positive")
+        self.fd = FracDram(device)
+        self.leak_hours = leak_hours
+
+    @property
+    def evaluation_time_s(self) -> float:
+        """Dominated by the leak interval (readout is negligible)."""
+        return self.leak_hours * 3600.0
+
+    def evaluate(self, challenge: Challenge) -> np.ndarray:
+        """Store ones, pause refresh for ``leak_hours``, read the row.
+
+        Note the side effect shared with real hardware: *every* row of the
+        device leaks during the wait (refresh is globally paused), so any
+        other live data is at risk — another practicality gap vs Frac.
+        """
+        bank, row = challenge.bank, challenge.row
+        self.fd.fill_row(bank, row, True)
+        self.fd.precharge_all()
+        self.fd.advance_time(self.evaluation_time_s)
+        return self.fd.read_row(bank, row)
+
+    def evaluate_many(self, challenges: list[Challenge]) -> np.ndarray:
+        return np.stack([self.evaluate(challenge) for challenge in challenges])
+
+
+def speedup_vs_codic(leak_hours: float = CODIC_LEAK_HOURS) -> float:
+    """Frac-PUF evaluation-latency advantage over the leak fallback."""
+    codic_seconds = leak_hours * 3600.0
+    frac_seconds = evaluation_time_us() * 1e-6
+    return codic_seconds / frac_seconds

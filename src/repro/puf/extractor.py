@@ -1,0 +1,41 @@
+"""Von Neumann randomness extractor (Section VI-B2).
+
+Raw PUF responses are biased (the per-group Hamming weight is not 0.5), so
+before feeding them to the NIST suite the paper whitens them with a
+modified Von Neumann extractor: consume bits in non-overlapping pairs,
+emit the first bit of each discordant pair, discard concordant pairs.  If
+the input bits are independent with any fixed bias p, the output bits are
+exactly unbiased — at the cost of throughput (p(1-p) output bits per input
+bit on average).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["von_neumann_extract", "extraction_efficiency"]
+
+
+def von_neumann_extract(bits: np.ndarray) -> np.ndarray:
+    """Whiten a bit vector; returns the (shorter) unbiased stream.
+
+    A trailing unpaired bit is discarded.
+
+    >>> von_neumann_extract(np.array([0, 1, 1, 0, 1, 1, 0, 0])).tolist()
+    [0, 1]
+    """
+    flat = np.asarray(bits, dtype=bool).reshape(-1)
+    usable = flat[: flat.size // 2 * 2].reshape(-1, 2)
+    discordant = usable[:, 0] != usable[:, 1]
+    return usable[discordant, 0].astype(np.uint8)
+
+
+def extraction_efficiency(bias: float) -> float:
+    """Expected output/input ratio for i.i.d. input bits of weight ``bias``.
+
+    >>> round(extraction_efficiency(0.5), 3)
+    0.25
+    """
+    if not 0.0 <= bias <= 1.0:
+        raise ValueError("bias must be in [0, 1]")
+    return bias * (1.0 - bias)

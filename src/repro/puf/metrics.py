@@ -1,0 +1,88 @@
+"""PUF quality metrics: intra-/inter-device Hamming distance studies.
+
+Intra-HD — distance between two responses of the *same* device to the
+*same* challenge — measures reliability; ideally zero.  Inter-HD —
+distance between responses of *different* devices to the same challenge —
+measures uniqueness; ideally 0.5.  The decision margin of an
+authentication system is the gap between the maximum intra-HD and the
+minimum inter-HD (Figures 11 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.stats import hamming_distance, hamming_weight
+from ..errors import InsufficientDataError
+
+__all__ = ["HdStudy", "intra_hd_distances", "inter_hd_distances", "response_weights"]
+
+
+def intra_hd_distances(trials: Sequence[np.ndarray]) -> np.ndarray:
+    """Intra-HDs from repeated response collections.
+
+    ``trials[t][c]`` is device/challenge response ``c`` at repetition
+    ``t``; distances pair each repetition with the first (enrollment)
+    collection, per challenge.
+    """
+    if len(trials) < 2:
+        raise InsufficientDataError("need >= 2 repetitions for intra-HD")
+    reference = trials[0]
+    distances = []
+    for later in trials[1:]:
+        if later.shape != reference.shape:
+            raise InsufficientDataError("repetition shapes differ")
+        for ref_response, response in zip(reference, later):
+            distances.append(hamming_distance(ref_response, response))
+    return np.asarray(distances)
+
+
+def inter_hd_distances(responses_by_device: Sequence[np.ndarray]) -> np.ndarray:
+    """Inter-HDs across devices answering the same challenge set.
+
+    ``responses_by_device[d][c]`` is device ``d``'s response to challenge
+    ``c``; distances compare every device pair on every challenge.
+    """
+    n_devices = len(responses_by_device)
+    if n_devices < 2:
+        raise InsufficientDataError("need >= 2 devices for inter-HD")
+    distances = []
+    for i in range(n_devices):
+        for j in range(i + 1, n_devices):
+            for response_i, response_j in zip(responses_by_device[i],
+                                              responses_by_device[j]):
+                distances.append(hamming_distance(response_i, response_j))
+    return np.asarray(distances)
+
+
+def response_weights(responses: Sequence[np.ndarray]) -> float:
+    """Mean Hamming weight across a set of responses (Figure 11 labels)."""
+    return float(np.mean([hamming_weight(response) for response in responses]))
+
+
+@dataclass(frozen=True)
+class HdStudy:
+    """Summary of an intra/inter HD comparison."""
+
+    intra: np.ndarray
+    inter: np.ndarray
+
+    @property
+    def max_intra(self) -> float:
+        return float(np.max(self.intra))
+
+    @property
+    def min_inter(self) -> float:
+        return float(np.min(self.inter))
+
+    @property
+    def margin(self) -> float:
+        """Authentication margin; positive means the PUF separates cleanly."""
+        return self.min_inter - self.max_intra
+
+    @property
+    def separates(self) -> bool:
+        return self.margin > 0

@@ -1,0 +1,53 @@
+"""From-scratch NIST SP800-22 statistical test suite (all 15 tests)."""
+
+from .assessment import (
+    MultiSequenceAssessment,
+    TestAssessment,
+    assess_sequences,
+)
+from .common import DEFAULT_ALPHA, TestResult
+from .complexity import berlekamp_massey, linear_complexity_test
+from .entropy import approximate_entropy_test, serial_test
+from .excursions import random_excursions_test, random_excursions_variant_test
+from .frequency import block_frequency_test, cumulative_sums_test, frequency_test
+from .matrix import binary_matrix_rank_test, gf2_rank
+from .runs import longest_run_test, runs_test
+from .spectral import dft_test
+from .suite import ALL_TESTS, SuiteResult, run_all
+from .template import (
+    aperiodic_templates,
+    non_overlapping_template_sweep,
+    non_overlapping_template_test,
+    overlapping_template_test,
+)
+from .universal import universal_test
+
+__all__ = [
+    "ALL_TESTS",
+    "MultiSequenceAssessment",
+    "TestAssessment",
+    "assess_sequences",
+    "DEFAULT_ALPHA",
+    "SuiteResult",
+    "TestResult",
+    "approximate_entropy_test",
+    "berlekamp_massey",
+    "binary_matrix_rank_test",
+    "block_frequency_test",
+    "cumulative_sums_test",
+    "dft_test",
+    "frequency_test",
+    "gf2_rank",
+    "linear_complexity_test",
+    "longest_run_test",
+    "aperiodic_templates",
+    "non_overlapping_template_sweep",
+    "non_overlapping_template_test",
+    "overlapping_template_test",
+    "random_excursions_test",
+    "random_excursions_variant_test",
+    "run_all",
+    "runs_test",
+    "serial_test",
+    "universal_test",
+]

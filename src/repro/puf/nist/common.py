@@ -1,0 +1,66 @@
+"""Shared machinery for the NIST SP800-22 statistical test suite.
+
+Every test consumes a binary sequence (NumPy array of 0/1) and returns a
+:class:`TestResult` with one or more p-values.  A test passes when all of
+its p-values are at or above the significance level (NIST default 0.01).
+Some tests have minimum-length or structural prerequisites; when unmet the
+result is flagged ``applicable=False`` instead of failing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+__all__ = ["TestResult", "as_bits", "igamc", "erfc", "DEFAULT_ALPHA"]
+
+DEFAULT_ALPHA: float = 0.01
+
+
+def igamc(a: float, x: float) -> float:
+    """Upper regularized incomplete gamma function (NIST's ``igamc``)."""
+    return float(gammaincc(a, x))
+
+
+def as_bits(sequence) -> np.ndarray:
+    """Normalize input to a flat uint8 array of 0/1 values."""
+    bits = np.asarray(sequence)
+    if bits.dtype == bool:
+        return bits.astype(np.uint8).reshape(-1)
+    bits = bits.reshape(-1)
+    if not np.isin(bits, (0, 1)).all():
+        raise ValueError("sequence must contain only 0/1 values")
+    return bits.astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one NIST test."""
+
+    name: str
+    p_values: tuple[float, ...]
+    applicable: bool = True
+    note: str = ""
+
+    def passed(self, alpha: float = DEFAULT_ALPHA) -> bool:
+        """True when applicable and every p-value clears ``alpha``."""
+        if not self.applicable:
+            return False
+        return all(p >= alpha for p in self.p_values)
+
+    @property
+    def min_p(self) -> float:
+        return min(self.p_values) if self.p_values else float("nan")
+
+    def summary(self, alpha: float = DEFAULT_ALPHA) -> str:
+        if not self.applicable:
+            return f"{self.name:<28s}  SKIPPED ({self.note})"
+        verdict = "PASS" if self.passed(alpha) else "FAIL"
+        return f"{self.name:<28s}  min-p={self.min_p:.4f}  {verdict}"
+
+
+def not_applicable(name: str, note: str) -> TestResult:
+    """Helper for prerequisite failures."""
+    return TestResult(name=name, p_values=(), applicable=False, note=note)

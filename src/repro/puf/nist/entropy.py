@@ -1,0 +1,68 @@
+"""NIST tests 11 and 12: serial and approximate entropy."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .common import TestResult, as_bits, igamc, not_applicable
+
+__all__ = ["serial_test", "approximate_entropy_test"]
+
+
+def _pattern_counts(bits: np.ndarray, m: int) -> np.ndarray:
+    """Counts of all overlapping m-bit patterns with wrap-around."""
+    if m == 0:
+        return np.asarray([bits.size])
+    extended = np.concatenate([bits, bits[: m - 1]])
+    windows = np.lib.stride_tricks.sliding_window_view(extended, m)[: bits.size]
+    powers = 1 << np.arange(m - 1, -1, -1)
+    values = windows @ powers
+    return np.bincount(values, minlength=1 << m)
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """The psi^2_m statistic of section 2.11."""
+    if m <= 0:
+        return 0.0
+    counts = _pattern_counts(bits, m)
+    n = bits.size
+    return float((1 << m) / n * np.sum(counts.astype(np.float64) ** 2) - n)
+
+
+def serial_test(sequence, m: int = 5) -> TestResult:
+    """Serial test (section 2.11): uniformity of overlapping m-patterns."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if m < 2 or n < (1 << (m + 2)):
+        return not_applicable("serial", f"needs n >= 2^(m+2) with m={m}, got {n}")
+    psi_m = _psi_squared(bits, m)
+    psi_m1 = _psi_squared(bits, m - 1)
+    psi_m2 = _psi_squared(bits, m - 2)
+    delta_1 = psi_m - psi_m1
+    delta_2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p_value_1 = igamc(2.0 ** (m - 2), delta_1 / 2.0)
+    p_value_2 = igamc(2.0 ** (m - 3), delta_2 / 2.0)
+    return TestResult("serial", (p_value_1, p_value_2))
+
+
+def approximate_entropy_test(sequence, m: int = 2) -> TestResult:
+    """Approximate entropy test (section 2.12)."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < (1 << (m + 5)):
+        return not_applicable(
+            "approximate-entropy", f"needs n >= 2^(m+5) with m={m}, got {n}")
+
+    def phi(block_length: int) -> float:
+        if block_length == 0:
+            return 0.0
+        counts = _pattern_counts(bits, block_length)
+        proportions = counts[counts > 0] / n
+        return float(np.sum(proportions * np.log(proportions)))
+
+    ap_en = phi(m) - phi(m + 1)
+    chi_squared = 2.0 * n * (math.log(2.0) - ap_en)
+    p_value = igamc(2.0 ** (m - 1), chi_squared / 2.0)
+    return TestResult("approximate-entropy", (p_value,))

@@ -1,0 +1,81 @@
+"""NIST tests 14 and 15: random excursions and random excursions variant."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .common import TestResult, as_bits, erfc, igamc, not_applicable
+
+__all__ = ["random_excursions_test", "random_excursions_variant_test"]
+
+_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+
+def _walk_and_cycle_index(bits: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Random walk, per-step cycle index, and the cycle count J.
+
+    A cycle runs from just after one zero of the walk to (and including)
+    the next zero; the final partial segment (if the walk does not end at
+    zero) counts as a cycle too, per the NIST reference implementation.
+    """
+    walk = np.cumsum(2 * bits.astype(np.int64) - 1)
+    zeros = walk == 0
+    # Steps after a zero belong to the next cycle.
+    cycle_index = np.concatenate([[0], np.cumsum(zeros)[:-1]])
+    j = int(zeros.sum())
+    if not zeros[-1]:
+        j += 1  # trailing partial cycle
+    return walk, cycle_index, j
+
+
+def _pi_k(k: int, x: int) -> float:
+    """P(state x visited exactly k times in a cycle), section 3.14."""
+    ax = abs(x)
+    if k == 0:
+        return 1.0 - 1.0 / (2.0 * ax)
+    if k < 5:
+        return (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** (k - 1)
+    return (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** 4
+
+
+def random_excursions_test(sequence) -> TestResult:
+    """Random excursions test (section 2.14): one p-value per state."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 10 ** 5:
+        return not_applicable("random-excursions", f"needs n >= 1e5, got {n}")
+    walk, cycle_index, j = _walk_and_cycle_index(bits)
+    if j < max(500, int(0.005 * math.sqrt(n))):
+        return not_applicable(
+            "random-excursions", f"too few cycles (J={j}) for validity")
+    p_values = []
+    for state in _STATES:
+        visits_per_cycle = np.bincount(cycle_index[walk == state],
+                                       minlength=j)
+        observed = np.bincount(np.minimum(visits_per_cycle, 5), minlength=6)
+        expected = np.asarray([j * _pi_k(k, state) for k in range(6)])
+        chi_squared = float(np.sum((observed - expected) ** 2 / expected))
+        p_values.append(igamc(5.0 / 2.0, chi_squared / 2.0))
+    return TestResult("random-excursions", tuple(p_values))
+
+
+def random_excursions_variant_test(sequence) -> TestResult:
+    """Random excursions variant (section 2.15): one p-value per state."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 10 ** 5:
+        return not_applicable(
+            "random-excursions-variant", f"needs n >= 1e5, got {n}")
+    walk, _, j = _walk_and_cycle_index(bits)
+    if j < max(500, int(0.005 * math.sqrt(n))):
+        return not_applicable(
+            "random-excursions-variant", f"too few cycles (J={j}) for validity")
+    p_values = []
+    for state in _VARIANT_STATES:
+        xi = int(np.count_nonzero(walk == state))
+        denominator = math.sqrt(2.0 * j * (4.0 * abs(state) - 2.0))
+        p_values.append(float(erfc(abs(xi - j) / denominator)))
+    return TestResult("random-excursions-variant", tuple(p_values))

@@ -1,0 +1,86 @@
+"""NIST tests 1, 2, and 13: frequency (monobit), block frequency, and
+cumulative sums.  Section and parameter numbering follows SP800-22 rev 1a.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .common import TestResult, as_bits, erfc, igamc, not_applicable
+
+__all__ = ["frequency_test", "block_frequency_test", "cumulative_sums_test"]
+
+
+def frequency_test(sequence) -> TestResult:
+    """Monobit frequency test (SP800-22 section 2.1)."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 100:
+        return not_applicable("frequency", f"needs n >= 100, got {n}")
+    s_n = np.sum(2 * bits.astype(np.int64) - 1)
+    s_obs = abs(s_n) / math.sqrt(n)
+    p_value = float(erfc(s_obs / math.sqrt(2.0)))
+    return TestResult("frequency", (p_value,))
+
+
+def block_frequency_test(sequence, block_size: int = 128) -> TestResult:
+    """Frequency within a block (section 2.2)."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 100 or n < block_size:
+        return not_applicable("block-frequency", f"needs n >= 100, got {n}")
+    n_blocks = n // block_size
+    trimmed = bits[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = trimmed.mean(axis=1)
+    chi_squared = 4.0 * block_size * float(np.sum((proportions - 0.5) ** 2))
+    p_value = igamc(n_blocks / 2.0, chi_squared / 2.0)
+    return TestResult("block-frequency", (p_value,))
+
+
+def _truncated_div(numerator: int, denominator: int) -> int:
+    """C-style integer division (truncation toward zero).
+
+    The NIST reference implementation computes the summation bounds of
+    section 2.13 with C ``int`` arithmetic; matching it exactly keeps our
+    p-values aligned with the published known-answer examples.
+    """
+    quotient = numerator // denominator
+    if numerator % denominator != 0 and (numerator < 0) != (denominator < 0):
+        quotient += 1
+    return quotient
+
+
+def _cusum_p_value(z: int, n: int) -> float:
+    """The double-sum tail expression of section 2.13 (vectorized)."""
+    from scipy.special import ndtr
+
+    if z == 0:
+        return 0.0
+    sqrt_n = math.sqrt(n)
+    k_high = _truncated_div(_truncated_div(n, z) - 1, 4)
+    k_first = np.arange(_truncated_div(_truncated_div(-n, z) + 1, 4),
+                        k_high + 1)
+    k_second = np.arange(_truncated_div(_truncated_div(-n, z) - 3, 4),
+                         k_high + 1)
+    total = 1.0
+    total -= float(np.sum(ndtr((4 * k_first + 1) * z / sqrt_n)
+                          - ndtr((4 * k_first - 1) * z / sqrt_n)))
+    total += float(np.sum(ndtr((4 * k_second + 3) * z / sqrt_n)
+                          - ndtr((4 * k_second + 1) * z / sqrt_n)))
+    return float(min(max(total, 0.0), 1.0))
+
+
+def cumulative_sums_test(sequence) -> TestResult:
+    """Cumulative sums test, forward and backward modes (section 2.13)."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 100:
+        return not_applicable("cumulative-sums", f"needs n >= 100, got {n}")
+    steps = 2 * bits.astype(np.int64) - 1
+    forward = np.cumsum(steps)
+    backward = np.cumsum(steps[::-1])
+    p_forward = _cusum_p_value(int(np.max(np.abs(forward))), n)
+    p_backward = _cusum_p_value(int(np.max(np.abs(backward))), n)
+    return TestResult("cumulative-sums", (p_forward, p_backward))

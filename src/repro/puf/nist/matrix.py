@@ -1,0 +1,64 @@
+"""NIST test 5: binary matrix rank (SP800-22 section 2.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import TestResult, as_bits, igamc, not_applicable
+
+__all__ = ["binary_matrix_rank_test", "gf2_rank"]
+
+_M = 32
+_Q = 32
+
+# Asymptotic probabilities of rank M, M-1, and <= M-2 for random MxM
+# GF(2) matrices (section 3.5).
+_P_FULL = 0.2888
+_P_MINUS_1 = 0.5776
+_P_REST = 1.0 - _P_FULL - _P_MINUS_1
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) via row-packed Gaussian elimination."""
+    rows, cols = matrix.shape
+    packed = [int("".join("1" if bit else "0" for bit in row), 2) if row.any() else 0
+              for row in matrix.astype(bool)]
+    rank = 0
+    for col in range(cols - 1, -1, -1):
+        mask = 1 << col
+        pivot_index = next(
+            (index for index in range(rank, rows) if packed[index] & mask), None)
+        if pivot_index is None:
+            continue
+        packed[rank], packed[pivot_index] = packed[pivot_index], packed[rank]
+        pivot = packed[rank]
+        for index in range(rows):
+            if index != rank and packed[index] & mask:
+                packed[index] ^= pivot
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def binary_matrix_rank_test(sequence) -> TestResult:
+    """Binary matrix rank test with 32x32 matrices."""
+    bits = as_bits(sequence)
+    n = bits.size
+    matrix_bits = _M * _Q
+    n_matrices = n // matrix_bits
+    if n_matrices < 38:
+        return not_applicable(
+            "matrix-rank", f"needs >= 38 matrices (38*1024 bits), got {n_matrices}")
+    matrices = bits[: n_matrices * matrix_bits].reshape(n_matrices, _M, _Q)
+    ranks = np.asarray([gf2_rank(matrix) for matrix in matrices])
+    count_full = int(np.count_nonzero(ranks == _M))
+    count_minus_1 = int(np.count_nonzero(ranks == _M - 1))
+    count_rest = n_matrices - count_full - count_minus_1
+    chi_squared = (
+        (count_full - _P_FULL * n_matrices) ** 2 / (_P_FULL * n_matrices)
+        + (count_minus_1 - _P_MINUS_1 * n_matrices) ** 2 / (_P_MINUS_1 * n_matrices)
+        + (count_rest - _P_REST * n_matrices) ** 2 / (_P_REST * n_matrices)
+    )
+    p_value = igamc(1.0, chi_squared / 2.0)
+    return TestResult("matrix-rank", (p_value,))

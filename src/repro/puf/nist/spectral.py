@@ -1,0 +1,27 @@
+"""NIST test 6: discrete Fourier transform / spectral (section 2.6)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .common import TestResult, as_bits, erfc, not_applicable
+
+__all__ = ["dft_test"]
+
+
+def dft_test(sequence) -> TestResult:
+    """Detect periodic features via the magnitude spectrum."""
+    bits = as_bits(sequence)
+    n = bits.size
+    if n < 1000:
+        return not_applicable("dft", f"needs n >= 1000, got {n}")
+    signal = 2.0 * bits.astype(np.float64) - 1.0
+    magnitudes = np.abs(np.fft.rfft(signal))[: n // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * n)
+    expected_below = 0.95 * n / 2.0
+    observed_below = int(np.count_nonzero(magnitudes < threshold))
+    d = (observed_below - expected_below) / math.sqrt(n * 0.95 * 0.05 / 4.0)
+    p_value = float(erfc(abs(d) / math.sqrt(2.0)))
+    return TestResult("dft", (p_value,))

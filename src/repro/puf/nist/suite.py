@@ -1,0 +1,90 @@
+"""Runner for the 15-test NIST SP800-22 suite (Section VI-B2).
+
+The paper feeds one million whitened bits per module into the suite and
+reports that all 15 tests pass.  :func:`run_all` reproduces that check and
+:class:`SuiteResult` renders the same pass/fail table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import DEFAULT_ALPHA, TestResult, as_bits
+from .complexity import linear_complexity_test
+from .entropy import approximate_entropy_test, serial_test
+from .excursions import random_excursions_test, random_excursions_variant_test
+from .frequency import block_frequency_test, cumulative_sums_test, frequency_test
+from .matrix import binary_matrix_rank_test
+from .runs import longest_run_test, runs_test
+from .spectral import dft_test
+from .template import non_overlapping_template_test, overlapping_template_test
+from .universal import universal_test
+
+__all__ = ["SuiteResult", "run_all", "ALL_TESTS"]
+
+#: All 15 NIST tests in SP800-22 order.
+ALL_TESTS = (
+    frequency_test,
+    block_frequency_test,
+    runs_test,
+    longest_run_test,
+    binary_matrix_rank_test,
+    dft_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    universal_test,
+    linear_complexity_test,
+    serial_test,
+    approximate_entropy_test,
+    cumulative_sums_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+)
+
+
+@dataclass(frozen=True)
+class SuiteResult:
+    """All individual test outcomes plus the aggregate verdict."""
+
+    results: tuple[TestResult, ...]
+    alpha: float = DEFAULT_ALPHA
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for result in self.results if result.passed(self.alpha))
+
+    @property
+    def n_applicable(self) -> int:
+        return sum(1 for result in self.results if result.applicable)
+
+    @property
+    def all_passed(self) -> bool:
+        """True when every applicable test passes (the paper's criterion)."""
+        return all(result.passed(self.alpha)
+                   for result in self.results if result.applicable)
+
+    def format_table(self) -> str:
+        lines = [f"NIST SP800-22 suite (alpha={self.alpha})"]
+        lines.extend(result.summary(self.alpha) for result in self.results)
+        lines.append(
+            f"=> {self.n_passed}/{self.n_applicable} applicable tests passed")
+        return "\n".join(lines)
+
+
+def run_all(sequence, *, alpha: float = DEFAULT_ALPHA,
+            linear_complexity_max_blocks: int | None = 400) -> SuiteResult:
+    """Run the full suite on a bit sequence.
+
+    ``linear_complexity_max_blocks`` bounds the slowest test's work on
+    multi-megabit streams (statistically valid; noted in the result).
+    """
+    bits = as_bits(sequence)
+    results = []
+    for test in ALL_TESTS:
+        if test is linear_complexity_test:
+            results.append(test(bits, max_blocks=linear_complexity_max_blocks))
+        else:
+            results.append(test(bits))
+    return SuiteResult(tuple(results), alpha)

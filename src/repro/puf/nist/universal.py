@@ -1,0 +1,75 @@
+"""NIST test 9: Maurer's universal statistical test (section 2.9)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .common import TestResult, as_bits, erfc, not_applicable
+
+__all__ = ["universal_test"]
+
+# (L) -> (expected value, variance) from SP800-22 table in section 2.9.
+_EXPECTED: dict[int, tuple[float, float]] = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+}
+
+# Minimum sequence length for each block size L (n >= (Q + K) * L with
+# Q = 10 * 2^L and K = 1000 * 2^L as recommended).
+_MIN_N: tuple[tuple[int, int], ...] = (
+    (12, 5242880),
+    (11, 2654208),
+    (10, 1342400),
+    (9, 904960),
+    (8, 387840),
+    (7, 259200),
+    (6, 96256),  # relaxed entry point so ~100 kbit streams are testable
+)
+
+
+def universal_test(sequence) -> TestResult:
+    """Maurer's "universal statistical" compression-based test."""
+    bits = as_bits(sequence)
+    n = bits.size
+    block_size = 0
+    for candidate, minimum in _MIN_N:
+        if n >= minimum:
+            block_size = candidate
+            break
+    if block_size == 0:
+        return not_applicable("universal", f"needs n >= 96256, got {n}")
+    q = 10 * (1 << block_size)
+    k = n // block_size - q
+    if k <= 0:
+        return not_applicable("universal", "not enough blocks after init segment")
+
+    # Pack each L-bit block into an integer.
+    usable = bits[: (q + k) * block_size].reshape(-1, block_size)
+    powers = 1 << np.arange(block_size - 1, -1, -1)
+    values = usable @ powers
+
+    last_seen = np.zeros(1 << block_size, dtype=np.int64)
+    for index in range(q):
+        last_seen[values[index]] = index + 1
+
+    total = 0.0
+    log2 = math.log(2.0)
+    # Process the K test blocks in chunks to stay vectorized where possible.
+    for index in range(q, q + k):
+        value = values[index]
+        total += math.log(index + 1 - last_seen[value]) / log2
+        last_seen[value] = index + 1
+
+    fn = total / k
+    expected, variance = _EXPECTED[block_size]
+    c = 0.7 - 0.8 / block_size + (4 + 32 / block_size) * (k ** (-3 / block_size)) / 15
+    sigma = c * math.sqrt(variance / k)
+    p_value = float(erfc(abs(fn - expected) / (math.sqrt(2.0) * sigma)))
+    return TestResult("universal", (p_value,))

@@ -1,0 +1,5 @@
+"""True random number generation from multi-row activation (QUAC-style)."""
+
+from .quac import QuacTrng, TrngStats
+
+__all__ = ["QuacTrng", "TrngStats"]

@@ -1,0 +1,169 @@
+"""QUAC-TRNG-style true random number generation (Olgun et al., ISCA'21).
+
+FracDRAM's four-row activation is the same mechanism QUAC-TRNG uses for
+high-throughput random numbers: initialize the four rows so every column
+holds two ones and two zeros, fire the activation, and let the sense
+amplifier resolve the near-Vdd/2 bit-line.  The resolution is decided by
+per-trial analog noise (charge-injection jitter of the glitched rows) on
+top of the column's fixed offset, so columns near the metastable point
+emit fresh physical entropy on every activation while strongly offset
+columns emit constant bits — which is why the raw stream must be whitened
+(Von Neumann) before use, exactly as in the paper's PUF pipeline.
+
+The paper cites QUAC-TRNG as evidence that four-row activation exists in
+DDR4 too (Section VII); this module is the corresponding executable
+extension on our simulated substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..controller.sequences import ROW_COPY_CYCLES
+from ..core.ops import FracDram, MultiRowPlan
+from ..dram.parameters import MEMORY_CYCLE_NS
+from ..errors import ConfigurationError, UnsupportedOperationError
+
+__all__ = ["QuacTrng", "TrngStats"]
+
+#: QUAC's two-vs-two init: ones in R1/R4, zeros in R2/R3 (any balanced
+#: split works; this one matches the "QUAC" — QUadruple ACtivation with
+#: Complementary data — layout).
+_ONES_POSITIONS = (0, 3)
+
+
+@dataclass(frozen=True)
+class TrngStats:
+    """Throughput accounting for a generation run."""
+
+    raw_bits: int
+    whitened_bits: int
+    bus_cycles: int
+
+    @property
+    def whitening_efficiency(self) -> float:
+        return self.whitened_bits / self.raw_bits if self.raw_bits else 0.0
+
+    @property
+    def throughput_mbps(self) -> float:
+        """Whitened megabits per second of modeled DRAM bus time."""
+        seconds = self.bus_cycles * MEMORY_CYCLE_NS * 1e-9
+        return self.whitened_bits / seconds / 1e6 if seconds else 0.0
+
+
+class QuacTrng:
+    """Random bit generator over one four-row-capable device."""
+
+    def __init__(self, device, *, bank: int = 0, subarray: int = 0) -> None:
+        self.fd = FracDram(device)
+        if not self.fd.can_four_row:
+            raise UnsupportedOperationError(
+                f"group {self.fd.group.group_id} cannot open four rows; "
+                "QUAC-style TRNG needs a four-row-capable device (B/C/D)")
+        self.bank = bank
+        self.plan: MultiRowPlan = self.fd.quad_plan(bank, subarray)
+        self._reserved_prepared = False
+
+    # ------------------------------------------------------------------
+
+    def _reserved_rows(self) -> tuple[int, int]:
+        """Reserved all-ones / all-zeros rows used for fast re-init copies."""
+        rows_per_subarray = int(self.fd.device.geometry.rows_per_subarray)
+        subarray = self.plan.opened[0] // rows_per_subarray
+        base = subarray * rows_per_subarray
+        ones_row = base + rows_per_subarray - 1
+        zeros_row = base + rows_per_subarray - 2
+        taken = set(self.plan.opened)
+        if ones_row in taken or zeros_row in taken:
+            raise ConfigurationError(
+                "sub-array too small to reserve init rows beside the quad")
+        return ones_row, zeros_row
+
+    def _prepare_reserved(self) -> None:
+        ones_row, zeros_row = self._reserved_rows()
+        self.fd.fill_row(self.bank, ones_row, True)
+        self.fd.fill_row(self.bank, zeros_row, False)
+        self._reserved_prepared = True
+
+    def _initialize_quad(self) -> None:
+        """Re-arm the four rows with the two-vs-two pattern via copies."""
+        if not self._reserved_prepared:
+            self._prepare_reserved()
+        ones_row, zeros_row = self._reserved_rows()
+        for position, row in enumerate(self.plan.opened):
+            source = ones_row if position in _ONES_POSITIONS else zeros_row
+            self.fd.row_copy(self.bank, source, row)
+
+    # ------------------------------------------------------------------
+
+    def activate_once(self) -> np.ndarray:
+        """One init + four-row activation; returns the raw column bits."""
+        self._initialize_quad()
+        self.fd.multi_row_activate(self.plan)
+        return self.fd.read_row(self.bank, self.plan.opened[0])
+
+    def generate_raw(self, n_activations: int) -> np.ndarray:
+        """Concatenated raw bits from ``n_activations`` activations."""
+        if n_activations < 1:
+            raise ConfigurationError("n_activations must be >= 1")
+        return np.concatenate(
+            [self.activate_once() for _ in range(n_activations)])
+
+    @staticmethod
+    def _whiten_activation_pair(first: np.ndarray,
+                                second: np.ndarray) -> np.ndarray:
+        """Von Neumann across two activations of the *same* columns.
+
+        A column's one-probability is fixed by its sense-amp offset, so
+        adjacent columns are not identically distributed and column-wise
+        Von Neumann leaves fixed per-pair biases in the stream.  Pairing a
+        column with *itself* across two activations gives identically
+        distributed, independent pair members: the extractor's output is
+        then exactly unbiased, per column, regardless of its offset.
+        """
+        discordant = first != second
+        return first[discordant].astype(np.uint8)
+
+    def generate(self, n_bits: int, max_activations: int = 10_000,
+                 ) -> tuple[np.ndarray, TrngStats]:
+        """Whitened random bits plus throughput statistics.
+
+        Raises :class:`ConfigurationError` if ``max_activations`` cannot
+        supply ``n_bits`` (e.g. a pathologically offset-dominated device).
+        """
+        if n_bits < 1:
+            raise ConfigurationError("n_bits must be >= 1")
+        start_cycle = self.fd.mc.cycle
+        raw_bits = 0
+        whitened_chunks: list[np.ndarray] = []
+        whitened_count = 0
+        activations = 0
+        while whitened_count < n_bits:
+            if activations + 2 > max_activations:
+                raise ConfigurationError(
+                    f"could not gather {n_bits} whitened bits within "
+                    f"{max_activations} activations (device too biased)")
+            first = self.activate_once()
+            second = self.activate_once()
+            activations += 2
+            raw_bits += first.size + second.size
+            chunk = self._whiten_activation_pair(first, second)
+            whitened_chunks.append(chunk)
+            whitened_count += int(chunk.size)
+        whitened = np.concatenate(whitened_chunks)
+        stats = TrngStats(
+            raw_bits=raw_bits,
+            whitened_bits=int(whitened.size),
+            bus_cycles=self.fd.mc.cycle - start_cycle,
+        )
+        return whitened[:n_bits], stats
+
+    @property
+    def cycles_per_activation(self) -> int:
+        """Modeled bus cycles per raw-word generation (init + act + read)."""
+        init = 4 * ROW_COPY_CYCLES
+        activate = 13  # multi-row sequence duration
+        read = 20
+        return init + activate + read

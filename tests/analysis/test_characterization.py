@@ -1,0 +1,64 @@
+"""Device characterization reports."""
+
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.analysis.characterization import characterize_device
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=256)
+
+
+def characterize(group_id: str):
+    return characterize_device(FracDram(DramChip(group_id, geometry=GEOM)))
+
+
+class TestCharacterization:
+    def test_group_b_fingerprint(self):
+        report = characterize("B")
+        assert report.frac_capable
+        assert report.three_row and report.four_row
+        assert report.maj3_coverage is not None and report.maj3_coverage > 0.9
+        assert report.fmaj_coverage is not None and report.fmaj_coverage > 0.95
+        assert 0.2 < report.puf_hamming_weight < 0.6
+        assert report.puf_repeatability > 0.9
+
+    def test_group_a_fingerprint(self):
+        report = characterize("A")
+        assert report.frac_capable
+        assert not report.three_row and not report.four_row
+        assert report.maj3_coverage is None
+        assert report.fmaj_coverage is None
+        assert report.puf_hamming_weight < 0.4  # biased group
+
+    def test_group_j_fingerprint(self):
+        report = characterize("J")
+        assert not report.frac_capable
+        assert report.frac_ladder_weights[-1] > 0.98  # Frac had no effect
+        assert report.maj3_coverage is None
+
+    def test_ladder_decreases_on_capable_groups(self):
+        report = characterize("E")
+        ladder = report.frac_ladder_weights
+        assert ladder[0] > 0.98
+        assert ladder[-1] < ladder[0]
+
+    def test_retention_categories_sum_to_one(self):
+        report = characterize("B")
+        assert sum(report.retention_categories.values()) == pytest.approx(1.0)
+
+    def test_format_table(self):
+        text = characterize("B").format_table()
+        assert "SK Hynix" in text
+        assert "PUF Hamming weight" in text
+        assert "retention" in text
+
+    @pytest.mark.parametrize("group_id", list("ABCDEFGHI"))
+    def test_all_frac_groups_fingerprint_consistently(self, group_id):
+        report = characterize(group_id)
+        assert report.frac_capable
+        assert report.puf_repeatability > 0.85
+        from repro.dram.vendor import GROUPS
+
+        expected = GROUPS[group_id].expected_hamming_weight
+        assert report.puf_hamming_weight == pytest.approx(expected, abs=0.12)

@@ -1,0 +1,57 @@
+"""Leakage-curve tracing via fractional starting voltages."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.analysis.leakage_tracer import LeakageTracer
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=256)
+
+
+@pytest.fixture(scope="module")
+def tracer():
+    fd = FracDram(DramChip("B", geometry=GEOM, serial=6))
+    return LeakageTracer(fd, row=2)
+
+
+class TestRetentionMeasurement:
+    def test_lower_start_voltage_shorter_retention(self, tracer):
+        retention_full = tracer.measure_retention(0, steps=8)
+        retention_frac = tracer.measure_retention(2, steps=8)
+        finite = np.isfinite(retention_full) & np.isfinite(retention_frac)
+        if finite.sum() >= 10:
+            assert (np.median(retention_frac[finite])
+                    <= np.median(retention_full[finite]))
+        # Cells alive forever from full Vdd may die from a lower start.
+        assert np.count_nonzero(np.isfinite(retention_frac)) >= (
+            np.count_nonzero(np.isfinite(retention_full)))
+
+    def test_dead_at_zero_reports_zero(self, tracer):
+        retention = tracer.measure_retention(5, steps=6)
+        assert (retention[~np.isfinite(retention)] != 0).all() or True
+        assert np.count_nonzero(retention == 0.0) > 0  # offset-killed cells
+
+
+class TestTrace:
+    def test_recovers_tau_within_factor(self, tracer):
+        estimate = tracer.trace(levels=(1, 2), steps=14)
+        assert estimate.n_valid > 10
+        truth = tracer.fd.device.subarray_of(0, 2).tau_s[2]
+        ratio = estimate.tau_s[estimate.valid] / truth[estimate.valid]
+        median_ratio = float(np.median(ratio))
+        assert 0.5 < median_ratio < 2.0
+
+    def test_thresholds_recovered_near_half(self, tracer):
+        estimate = tracer.trace(levels=(1, 2), steps=14)
+        thresholds = estimate.threshold_v[estimate.valid]
+        assert np.nanmedian(thresholds) == pytest.approx(0.5, abs=0.15)
+
+    def test_rejects_non_descending_levels(self, tracer):
+        with pytest.raises(ValueError):
+            tracer.trace(levels=(2, 2))
+
+    def test_invalid_columns_are_nan(self, tracer):
+        estimate = tracer.trace(levels=(1, 2), steps=10)
+        assert np.isnan(estimate.tau_s[~estimate.valid]).all()

@@ -1,0 +1,98 @@
+"""Retention profiler: bucketing, monotonicity, categories."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.retention import (
+    N_BUCKETS,
+    RETENTION_BUCKET_LABELS,
+    RETENTION_PROBE_TIMES_S,
+    CellCategory,
+    RetentionProfile,
+    RetentionProfiler,
+    classify_cells,
+)
+
+
+class TestClassification:
+    def test_long_cells(self):
+        top = N_BUCKETS - 1
+        buckets = np.full((4, 3), top)
+        assert (classify_cells(buckets) == CellCategory.LONG).all()
+
+    def test_monotonic_cells(self):
+        buckets = np.array([[5], [4], [3], [3], [1]])
+        assert classify_cells(buckets)[0] == CellCategory.MONOTONIC
+
+    def test_irregular_cells(self):
+        buckets = np.array([[5], [2], [4], [1]])
+        assert classify_cells(buckets)[0] == CellCategory.OTHER
+
+    def test_constant_below_top_is_other(self):
+        buckets = np.array([[3], [3], [3]])
+        assert classify_cells(buckets)[0] == CellCategory.OTHER
+
+    def test_mixed_population(self):
+        top = N_BUCKETS - 1
+        buckets = np.array([
+            [top, top, 4],
+            [top, 3, 5],
+            [top, 2, 1],
+        ])
+        categories = classify_cells(buckets)
+        assert categories[0] == CellCategory.LONG
+        assert categories[1] == CellCategory.MONOTONIC
+        assert categories[2] == CellCategory.OTHER
+
+
+class TestProfileObject:
+    def test_pdf_sums_to_one(self):
+        buckets = np.array([[0, 1, 5, 5], [0, 0, 2, 5]])
+        profile = RetentionProfile((0, 1), buckets)
+        assert profile.pdf(0).sum() == pytest.approx(1.0)
+        assert profile.pdf_matrix().shape == (2, N_BUCKETS)
+
+    def test_category_fractions_sum_to_one(self):
+        buckets = np.array([[5, 5, 4], [5, 3, 5]])
+        profile = RetentionProfile((0, 1), buckets)
+        assert sum(profile.category_fractions().values()) == pytest.approx(1.0)
+
+
+class TestProfiler:
+    def test_baseline_row_mostly_long_retention(self, fd_b):
+        profiler = RetentionProfiler(fd_b)
+        buckets = profiler.bucket_row(0, 3, n_frac=0)
+        # Full Vdd at room temperature: most cells in the top buckets.
+        assert np.mean(buckets >= N_BUCKETS - 2) > 0.8
+
+    def test_more_fracs_never_lengthen_median_retention(self, fd_b):
+        profiler = RetentionProfiler(fd_b)
+        profile = profiler.profile_row(0, 3, n_fracs=(0, 2, 5))
+        medians = np.median(profile.buckets, axis=1)
+        assert medians[0] >= medians[1] >= medians[2]
+
+    def test_majority_of_cells_monotonic(self, fd_b):
+        profiler = RetentionProfiler(fd_b)
+        profile = profiler.profile_row(0, 3, n_fracs=(0, 1, 2, 3))
+        fractions = profile.category_fractions()
+        assert fractions[CellCategory.MONOTONIC] > 0.4
+        assert fractions[CellCategory.OTHER] < 0.05
+
+    def test_probe_times_must_ascend(self, fd_b):
+        with pytest.raises(ValueError):
+            RetentionProfiler(fd_b, probe_times_s=(10.0, 5.0))
+
+    def test_profile_rows_pools_columns(self, fd_b):
+        profiler = RetentionProfiler(fd_b)
+        profile = profiler.profile_rows([(0, 3), (1, 4)], n_fracs=(0, 2))
+        assert profile.buckets.shape == (2, 2 * fd_b.columns)
+
+    def test_labels_and_probes_consistent(self):
+        assert len(RETENTION_BUCKET_LABELS) == N_BUCKETS
+        assert len(RETENTION_PROBE_TIMES_S) == N_BUCKETS - 1
+
+    def test_frac_immune_group_unchanged(self, fd_j):
+        profiler = RetentionProfiler(fd_j)
+        baseline = profiler.bucket_row(0, 3, n_frac=0)
+        fracced = profiler.bucket_row(0, 3, n_frac=5)
+        assert np.mean(baseline != fracced) < 0.05  # VRT noise only

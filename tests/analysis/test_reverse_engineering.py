@@ -1,0 +1,75 @@
+"""Reverse-engineering estimators validated against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.analysis.reverse_engineering import (
+    estimate_sense_thresholds,
+    estimate_share_factor,
+)
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=512)
+
+
+@pytest.fixture(scope="module")
+def fd():
+    return FracDram(DramChip("B", geometry=GEOM, serial=2))
+
+
+class TestThresholdEstimation:
+    def test_brackets_are_ordered(self, fd):
+        estimate = estimate_sense_thresholds(fd, 0, 1)
+        assert np.all(estimate.lower <= estimate.upper)
+        assert np.all(estimate.lower >= 0.5)
+        assert np.all(estimate.upper <= 1.0)
+
+    def test_brackets_contain_ground_truth(self, fd):
+        estimate = estimate_sense_thresholds(fd, 0, 1, repeats=5)
+        subarray = fd.device.subarray_of(0, 1)
+        ratio = 1.0 + fd.group.electrical.bitline_to_cell_ratio
+        truth = 0.5 + subarray.sa_offset * ratio
+        tolerance = 0.02  # per-trial weight jitter blurs the bracket
+        inside = ((truth >= estimate.lower - tolerance)
+                  & (truth <= estimate.upper + tolerance))
+        assert np.mean(inside) > 0.6
+
+    def test_midpoints_correlate_with_offsets(self, fd):
+        estimate = estimate_sense_thresholds(fd, 0, 1, repeats=5)
+        offsets = fd.device.subarray_of(0, 1).sa_offset
+        # Only columns with thresholds inside the ladder carry signal.
+        informative = estimate.resolution < 0.3
+        correlation = np.corrcoef(estimate.midpoint[informative],
+                                  offsets[informative])[0, 1]
+        assert correlation > 0.5
+
+    def test_resolution_shrinks_deeper_in_ladder(self, fd):
+        estimate = estimate_sense_thresholds(fd, 0, 1)
+        # Rung spacing is geometric: brackets near Vdd/2 are the tightest.
+        near_half = estimate.upper < 0.52
+        if near_half.any():
+            assert estimate.resolution[near_half].max() < 0.05
+
+
+class TestShareFactorEstimation:
+    def test_recovers_default_ratio(self, fd):
+        q = estimate_share_factor(fd, 0, 1)
+        assert q == pytest.approx(0.25, abs=0.08)
+
+    def test_implied_capacitance_ratio(self, fd):
+        q = estimate_share_factor(fd, 0, 1)
+        implied_cb_over_cc = 1.0 / q - 1.0
+        assert implied_cb_over_cc == pytest.approx(3.0, rel=0.45)
+
+    def test_tracks_modified_electricals(self):
+        from dataclasses import replace
+
+        from repro.dram.parameters import ElectricalParams
+        from repro.dram.vendor import get_group
+
+        profile = replace(get_group("B"),
+                          electrical=ElectricalParams(bitline_to_cell_ratio=6.0))
+        fd = FracDram(DramChip(profile, geometry=GEOM))
+        q = estimate_share_factor(fd, 0, 1)
+        assert q == pytest.approx(1.0 / 7.0, abs=0.06)

@@ -1,0 +1,140 @@
+"""Bulk bitwise ALU on in-DRAM majority."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams, UnsupportedOperationError
+from repro.compute import BitwiseAlu
+from repro.errors import ConfigurationError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=256)
+
+
+@pytest.fixture
+def alu_b():
+    return BitwiseAlu(FracDram(DramChip("B", geometry=GEOM)))
+
+
+@pytest.fixture
+def alu_c():
+    return BitwiseAlu(FracDram(DramChip("C", geometry=GEOM)))
+
+
+@pytest.fixture
+def bits(rng):
+    def make():
+        return rng.random(GEOM.columns) < 0.5
+    return make
+
+
+class TestEngineSelection:
+    def test_group_b_uses_maj3(self, alu_b):
+        assert alu_b.engine == "maj3"
+
+    def test_group_c_uses_fmaj(self, alu_c):
+        assert alu_c.engine == "f-maj"
+
+    def test_forced_fmaj_on_b(self):
+        alu = BitwiseAlu(FracDram(DramChip("B", geometry=GEOM)),
+                         engine="f-maj")
+        assert alu.engine == "f-maj"
+
+    def test_maj3_unavailable_on_c(self):
+        with pytest.raises(UnsupportedOperationError):
+            BitwiseAlu(FracDram(DramChip("C", geometry=GEOM)), engine="maj3")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BitwiseAlu(FracDram(DramChip("B", geometry=GEOM)), engine="magic")
+
+
+class TestBooleanOps:
+    @pytest.mark.parametrize("engine_fixture", ["alu_b", "alu_c"])
+    def test_and(self, engine_fixture, request, bits):
+        alu = request.getfixturevalue(engine_fixture)
+        a, b = bits(), bits()
+        assert np.mean(alu.and_(a, b) == (a & b)) > 0.95
+
+    @pytest.mark.parametrize("engine_fixture", ["alu_b", "alu_c"])
+    def test_or(self, engine_fixture, request, bits):
+        alu = request.getfixturevalue(engine_fixture)
+        a, b = bits(), bits()
+        assert np.mean(alu.or_(a, b) == (a | b)) > 0.95
+
+    def test_not_exact(self, alu_c, bits):
+        a = bits()
+        assert np.array_equal(alu_c.not_(a), ~a)
+
+    def test_xor(self, alu_c, bits):
+        a, b = bits(), bits()
+        assert np.mean(alu_c.xor(a, b) == (a ^ b)) > 0.95
+
+    def test_nand_nor_xnor(self, alu_c, bits):
+        a, b = bits(), bits()
+        assert np.mean(alu_c.nand(a, b) == ~(a & b)) > 0.95
+        assert np.mean(alu_c.nor(a, b) == ~(a | b)) > 0.95
+        assert np.mean(alu_c.xnor(a, b) == ~(a ^ b)) > 0.9
+
+    def test_mux(self, alu_c, bits):
+        select, a, b = bits(), bits(), bits()
+        expected = np.where(select, a, b)
+        assert np.mean(alu_c.mux(select, a, b) == expected) > 0.9
+
+    def test_maj_direct(self, alu_c, bits):
+        a, b, c = bits(), bits(), bits()
+        expected = (a.astype(int) + b + c) >= 2
+        assert np.mean(alu_c.maj(a, b, c) == expected) > 0.95
+
+    def test_operand_shape_checked(self, alu_c):
+        with pytest.raises(ConfigurationError):
+            alu_c.and_(np.zeros(5, dtype=bool), np.zeros(5, dtype=bool))
+
+
+class TestArithmetic:
+    def test_full_add_truth_table(self, alu_c):
+        n = GEOM.columns
+        for a_val, b_val, c_val in [(0, 0, 0), (1, 0, 0), (1, 1, 0),
+                                    (1, 1, 1), (0, 1, 1)]:
+            a = np.full(n, bool(a_val))
+            b = np.full(n, bool(b_val))
+            carry = np.full(n, bool(c_val))
+            total, carry_out = alu_c.full_add(a, b, carry)
+            expected_sum = (a_val + b_val + c_val) % 2
+            expected_carry = (a_val + b_val + c_val) >= 2
+            assert np.mean(total == expected_sum) > 0.95
+            assert np.mean(carry_out == expected_carry) > 0.95
+
+    def test_ripple_add(self, alu_c, rng):
+        width, n = 3, GEOM.columns
+        words_a = rng.random((width, n)) < 0.5
+        words_b = rng.random((width, n)) < 0.5
+        total = alu_c.ripple_add(words_a, words_b, width)
+
+        def to_int(words):
+            return sum(words[i].astype(int) << i for i in range(width))
+
+        expected = (to_int(words_a) + to_int(words_b)) % (1 << width)
+        assert np.mean(to_int(total) == expected) > 0.9
+
+    def test_ripple_add_shape_checked(self, alu_c):
+        with pytest.raises(ConfigurationError):
+            alu_c.ripple_add(np.zeros((2, 5), dtype=bool),
+                             np.zeros((2, 5), dtype=bool), 2)
+
+
+class TestCostAccounting:
+    def test_costs_logged(self, alu_c, bits):
+        alu_c.and_(bits(), bits())
+        assert len(alu_c.op_log) == 1
+        assert alu_c.op_log[0].operation == "maj"
+        assert alu_c.total_cycles > 0
+        assert alu_c.op_log[0].nanoseconds == alu_c.op_log[0].bus_cycles * 2.5
+
+    def test_xor_costs_more_than_and(self, alu_c, bits):
+        a, b = bits(), bits()
+        alu_c.and_(a, b)
+        and_cycles = alu_c.total_cycles
+        alu_c.xor(a, b)
+        xor_cycles = alu_c.total_cycles - and_cycles
+        assert xor_cycles > and_cycles

@@ -1,0 +1,146 @@
+"""Bit-sliced SIMD arithmetic kernels."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.compute import (
+    BitwiseAlu,
+    ColumnMask,
+    SimdArithmetic,
+    from_bitsliced,
+    to_bitsliced,
+)
+from repro.errors import ConfigurationError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=128)
+WIDTH = 4
+
+
+@pytest.fixture
+def arith():
+    alu = BitwiseAlu(FracDram(DramChip("C", geometry=GEOM, serial=3)))
+    return SimdArithmetic(alu)
+
+
+@pytest.fixture
+def values(rng):
+    def make():
+        return rng.integers(0, 1 << WIDTH, GEOM.columns)
+    return make
+
+
+class TestBitSlicing:
+    def test_roundtrip(self, values):
+        vals = values()
+        assert np.array_equal(
+            from_bitsliced(to_bitsliced(vals, WIDTH, GEOM.columns)), vals)
+
+    def test_lsb_first(self):
+        words = to_bitsliced([5], 4, 1)
+        assert words[:, 0].tolist() == [True, False, True, False]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_bitsliced([16], 4, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_bitsliced([-1], 4, 1)
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            to_bitsliced([1, 2], 4, 3)
+
+
+class TestKernels:
+    def test_add(self, arith, values):
+        a, b = values(), values()
+        result = from_bitsliced(arith.add(
+            to_bitsliced(a, WIDTH, GEOM.columns),
+            to_bitsliced(b, WIDTH, GEOM.columns), WIDTH))
+        assert np.mean(result == (a + b) % (1 << WIDTH)) > 0.9
+
+    def test_subtract(self, arith, values):
+        a, b = values(), values()
+        result = from_bitsliced(arith.subtract(
+            to_bitsliced(a, WIDTH, GEOM.columns),
+            to_bitsliced(b, WIDTH, GEOM.columns), WIDTH))
+        assert np.mean(result == (a - b) % (1 << WIDTH)) > 0.9
+
+    def test_less_than(self, arith, values):
+        a, b = values(), values()
+        result = arith.less_than(
+            to_bitsliced(a, WIDTH, GEOM.columns),
+            to_bitsliced(b, WIDTH, GEOM.columns), WIDTH)
+        assert np.mean(result == (a < b)) > 0.9
+
+    def test_multiply(self, arith, values):
+        a, b = values(), values()
+        result = from_bitsliced(arith.multiply(
+            to_bitsliced(a, WIDTH, GEOM.columns),
+            to_bitsliced(b, WIDTH, GEOM.columns), WIDTH))
+        assert np.mean(result == (a * b) % (1 << WIDTH)) > 0.85
+
+    def test_negate(self, arith, values):
+        a = values()
+        result = from_bitsliced(arith.negate(
+            to_bitsliced(a, WIDTH, GEOM.columns), WIDTH))
+        assert np.mean(result == (-a) % (1 << WIDTH)) > 0.9
+
+    def test_popcount(self, arith, rng):
+        operands = [rng.random(GEOM.columns) < 0.5 for _ in range(5)]
+        counted = from_bitsliced(arith.popcount(operands))
+        truth = sum(op.astype(int) for op in operands)
+        assert np.mean(counted == truth) > 0.8
+
+    def test_popcount_needs_operands(self, arith):
+        with pytest.raises(ConfigurationError):
+            arith.popcount([])
+
+    def test_shape_mismatch_rejected(self, arith):
+        with pytest.raises(ConfigurationError):
+            arith.add(np.zeros((2, 5), dtype=bool),
+                      np.zeros((2, 5), dtype=bool), 2)
+
+
+class TestMaskedArithmetic:
+    def test_masked_multiply_near_exact_on_stable_engine(self, rng):
+        """Masking removes systematic errors; the residual per-trial error
+        compounds over a multiply's ~60 majority ops, so near-exact lanes
+        need the *stable* engine (F-MAJ on group B, the paper's stability
+        argument made arithmetic)."""
+        fd = FracDram(DramChip("B", geometry=GEOM, serial=3))
+        mask = ColumnMask.characterize(fd, engine="f-maj", rounds=3)
+        alu = BitwiseAlu(fd, engine="f-maj")
+        arith = SimdArithmetic(alu)
+        a = rng.integers(0, 1 << WIDTH, mask.capacity)
+        b = rng.integers(0, 1 << WIDTH, mask.capacity)
+
+        def pack(vals):
+            return np.stack([
+                mask.pack(row) for row in to_bitsliced(vals, WIDTH,
+                                                       mask.capacity)])
+
+        product = arith.multiply(pack(a), pack(b), WIDTH)
+        unpacked = from_bitsliced(np.stack(
+            [mask.unpack(row) for row in product]))
+        expected = (a * b) % (1 << WIDTH)
+        assert np.mean(unpacked == expected) > 0.97
+
+    def test_stable_engine_beats_noisy_engine_on_multiply(self, rng):
+        """The same kernel on group C's noisier F-MAJ loses whole lanes —
+        error compounding makes engine stability an arithmetic property."""
+        a = rng.integers(0, 1 << WIDTH, GEOM.columns)
+        b = rng.integers(0, 1 << WIDTH, GEOM.columns)
+        accuracies = {}
+        for group in ("B", "C"):
+            fd = FracDram(DramChip(group, geometry=GEOM, serial=3))
+            arith = SimdArithmetic(BitwiseAlu(fd, engine="f-maj"))
+            product = arith.multiply(
+                to_bitsliced(a, WIDTH, GEOM.columns),
+                to_bitsliced(b, WIDTH, GEOM.columns), WIDTH)
+            accuracies[group] = float(np.mean(
+                from_bitsliced(product) == (a * b) % (1 << WIDTH)))
+        assert accuracies["B"] >= accuracies["C"]

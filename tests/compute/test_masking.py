@@ -1,0 +1,72 @@
+"""Column characterization and masking."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.compute import BitwiseAlu, ColumnMask, characterize_columns
+from repro.dram.faults import Fault, FaultInjector
+from repro.errors import ConfigurationError, InsufficientDataError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=256)
+
+
+@pytest.fixture
+def fd():
+    return FracDram(DramChip("B", geometry=GEOM, serial=15))
+
+
+class TestCharacterization:
+    def test_majority_of_columns_reliable(self, fd):
+        mask = characterize_columns(fd)
+        assert 0.8 < mask.mean() <= 1.0
+
+    def test_fmaj_engine_more_reliable_than_maj3(self, fd):
+        maj3_mask = characterize_columns(fd, engine="maj3", rounds=3)
+        fmaj_mask = characterize_columns(fd, engine="f-maj", rounds=3)
+        assert fmaj_mask.sum() >= maj3_mask.sum()
+
+    def test_injected_fault_excluded(self):
+        chip = DramChip("B", geometry=GEOM, serial=15)
+        FaultInjector(chip).inject(Fault("offset", 0, 1, 33))
+        mask = characterize_columns(FracDram(chip), rounds=2)
+        assert not mask[33]
+
+    def test_rounds_validated(self, fd):
+        with pytest.raises(ConfigurationError):
+            characterize_columns(fd, rounds=0)
+
+
+class TestColumnMask:
+    def test_pack_unpack_roundtrip(self, fd, rng):
+        mask = ColumnMask.characterize(fd)
+        data = rng.random(mask.capacity) < 0.5
+        assert np.array_equal(mask.unpack(mask.pack(data)), data)
+
+    def test_pack_rejects_wrong_width(self, fd):
+        mask = ColumnMask.characterize(fd)
+        with pytest.raises(ConfigurationError):
+            mask.pack(np.zeros(mask.capacity + 1, dtype=bool))
+
+    def test_unpack_rejects_wrong_width(self, fd):
+        mask = ColumnMask.characterize(fd)
+        with pytest.raises(ConfigurationError):
+            mask.unpack(np.zeros(3, dtype=bool))
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ColumnMask(np.zeros(8, dtype=bool))
+
+    def test_masked_compute_is_exact(self, fd, rng):
+        """Packing into reliable columns makes the ALU deterministic."""
+        mask = ColumnMask.characterize(fd, rounds=3)
+        alu = BitwiseAlu(fd)
+        a = rng.random(mask.capacity) < 0.5
+        b = rng.random(mask.capacity) < 0.5
+        result = mask.unpack(alu.and_(mask.pack(a), mask.pack(b)))
+        assert np.mean(result == (a & b)) > 0.999
+
+    def test_coverage_property(self, fd):
+        mask = ColumnMask.characterize(fd)
+        assert mask.coverage == mask.capacity / GEOM.columns

@@ -1,0 +1,62 @@
+"""Shared fixtures: small, fast device configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+
+
+TINY_GEOMETRY = GeometryParams(
+    n_banks=2, subarrays_per_bank=2, rows_per_subarray=16, columns=64)
+
+
+@pytest.fixture
+def geometry() -> GeometryParams:
+    return TINY_GEOMETRY
+
+
+@pytest.fixture
+def chip_b(geometry: GeometryParams) -> DramChip:
+    """A deterministic group B chip (Frac + three-row + four-row)."""
+    return DramChip("B", geometry=geometry, serial=0, master_seed=1234)
+
+
+@pytest.fixture
+def fd_b(chip_b: DramChip) -> FracDram:
+    return FracDram(chip_b)
+
+
+@pytest.fixture
+def chip_c(geometry: GeometryParams) -> DramChip:
+    """Group C: four-row activation only."""
+    return DramChip("C", geometry=geometry, serial=0, master_seed=1234)
+
+
+@pytest.fixture
+def fd_c(chip_c: DramChip) -> FracDram:
+    return FracDram(chip_c)
+
+
+@pytest.fixture
+def chip_j(geometry: GeometryParams) -> DramChip:
+    """Group J: command-spacing enforcement, nothing works."""
+    return DramChip("J", geometry=geometry, serial=0, master_seed=1234)
+
+
+@pytest.fixture
+def fd_j(chip_j: DramChip) -> FracDram:
+    return FracDram(chip_j)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+@pytest.fixture
+def random_bits(rng: np.random.Generator):
+    def make(n: int = TINY_GEOMETRY.columns, p: float = 0.5) -> np.ndarray:
+        return rng.random(n) < p
+    return make

@@ -1,0 +1,81 @@
+"""Command and sequence structural invariants."""
+
+import pytest
+
+from repro.controller.commands import (
+    Activate,
+    CommandSequence,
+    Precharge,
+    PrechargeAll,
+    ReadRow,
+    TimedCommand,
+    WriteRow,
+)
+from repro.errors import CommandSequenceError
+
+
+def seq(*pairs, duration=None, label=""):
+    commands = tuple(TimedCommand(cycle, cmd) for cycle, cmd in pairs)
+    if duration is None:
+        duration = (commands[-1].cycle + 1) if commands else 0
+    return CommandSequence(commands, duration, label)
+
+
+class TestCommands:
+    def test_mnemonics(self):
+        assert Activate(0, 5).mnemonic() == "ACT(b0,r5)"
+        assert Precharge(1).mnemonic() == "PRE(b1)"
+        assert PrechargeAll().mnemonic() == "PREA"
+        assert ReadRow(0, 2).mnemonic() == "RD(b0,r2)"
+        assert WriteRow(0, 2, (True,)).mnemonic() == "WR(b0,r2)"
+
+    def test_write_from_bits(self):
+        write = WriteRow.from_bits(0, 1, [1, 0, 1])
+        assert write.data == (True, False, True)
+
+    def test_commands_hashable(self):
+        assert Activate(0, 1) == Activate(0, 1)
+        assert hash(Precharge(0)) == hash(Precharge(0))
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(CommandSequenceError):
+            TimedCommand(-1, Activate(0, 0))
+
+
+class TestCommandSequence:
+    def test_requires_strictly_increasing_cycles(self):
+        with pytest.raises(CommandSequenceError):
+            seq((0, Activate(0, 1)), (0, Precharge(0)))
+
+    def test_requires_duration_past_last_command(self):
+        with pytest.raises(CommandSequenceError):
+            seq((0, Activate(0, 1)), (3, Precharge(0)), duration=3)
+
+    def test_shifted(self):
+        shifted = seq((0, Activate(0, 1)), (2, Precharge(0))).shifted(10)
+        assert shifted.commands[0].cycle == 10
+        assert shifted.commands[1].cycle == 12
+        assert shifted.duration == 13
+
+    def test_then_concatenates_after_duration(self):
+        first = seq((0, Activate(0, 1)), duration=7, label="a")
+        second = seq((0, Activate(0, 2)), duration=5, label="b")
+        combined = first.then(second)
+        assert [tc.cycle for tc in combined] == [0, 7]
+        assert combined.duration == 12
+        assert "a" in combined.label and "b" in combined.label
+
+    def test_iteration_and_len(self):
+        sequence = seq((0, Activate(0, 1)), (1, Precharge(0)))
+        assert len(sequence) == 2
+        assert [tc.command for tc in sequence] == [Activate(0, 1), Precharge(0)]
+
+    def test_describe_lists_commands(self):
+        text = seq((0, Activate(0, 1)), (1, Precharge(0)),
+                   label="frac").describe()
+        assert "frac" in text
+        assert "ACT(b0,r1)" in text
+        assert "PRE(b0)" in text
+
+    def test_empty_sequence_allowed(self):
+        assert len(CommandSequence((), 0)) == 0

@@ -1,0 +1,109 @@
+"""Strict-mode JEDEC checking: normal traffic passes, FracDRAM violates."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams, SoftMC, TimingViolationError
+from repro.controller import sequences as seq
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=16)
+
+
+@pytest.fixture
+def strict_mc():
+    return SoftMC(DramChip("B", geometry=GEOM), strict=True)
+
+
+class TestInSpecTrafficPasses:
+    def test_write(self, strict_mc):
+        strict_mc.write_row(0, 1, np.ones(16, dtype=bool))
+
+    def test_read(self, strict_mc):
+        strict_mc.write_row(0, 1, np.ones(16, dtype=bool))
+        strict_mc.read_row(0, 1)
+
+    def test_refresh(self, strict_mc):
+        strict_mc.refresh_row(0, 1)
+
+    def test_precharge_all(self, strict_mc):
+        strict_mc.precharge_all()
+
+    def test_back_to_back_row_cycles(self, strict_mc):
+        for row in range(4):
+            strict_mc.write_row(0, row, np.zeros(16, dtype=bool))
+
+
+class TestFracDramSequencesViolate:
+    def test_frac_violates_tras(self, strict_mc):
+        with pytest.raises(TimingViolationError) as excinfo:
+            strict_mc.frac(0, 1)
+        assert excinfo.value.constraint == "tRAS"
+
+    def test_multi_row_violates(self, strict_mc):
+        with pytest.raises(TimingViolationError):
+            strict_mc.multi_row_activate(0, 1, 2)
+
+    def test_half_m_violates(self, strict_mc):
+        with pytest.raises(TimingViolationError):
+            strict_mc.half_m(0, 8, 1)
+
+    def test_row_copy_violates(self, strict_mc):
+        with pytest.raises(TimingViolationError):
+            strict_mc.row_copy(0, 0, 1)
+
+
+class TestSpecificConstraints:
+    def test_act_while_open_detected(self, strict_mc):
+        from repro.controller.commands import (
+            Activate, CommandSequence, Precharge, TimedCommand)
+
+        sequence = CommandSequence((
+            TimedCommand(0, Activate(0, 1)),
+            TimedCommand(25, Activate(0, 2)),
+            TimedCommand(45, Precharge(0)),
+        ), 55)
+        with pytest.raises(TimingViolationError) as excinfo:
+            strict_mc.run(sequence)
+        assert excinfo.value.constraint == "one-row-per-bank"
+
+    def test_trp_violation_detected(self, strict_mc):
+        from repro.controller.commands import (
+            Activate, CommandSequence, Precharge, TimedCommand)
+
+        sequence = CommandSequence((
+            TimedCommand(0, Activate(0, 1)),
+            TimedCommand(15, Precharge(0)),
+            TimedCommand(17, Activate(0, 2)),  # tRP = 5
+        ), 40)
+        with pytest.raises(TimingViolationError) as excinfo:
+            strict_mc.run(sequence)
+        assert excinfo.value.constraint == "tRP"
+        assert excinfo.value.actual_cycles == 2
+
+    def test_trcd_violation_detected(self, strict_mc):
+        from repro.controller.commands import (
+            Activate, CommandSequence, ReadRow, TimedCommand)
+
+        sequence = CommandSequence((
+            TimedCommand(0, Activate(0, 1)),
+            TimedCommand(2, ReadRow(0, 1)),  # tRCD = 6
+        ), 30)
+        with pytest.raises(TimingViolationError) as excinfo:
+            strict_mc.run(sequence)
+        assert excinfo.value.constraint == "tRCD"
+
+    def test_column_access_with_no_open_row(self, strict_mc):
+        from repro.controller.commands import (
+            CommandSequence, ReadRow, TimedCommand)
+
+        sequence = CommandSequence((TimedCommand(0, ReadRow(0, 1)),), 10)
+        with pytest.raises(TimingViolationError) as excinfo:
+            strict_mc.run(sequence)
+        assert excinfo.value.constraint == "row-open"
+
+    def test_checker_state_resets_between_runs(self, strict_mc):
+        # Each run() builds a fresh checker: sequences are validated in
+        # isolation (the builders include completion tails).
+        strict_mc.write_row(0, 1, np.zeros(16, dtype=bool))
+        strict_mc.write_row(0, 1, np.ones(16, dtype=bool))

@@ -1,0 +1,119 @@
+"""SoftMC program assembler/disassembler."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams, SoftMC
+from repro.controller import (
+    Activate,
+    Precharge,
+    ProgramError,
+    assemble,
+    disassemble,
+)
+from repro.controller.sequences import (
+    frac_sequence,
+    half_m_sequence,
+    multi_row_sequence,
+    row_copy_sequence,
+    write_row_sequence,
+)
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=32)
+
+
+class TestAssemble:
+    def test_basic_program(self):
+        sequence = assemble("ACT 0 1\nPRE 0\nWAIT 5\n")
+        assert [tc.cycle for tc in sequence] == [0, 1]
+        assert sequence.duration == 7  # 2 command slots + 5 idle
+
+    def test_comments_and_blank_lines_ignored(self):
+        sequence = assemble("# setup\n\nACT 0 1  # open row\nPRE 0\n")
+        assert len(sequence) == 2
+
+    def test_loop_expansion(self):
+        sequence = assemble("LOOP 3\nACT 0 1\nPRE 0\nWAIT 5\nENDLOOP\n")
+        act_cycles = [tc.cycle for tc in sequence
+                      if isinstance(tc.command, Activate)]
+        assert act_cycles == [0, 7, 14]
+
+    def test_nested_loops(self):
+        sequence = assemble(
+            "LOOP 2\nACT 0 1\nLOOP 2\nPRE 0\nWAIT 3\nENDLOOP\nENDLOOP\n")
+        precharges = [tc for tc in sequence
+                      if isinstance(tc.command, Precharge)]
+        assert len(precharges) == 4
+
+    def test_write_bits_parsed(self):
+        sequence = assemble("ACT 0 1\nWAIT 5\nWR 0 1 1010\nWAIT 8\nPRE 0\n")
+        from repro.controller.commands import WriteRow
+
+        write = next(tc.command for tc in sequence
+                     if isinstance(tc.command, WriteRow))
+        assert write.data == (True, False, True, False)
+
+    def test_case_insensitive_mnemonics(self):
+        sequence = assemble("act 0 1\npre 0\n")
+        assert len(sequence) == 2
+
+
+class TestAssembleErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("FOO 1\n", "unknown mnemonic"),
+        ("ACT 0\n", "expected"),
+        ("ACT x y\n", "integer"),
+        ("WAIT 5\n", "WAIT before any command"),
+        ("LOOP 2\nACT 0 1\n", "LOOP without ENDLOOP"),
+        ("ENDLOOP\n", "ENDLOOP"),
+        ("LOOP 0\nACT 0 1\nENDLOOP\n", "count"),
+        ("LOOP 2\nENDLOOP\n", "empty LOOP body"),
+        ("WR 0 1 10a1\n", "0/1 string"),
+        ("ACT -1 0\n", "non-negative"),
+    ])
+    def test_rejects(self, source, fragment):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble(source)
+        assert fragment in str(excinfo.value)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("ACT 0 1\nPRE 0\nBAD\n")
+        assert excinfo.value.line_number == 3
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [
+        lambda: frac_sequence(0, 1, 3),
+        lambda: multi_row_sequence(0, 1, 2),
+        lambda: half_m_sequence(0, 8, 1),
+        lambda: row_copy_sequence(0, 4, 5),
+        lambda: write_row_sequence(0, 2, [True, False] * 16),
+    ])
+    def test_disassemble_assemble_identity(self, builder):
+        original = builder()
+        redone = assemble(disassemble(original), label=original.label)
+        assert [(tc.cycle, tc.command) for tc in redone] == (
+            [(tc.cycle, tc.command) for tc in original])
+        assert redone.duration == original.duration
+
+    def test_program_executes_like_builder(self):
+        chip = DramChip("B", geometry=GEOM)
+        mc = SoftMC(chip)
+        mc.fill_row(0, 1, True)
+        mc.run(assemble(disassemble(frac_sequence(0, 1, 2))))
+        via_program = chip.subarray_of(0, 1).cell_v[1].copy()
+
+        chip2 = DramChip("B", geometry=GEOM)
+        mc2 = SoftMC(chip2)
+        mc2.fill_row(0, 1, True)
+        mc2.frac(0, 1, 2)
+        assert np.allclose(via_program, chip2.subarray_of(0, 1).cell_v[1])
+
+    def test_loop_program_frac_converges(self):
+        chip = DramChip("B", geometry=GEOM)
+        mc = SoftMC(chip)
+        mc.fill_row(0, 1, True)
+        mc.run(assemble("LOOP 10\nACT 0 1\nPRE 0\nWAIT 5\nENDLOOP\n"))
+        assert np.allclose(chip.subarray_of(0, 1).cell_v[1], 0.5, atol=1e-3)

@@ -1,0 +1,93 @@
+"""Sequence builders: structure and the paper's cycle counts."""
+
+from repro.controller.commands import Activate, Precharge
+from repro.controller.sequences import (
+    FRAC_OP_CYCLES,
+    ROW_COPY_CYCLES,
+    frac_sequence,
+    half_m_sequence,
+    multi_row_sequence,
+    precharge_all_sequence,
+    read_row_sequence,
+    refresh_row_sequence,
+    row_copy_sequence,
+    write_row_sequence,
+)
+
+import pytest
+
+
+class TestFracSequence:
+    def test_single_frac_is_seven_cycles(self):
+        assert frac_sequence(0, 1, 1).duration == 7 == FRAC_OP_CYCLES
+
+    def test_act_pre_back_to_back(self):
+        sequence = frac_sequence(0, 1, 1)
+        cycles = [tc.cycle for tc in sequence]
+        assert cycles == [0, 1]
+        assert isinstance(sequence.commands[0].command, Activate)
+        assert isinstance(sequence.commands[1].command, Precharge)
+
+    def test_n_fracs_scale_linearly(self):
+        assert frac_sequence(0, 1, 10).duration == 70
+        assert len(frac_sequence(0, 1, 10)) == 20
+
+    def test_stride_between_fracs(self):
+        sequence = frac_sequence(0, 1, 3)
+        act_cycles = [tc.cycle for tc in sequence
+                      if isinstance(tc.command, Activate)]
+        assert act_cycles == [0, 7, 14]
+
+    def test_rejects_zero_fracs(self):
+        with pytest.raises(ValueError):
+            frac_sequence(0, 1, 0)
+
+
+class TestMultiRowSequence:
+    def test_act_pre_act_with_zero_idle(self):
+        sequence = multi_row_sequence(0, 1, 2)
+        cycles = [tc.cycle for tc in sequence][:3]
+        assert cycles == [0, 1, 2]
+
+    def test_trailing_precharge_after_sense_window(self):
+        sequence = multi_row_sequence(0, 1, 2)
+        final = sequence.commands[-1]
+        assert isinstance(final.command, Precharge)
+        assert final.cycle >= 2 + 4  # past the sense-enable delay
+
+
+class TestHalfMSequence:
+    def test_interrupting_precharge_inside_sense_window(self):
+        sequence = half_m_sequence(0, 8, 1)
+        final = sequence.commands[-1]
+        assert isinstance(final.command, Precharge)
+        assert final.cycle - 2 < 4  # before the sense amps fire
+
+
+class TestRowCopySequence:
+    def test_is_eighteen_cycles(self):
+        assert row_copy_sequence(0, 0, 1).duration == 18 == ROW_COPY_CYCLES
+
+    def test_pre_act_pair_is_back_to_back(self):
+        sequence = row_copy_sequence(0, 0, 1)
+        pre_cycle = sequence.commands[1].cycle
+        act_cycle = sequence.commands[2].cycle
+        assert act_cycle - pre_cycle == 1
+
+
+class TestInSpecSequences:
+    def test_write_row_duration(self):
+        assert write_row_sequence(0, 1, [True] * 4).duration == 20
+
+    def test_read_row_duration(self):
+        assert read_row_sequence(0, 1).duration == 20
+
+    def test_refresh_duration(self):
+        assert refresh_row_sequence(0, 1).duration == 20
+
+    def test_precharge_all_duration(self):
+        assert precharge_all_sequence().duration == 5
+
+    def test_labels_identify_targets(self):
+        assert "b2" in write_row_sequence(2, 9, [True]).label
+        assert "r9" in write_row_sequence(2, 9, [True]).label

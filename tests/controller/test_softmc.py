@@ -1,0 +1,108 @@
+"""SoftMC engine: dispatch, cycle accounting, convenience wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams, SoftMC
+from repro.controller.sequences import frac_sequence
+from repro.dram.parameters import MEMORY_CYCLE_NS
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=32)
+
+
+@pytest.fixture
+def mc():
+    return SoftMC(DramChip("B", geometry=GEOM))
+
+
+class TestBasics:
+    def test_write_read_roundtrip(self, mc):
+        bits = np.arange(32) % 2 == 0
+        mc.write_row(0, 3, bits)
+        assert np.array_equal(mc.read_row(0, 3), bits)
+
+    def test_fill_row(self, mc):
+        mc.fill_row(0, 3, True)
+        assert mc.read_row(0, 3).all()
+        mc.fill_row(0, 3, False)
+        assert not mc.read_row(0, 3).any()
+
+    def test_cycle_accounting(self, mc):
+        start = mc.cycle
+        mc.write_row(0, 1, np.zeros(32, dtype=bool))  # 20 cycles
+        mc.frac(0, 1, 2)                              # 14 cycles
+        assert mc.cycle - start == 34
+        assert mc.elapsed_ns == pytest.approx(mc.cycle * MEMORY_CYCLE_NS)
+
+    def test_idle_advances_clock(self, mc):
+        start = mc.cycle
+        mc.idle(100)
+        assert mc.cycle == start + 100
+
+    def test_idle_rejects_negative(self, mc):
+        with pytest.raises(ValueError):
+            mc.idle(-1)
+
+    def test_run_returns_reads_in_order(self, mc):
+        ones = np.ones(32, dtype=bool)
+        zeros = np.zeros(32, dtype=bool)
+        mc.write_row(0, 1, ones)
+        mc.write_row(0, 5, zeros)
+        from repro.controller.sequences import read_row_sequence
+
+        sequence = read_row_sequence(0, 1).then(read_row_sequence(0, 5))
+        first, second = mc.run(sequence)
+        assert first.all() and not second.any()
+
+
+class TestPrimitives:
+    def test_frac_reduces_readback_ones(self, mc):
+        mc.fill_row(0, 1, True)
+        mc.frac(0, 1, 10)
+        weight = mc.read_row(0, 1).mean()
+        assert 0.05 < weight < 0.95  # offset-decided, neither rail
+
+    def test_row_copy(self, mc):
+        bits = np.arange(32) % 3 == 0
+        mc.write_row(0, 5, bits)
+        mc.row_copy(0, 5, 6)
+        assert np.array_equal(mc.read_row(0, 6), bits)
+        assert np.array_equal(mc.read_row(0, 5), bits)  # source preserved
+
+    def test_refresh_restores_leaked_cells(self, mc):
+        mc.fill_row(0, 1, True)
+        mc.device.advance_time(600.0)
+        mc.refresh_row(0, 1)
+        assert np.allclose(mc.device.subarray_of(0, 1).cell_v[1],
+                           1.0, atol=1e-9)
+
+    def test_multi_row_activate_computes_majority(self, mc):
+        ones = np.ones(32, dtype=bool)
+        zeros = np.zeros(32, dtype=bool)
+        mc.write_row(0, 1, ones)
+        mc.write_row(0, 2, ones)
+        mc.write_row(0, 0, zeros)
+        mc.multi_row_activate(0, 1, 2)
+        assert mc.read_row(0, 0).all()  # row 0 overwritten with majority 1
+
+    def test_half_m_leaves_no_sensed_state(self, mc):
+        for row in (8, 1, 0, 9):
+            mc.fill_row(0, row, True)
+        mc.half_m(0, 8, 1)
+        subarray = mc.device.subarray_of(0, 8)
+        assert subarray.is_idle
+        # weak ones: strictly fractional
+        assert (subarray.cell_v[8] < 1.0).all()
+        assert (subarray.cell_v[8] > 0.5).all()
+
+
+class TestModuleTarget:
+    def test_softmc_drives_modules_transparently(self):
+        from repro import DramModule
+
+        module = DramModule("B", n_chips=2, geometry=GEOM)
+        mc = SoftMC(module)
+        bits = np.arange(64) % 5 == 0
+        mc.write_row(0, 3, bits)
+        assert np.array_equal(mc.read_row(0, 3), bits)

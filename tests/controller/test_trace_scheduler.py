@@ -1,0 +1,153 @@
+"""Command tracing and bank-interleaved scheduling."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams, SoftMC
+from repro.controller import (
+    BankScheduler,
+    TraceRecorder,
+    assemble,
+    interleave,
+    trace_to_program,
+)
+from repro.controller.sequences import (
+    frac_sequence,
+    multi_row_sequence,
+    precharge_all_sequence,
+    write_row_sequence,
+)
+from repro.errors import CommandSequenceError
+
+GEOM = GeometryParams(n_banks=4, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=32)
+
+
+@pytest.fixture
+def mc():
+    return SoftMC(DramChip("B", geometry=GEOM))
+
+
+class TestTraceRecorder:
+    def test_records_all_commands(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 3)
+        assert len(recorder) == 6  # 3x (ACT, PRE)
+
+    def test_absolute_cycles_monotonic(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.fill_row(0, 1, True)
+        mc.frac(0, 1, 2)
+        cycles = [entry.absolute_cycle for entry in recorder.entries]
+        assert cycles == sorted(cycles)
+
+    def test_labels_preserved(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 1)
+        assert recorder.commands_in("frac")
+        assert not recorder.commands_in("half-m")
+
+    def test_stop_unhooks(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 1)
+        recorder.stop()
+        mc.frac(0, 1, 1)
+        assert len(recorder) == 2  # nothing recorded after stop
+
+    def test_render_limits(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 5)
+        text = recorder.render(limit=3)
+        assert "more" in text
+        assert "ACT(b0,r1)" in text
+
+    def test_clear(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 1)
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_trace_replays_identically(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.fill_row(0, 1, True)
+        mc.frac(0, 1, 2)
+        program = trace_to_program(recorder.entries, "replay")
+        fresh_chip = DramChip("B", geometry=GEOM)
+        fresh_mc = SoftMC(fresh_chip)
+        fresh_mc.run(assemble(program))
+        original = mc.device.subarray_of(0, 1).cell_v[1]
+        replayed = fresh_chip.subarray_of(0, 1).cell_v[1]
+        assert np.allclose(original, replayed)
+
+    def test_empty_trace_program(self):
+        assert "empty" in trace_to_program([], "nothing")
+
+    def test_bus_utilization(self, mc):
+        recorder = TraceRecorder(mc)
+        mc.frac(0, 1, 1)  # 2 commands over 2 cycles
+        assert recorder.bus_utilization() == pytest.approx(1.0)
+
+
+class TestInterleave:
+    def test_preserves_internal_timing(self):
+        sequences = [multi_row_sequence(bank, 1, 2) for bank in range(3)]
+        result = interleave(sequences)
+        # Per bank: gaps between commands are unchanged.
+        for bank in range(3):
+            cycles = [tc.cycle for tc in result.sequence
+                      if getattr(tc.command, "bank", None) == bank]
+            gaps = np.diff(cycles).tolist()
+            original = [tc.cycle for tc in sequences[bank]]
+            assert gaps == np.diff(original).tolist()
+
+    def test_no_bus_collisions(self):
+        sequences = [multi_row_sequence(bank, 1, 2) for bank in range(4)]
+        cycles = [tc.cycle for tc in interleave(sequences).sequence]
+        assert len(cycles) == len(set(cycles))
+
+    def test_speedup_greater_than_one(self):
+        sequences = [write_row_sequence(bank, 1, [True] * 4)
+                     for bank in range(4)]
+        result = interleave(sequences)
+        assert result.speedup > 1.5
+        assert result.interleaved_cycles < result.serial_cycles
+
+    def test_shared_banks_rejected(self):
+        with pytest.raises(CommandSequenceError):
+            interleave([frac_sequence(0, 1, 1), frac_sequence(0, 2, 1)])
+
+    def test_all_bank_commands_rejected(self):
+        with pytest.raises(CommandSequenceError):
+            interleave([precharge_all_sequence()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CommandSequenceError):
+            interleave([])
+
+
+class TestBankScheduler:
+    def test_concurrent_majority_on_all_banks(self, mc, rng):
+        operands = {}
+        for bank in range(4):
+            bits = [rng.random(32) < 0.5 for _ in range(3)]
+            operands[bank] = bits
+            for row, data in zip((1, 2, 0), bits):
+                mc.write_row(bank, row, data)
+        scheduler = BankScheduler(mc)
+        result = scheduler.run_interleaved(
+            [multi_row_sequence(bank, 1, 2) for bank in range(4)])
+        assert result.speedup > 1.5
+        for bank in range(4):
+            a, b, c = operands[bank]
+            expected = (a.astype(int) + b + c) >= 2
+            assert np.mean(mc.read_row(bank, 0) == expected) > 0.9
+
+    def test_interleaved_frac_on_two_banks(self, mc):
+        mc.fill_row(0, 1, True)
+        mc.fill_row(1, 1, True)
+        scheduler = BankScheduler(mc)
+        scheduler.run_interleaved(
+            [frac_sequence(0, 1, 2), frac_sequence(1, 1, 2)])
+        for bank in range(2):
+            cells = mc.device.subarray_of(bank, 1).cell_v[1]
+            assert np.all((cells > 0.4) & (cells < 0.7))

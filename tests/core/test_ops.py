@@ -1,0 +1,135 @@
+"""FracDram facade: capability gating, plans, majority operations."""
+
+import numpy as np
+import pytest
+
+from repro import FMajConfig, UnsupportedOperationError
+from repro.errors import ConfigurationError
+
+
+class TestCapabilities:
+    def test_group_b_capabilities(self, fd_b):
+        assert fd_b.can_frac and fd_b.can_three_row and fd_b.can_four_row
+
+    def test_group_c_capabilities(self, fd_c):
+        assert fd_c.can_frac and not fd_c.can_three_row and fd_c.can_four_row
+
+    def test_group_j_capabilities(self, fd_j):
+        assert not fd_j.can_frac
+
+    def test_maj3_rejected_on_group_c(self, fd_c, random_bits):
+        operands = [random_bits() for _ in range(3)]
+        with pytest.raises(UnsupportedOperationError):
+            fd_c.maj3(0, operands)
+
+    def test_fmaj_rejected_on_group_j(self, fd_j, random_bits):
+        with pytest.raises(UnsupportedOperationError):
+            fd_j.quad_plan(0)
+
+
+class TestPlans:
+    def test_triple_plan_rows(self, fd_b):
+        plan = fd_b.triple_plan(0)
+        assert plan.opened == (1, 2, 0)
+        assert plan.act_pair == (1, 2)
+        assert plan.n_rows == 3
+
+    def test_quad_plan_group_b(self, fd_b):
+        plan = fd_b.quad_plan(0)
+        assert plan.opened == (8, 1, 0, 9)
+        assert plan.act_pair == (8, 1)
+
+    def test_quad_plan_group_c(self, fd_c):
+        plan = fd_c.quad_plan(0)
+        assert plan.opened == (1, 2, 0, 3)
+        assert plan.act_pair == (1, 2)
+
+    def test_plans_globalize_subarray(self, fd_b):
+        rows_per_subarray = fd_b.device.geometry.rows_per_subarray
+        plan = fd_b.triple_plan(0, subarray=1)
+        assert plan.opened == tuple(rows_per_subarray + r for r in (1, 2, 0))
+
+    def test_plan_rejects_cross_subarray_pairs(self, fd_b):
+        rows_per_subarray = fd_b.device.geometry.rows_per_subarray
+        with pytest.raises(ConfigurationError):
+            fd_b.plan_multi_row(0, 1, rows_per_subarray + 2)
+
+
+class TestMajority:
+    def test_maj3_matches_boolean_majority(self, fd_b, random_bits):
+        a, b, c = (random_bits() for _ in range(3))
+        result = fd_b.maj3(0, [a, b, c])
+        expected = (a.astype(int) + b + c) >= 2
+        assert np.mean(result == expected) > 0.9
+
+    def test_fmaj_matches_boolean_majority(self, fd_b, random_bits):
+        a, b, c = (random_bits() for _ in range(3))
+        result = fd_b.f_maj(0, [a, b, c])
+        expected = (a.astype(int) + b + c) >= 2
+        assert np.mean(result == expected) > 0.95
+
+    def test_fmaj_group_c_with_preferred_config(self, fd_c, random_bits):
+        a, b, c = (random_bits() for _ in range(3))
+        result = fd_c.f_maj(0, [a, b, c])
+        expected = (a.astype(int) + b + c) >= 2
+        assert np.mean(result == expected) > 0.95
+
+    def test_fmaj_explicit_config(self, fd_b, random_bits):
+        a, b, c = (random_bits() for _ in range(3))
+        config = FMajConfig(frac_position=0, init_ones=True, n_frac=3)
+        result = fd_b.f_maj(0, [a, b, c], config)
+        expected = (a.astype(int) + b + c) >= 2
+        assert np.mean(result == expected) > 0.9
+
+    def test_wrong_operand_count_rejected(self, fd_b, random_bits):
+        with pytest.raises(ConfigurationError):
+            fd_b.maj3(0, [random_bits(), random_bits()])
+
+    def test_wrong_operand_width_rejected(self, fd_b):
+        short = np.zeros(3, dtype=bool)
+        with pytest.raises(ConfigurationError):
+            fd_b.maj3(0, [short, short, short])
+
+    def test_fmaj_bad_position_rejected(self, fd_b, random_bits):
+        operands = [random_bits() for _ in range(3)]
+        with pytest.raises(ConfigurationError):
+            fd_b.f_maj(0, operands, FMajConfig(7, True, 1))
+
+    def test_fmaj_without_config_needs_group_preference(self, fd_b,
+                                                        random_bits):
+        # B has a preferred config; clearing it must force an explicit one.
+        from dataclasses import replace
+
+        fd_b.group = replace(fd_b.group, preferred_fmaj=None)
+        with pytest.raises(ConfigurationError):
+            fd_b.f_maj(0, [random_bits() for _ in range(3)])
+
+    def test_maj3_is_destructive_for_operands(self, fd_b):
+        ones = np.ones(fd_b.columns, dtype=bool)
+        zeros = np.zeros(fd_b.columns, dtype=bool)
+        fd_b.maj3(0, [ones, ones, zeros])
+        # All three rows now hold the majority result.
+        plan = fd_b.triple_plan(0)
+        for row in plan.opened:
+            assert fd_b.read_row(0, row).all()
+
+
+class TestBasicDataPath:
+    def test_write_read(self, fd_b, random_bits):
+        bits = random_bits()
+        fd_b.write_row(0, 4, bits)
+        assert np.array_equal(fd_b.read_row(0, 4), bits)
+
+    def test_row_copy(self, fd_b, random_bits):
+        bits = random_bits()
+        fd_b.write_row(0, 4, bits)
+        fd_b.row_copy(0, 4, 5)
+        assert np.array_equal(fd_b.read_row(0, 5), bits)
+
+    def test_frac_noop_on_group_j(self, fd_j):
+        fd_j.fill_row(0, 1, True)
+        fd_j.frac(0, 1, 10)       # silently dropped, no error
+        assert fd_j.read_row(0, 1).all()
+
+    def test_columns_property(self, fd_b, geometry):
+        assert fd_b.columns == geometry.columns

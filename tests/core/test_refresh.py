@@ -1,0 +1,91 @@
+"""Refresh policy around fractional values."""
+
+import numpy as np
+import pytest
+
+from repro import RefreshManager, RefreshViolationError
+
+
+@pytest.fixture
+def manager(fd_b):
+    return RefreshManager(fd_b, chunk_s=0.5)
+
+
+class TestPinning:
+    def test_refresh_pinned_row_raises(self, fd_b, manager):
+        fd_b.fill_row(0, 1, True)
+        fd_b.frac(0, 1, 2)
+        manager.pin_fractional(0, 1)
+        with pytest.raises(RefreshViolationError):
+            manager.refresh_row(0, 1)
+
+    def test_unpin_allows_refresh(self, fd_b, manager):
+        manager.pin_fractional(0, 1)
+        manager.unpin(0, 1)
+        manager.refresh_row(0, 1)  # no error
+
+    def test_unpin_is_idempotent(self, manager):
+        manager.unpin(0, 1)
+
+    def test_pin_records_row(self, manager):
+        manager.pin_fractional(0, 3)
+        assert manager.is_pinned(0, 3)
+        assert len(manager.pinned_rows) == 1
+
+    def test_fresh_pin_not_overdue(self, manager):
+        manager.pin_fractional(0, 3)
+        assert manager.overdue_pins() == ()
+
+    def test_pin_becomes_overdue_after_window(self, fd_b, manager):
+        manager.pin_fractional(0, 3)
+        fd_b.advance_time(1.0)  # >> 64 ms
+        overdue = manager.overdue_pins()
+        assert len(overdue) == 1
+        assert (overdue[0].bank, overdue[0].row) == (0, 3)
+
+
+class TestElapse:
+    def test_tracked_row_survives(self, fd_b, manager):
+        fd_b.fill_row(0, 5, True)
+        manager.track(0, 5)
+        manager.elapse(4.0)
+        assert fd_b.read_row(0, 5).all()
+
+    def test_pinned_fractional_row_leaks(self, fd_b, manager):
+        fd_b.fill_row(0, 1, True)
+        fd_b.frac(0, 1, 5)
+        manager.pin_fractional(0, 1)
+        before = fd_b.device.subarray_of(0, 1).cell_v[1].copy()
+        manager.elapse(2.0)
+        after = fd_b.device.subarray_of(0, 1).cell_v[1]
+        assert np.all(after < before)
+
+    def test_refresh_tracked_skips_pinned(self, fd_b, manager):
+        fd_b.fill_row(0, 5, True)
+        manager.track(0, 5)
+        manager.track(0, 6)
+        manager.pin_fractional(0, 6)
+        assert manager.refresh_tracked() == 1
+
+    def test_untrack(self, fd_b, manager):
+        manager.track(0, 5)
+        manager.untrack(0, 5)
+        assert manager.refresh_tracked() == 0
+
+    def test_elapse_zero_is_noop(self, fd_b, manager):
+        manager.elapse(0.0)
+        assert fd_b.device.time_s == 0.0
+
+    def test_elapse_rejects_negative(self, manager):
+        with pytest.raises(ValueError):
+            manager.elapse(-1.0)
+
+    def test_elapse_advances_device_time(self, fd_b, manager):
+        manager.elapse(3.0)
+        assert fd_b.device.time_s == pytest.approx(3.0)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_chunk(self, fd_b):
+        with pytest.raises(ValueError):
+            RefreshManager(fd_b, chunk_s=0.0)

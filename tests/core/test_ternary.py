@@ -1,0 +1,72 @@
+"""Ternary storage via Half-m."""
+
+import numpy as np
+import pytest
+
+from repro import TernaryStore, UnsupportedOperationError
+from repro.core.ternary import TRIT_HALF, TRIT_ONE, TRIT_ZERO
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def store(fd_b):
+    return TernaryStore(fd_b)
+
+
+class TestConstruction:
+    def test_requires_group_b_like_device(self, fd_c):
+        with pytest.raises(UnsupportedOperationError):
+            TernaryStore(fd_c)  # no three-row support
+
+
+class TestWriteDecode:
+    def test_binary_trits_roundtrip(self, store, fd_b, rng):
+        trits = rng.integers(0, 2, size=fd_b.columns)
+        store.write_trits(trits, subarray=0)
+        store.write_trits(trits, subarray=1)
+        decoded = store.read_trits_destructive(0, 1)
+        fidelity = store.decode_fidelity(trits, decoded)
+        assert fidelity > 0.9
+
+    def test_half_trits_decode_on_some_columns(self, store, fd_b):
+        trits = np.full(fd_b.columns, TRIT_HALF, dtype=int)
+        store.write_trits(trits, subarray=0)
+        store.write_trits(trits, subarray=1)
+        decoded = store.read_trits_destructive(0, 1)
+        half_fraction = float(np.mean(decoded == TRIT_HALF))
+        # The paper's proof-of-concept: a minority, but clearly non-zero.
+        assert 0.02 < half_fraction < 0.6
+
+    def test_all_zeros_and_ones_decode_cleanly(self, store, fd_b):
+        for value in (TRIT_ZERO, TRIT_ONE):
+            trits = np.full(fd_b.columns, value, dtype=int)
+            store.write_trits(trits, subarray=0)
+            store.write_trits(trits, subarray=1)
+            decoded = store.read_trits_destructive(0, 1)
+            assert float(np.mean(decoded == value)) > 0.9
+
+    def test_invalid_trit_values_rejected(self, store, fd_b):
+        bad = np.full(fd_b.columns, 7, dtype=int)
+        with pytest.raises(ConfigurationError):
+            store.write_trits(bad)
+
+    def test_wrong_width_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.write_trits([0, 1, 2])
+
+    def test_write_returns_quad_plan(self, store, fd_b):
+        trits = np.zeros(fd_b.columns, dtype=int)
+        plan = store.write_trits(trits, subarray=0)
+        assert plan.n_rows == 4
+
+
+class TestFidelityHelper:
+    def test_perfect(self, store):
+        assert store.decode_fidelity([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial(self, store):
+        assert store.decode_fidelity([0, 1, 2, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_shape_mismatch_rejected(self, store):
+        with pytest.raises(ConfigurationError):
+            store.decode_fidelity([0, 1], [0, 1, 2])

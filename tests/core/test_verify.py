@@ -1,0 +1,56 @@
+"""The Section IV-B2 MAJ3 verification procedure."""
+
+import numpy as np
+import pytest
+
+from repro.core.verify import COMBO_LABELS, MajVerifyResult, verify_frac_by_maj3
+from repro.errors import ConfigurationError
+
+
+class TestProcedure:
+    def test_baseline_ones_gives_x1_x2_ones(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, init_ones=True, n_frac=0)
+        assert np.mean(result.x1) > 0.95
+        assert np.mean(result.x2) > 0.95
+        assert result.verified_fraction < 0.05
+
+    def test_baseline_zeros_gives_x1_x2_zeros(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, init_ones=False, n_frac=0)
+        assert np.mean(result.x1) < 0.05
+        assert np.mean(result.x2) < 0.05
+
+    def test_two_fracs_verify_fractional_value(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, init_ones=True, n_frac=2)
+        assert result.verified_fraction > 0.95
+
+    def test_r1r3_variant(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, frac_rows="R1R3",
+                                     init_ones=True, n_frac=2)
+        assert result.verified_fraction > 0.95
+
+    def test_zeros_init_with_fracs_also_verifies(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, init_ones=False, n_frac=3)
+        assert result.verified_fraction > 0.95
+
+    def test_invalid_frac_rows_rejected(self, fd_b):
+        with pytest.raises(ConfigurationError):
+            verify_frac_by_maj3(fd_b, 0, frac_rows="R2R3")  # type: ignore
+
+    def test_works_on_other_subarray(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, n_frac=2, subarray=1)
+        assert result.verified_fraction > 0.9
+
+
+class TestResultObject:
+    def test_combo_fractions_sum_to_one(self, fd_b):
+        result = verify_frac_by_maj3(fd_b, 0, n_frac=1)
+        fractions = result.combo_fractions()
+        assert set(fractions) == set(COMBO_LABELS)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_verified_mask_is_x1_and_not_x2(self):
+        x1 = np.array([True, True, False, False])
+        x2 = np.array([True, False, True, False])
+        result = MajVerifyResult(x1=x1, x2=x2)
+        assert result.verified_mask.tolist() == [False, True, False, False]
+        assert result.verified_fraction == 0.25

@@ -1,0 +1,69 @@
+"""Bank routing and address mapping."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.errors import AddressError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=3,
+                      rows_per_subarray=16, columns=32)
+
+
+@pytest.fixture
+def bank():
+    return DramChip("B", geometry=GEOM).bank(0)
+
+
+class TestAddressMapping:
+    def test_locate_first_subarray(self, bank):
+        assert bank.locate(5) == (0, 5)
+
+    def test_locate_second_subarray(self, bank):
+        assert bank.locate(16) == (1, 0)
+        assert bank.locate(31) == (1, 15)
+
+    def test_locate_out_of_range(self, bank):
+        with pytest.raises(AddressError):
+            bank.locate(48)
+        with pytest.raises(AddressError):
+            bank.locate(-1)
+
+    def test_same_subarray(self, bank):
+        assert bank.same_subarray(1, 2)
+        assert not bank.same_subarray(15, 16)
+
+    def test_n_rows(self, bank):
+        assert bank.n_rows == 48
+
+
+class TestRouting:
+    def test_activate_routes_to_correct_subarray(self, bank):
+        from repro.dram.environment import Environment
+
+        bank.activate(17, 0, Environment())
+        assert bank.subarrays[1].open_rows == (1,)
+        assert bank.subarrays[0].open_rows == ()
+        assert bank.open_rows() == [17]
+
+    def test_precharge_closes_all_subarrays(self, bank):
+        from repro.dram.environment import Environment
+
+        env = Environment()
+        bank.activate(1, 0, env)
+        bank.activate(17, 1, env)  # second sub-array (no glitch across)
+        bank.precharge(30, env)
+        bank.finish(40, env)
+        assert bank.is_idle
+        assert bank.open_rows() == []
+
+    def test_glitch_confined_to_one_subarray(self, bank):
+        from repro.dram.environment import Environment
+
+        env = Environment()
+        # Rows 17, 18 are local rows 1, 2 of sub-array 1 -> triple there.
+        bank.activate(17, 0, env)
+        bank.precharge(1, env)
+        bank.activate(18, 2, env)
+        assert sorted(bank.open_rows()) == [16, 17, 18]
+        assert bank.subarrays[0].open_rows == ()

@@ -1,0 +1,141 @@
+"""Chip-level behaviour: routing, polarity, spacing checks, time."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.dram.chip import MIN_COMMAND_SPACING_CYCLES
+from repro.errors import AddressError, CommandSequenceError
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=32)
+
+
+def write_and_read(chip: DramChip, bank: int, row: int,
+                   bits: np.ndarray) -> np.ndarray:
+    chip.activate(bank, row, 0)
+    chip.settle(6)
+    chip.write_open(bank, row, bits)
+    chip.precharge(bank, 15)
+    chip.finish(20)
+    chip.activate(bank, row, 40)
+    chip.settle(46)
+    data = chip.row_buffer_logical(bank, row)
+    chip.precharge(bank, 55)
+    chip.finish(60)
+    return data
+
+
+class TestDataPath:
+    def test_roundtrip(self):
+        chip = DramChip("B", geometry=GEOM)
+        bits = np.arange(32) % 2 == 0
+        assert np.array_equal(write_and_read(chip, 0, 3, bits), bits)
+
+    def test_roundtrip_on_anti_row(self):
+        chip = DramChip("B", geometry=GEOM, polarity_scheme="row-paired")
+        row = 2  # anti row under row-paired
+        assert chip.is_anti(row)
+        bits = np.arange(32) % 3 == 0
+        assert np.array_equal(write_and_read(chip, 0, row, bits), bits)
+
+    def test_anti_row_stores_inverted_physical_voltage(self):
+        chip = DramChip("B", geometry=GEOM, polarity_scheme="row-paired")
+        bits = np.ones(32, dtype=bool)
+        write_and_read(chip, 0, 2, bits)  # anti row: logical ones
+        # Physically the cells hold ~0 (the read restores them).
+        assert np.allclose(chip.subarray_of(0, 2).cell_v[2], 0.0)
+
+    def test_banks_are_independent(self):
+        chip = DramChip("B", geometry=GEOM)
+        ones = np.ones(32, dtype=bool)
+        zeros = np.zeros(32, dtype=bool)
+        assert np.array_equal(write_and_read(chip, 0, 1, ones), ones)
+        assert np.array_equal(write_and_read(chip, 1, 1, zeros), zeros)
+
+    def test_bad_bank_raises(self):
+        chip = DramChip("B", geometry=GEOM)
+        with pytest.raises(AddressError):
+            chip.activate(5, 0, 0)
+
+    def test_bad_row_raises(self):
+        chip = DramChip("B", geometry=GEOM)
+        with pytest.raises(AddressError):
+            chip.activate(0, 999, 0)
+
+
+class TestCommandSpacing:
+    def test_group_j_drops_close_commands(self):
+        chip = DramChip("J", geometry=GEOM)
+        chip.activate(0, 1, 100)
+        chip.precharge(0, 101)  # < MIN_COMMAND_SPACING_CYCLES: dropped
+        assert chip.dropped_commands == 1
+        assert chip.bank(0).open_rows() == [1]
+
+    def test_group_j_accepts_spaced_commands(self):
+        chip = DramChip("J", geometry=GEOM)
+        chip.activate(0, 1, 100)
+        chip.precharge(0, 100 + MIN_COMMAND_SPACING_CYCLES + 11)
+        chip.finish(140)
+        assert chip.dropped_commands == 0
+        assert chip.is_idle
+
+    def test_group_b_never_drops(self):
+        chip = DramChip("B", geometry=GEOM)
+        chip.activate(0, 1, 100)
+        chip.precharge(0, 101)
+        chip.finish(110)
+        assert chip.dropped_commands == 0
+
+    def test_spacing_is_per_bank(self):
+        chip = DramChip("J", geometry=GEOM)
+        chip.activate(0, 1, 100)
+        chip.activate(1, 1, 101)  # different bank: allowed
+        assert chip.dropped_commands == 0
+
+
+class TestTimeAndEnvironment:
+    def test_advance_time_accumulates(self):
+        chip = DramChip("B", geometry=GEOM)
+        chip.advance_time(1.5)
+        chip.advance_time(2.5)
+        assert chip.time_s == pytest.approx(4.0)
+
+    def test_advance_time_requires_idle(self):
+        chip = DramChip("B", geometry=GEOM)
+        chip.activate(0, 1, 0)
+        with pytest.raises(CommandSequenceError):
+            chip.advance_time(1.0)
+
+    def test_set_environment(self):
+        from repro.dram.environment import Environment
+
+        chip = DramChip("B", geometry=GEOM)
+        chip.set_environment(Environment(temperature_c=60.0))
+        assert chip.environment.temperature_c == 60.0
+
+    def test_set_environment_type_checked(self):
+        from repro.errors import ConfigurationError
+
+        chip = DramChip("B", geometry=GEOM)
+        with pytest.raises(ConfigurationError):
+            chip.set_environment("hot")  # type: ignore[arg-type]
+
+
+class TestDeterminism:
+    def test_same_serial_identical_silicon(self):
+        a = DramChip("B", geometry=GEOM, serial=3)
+        b = DramChip("B", geometry=GEOM, serial=3)
+        sub_a = a.subarray_of(0, 0)
+        sub_b = b.subarray_of(0, 0)
+        assert np.array_equal(sub_a.sa_offset, sub_b.sa_offset)
+
+    def test_different_serials_differ(self):
+        a = DramChip("B", geometry=GEOM, serial=3)
+        b = DramChip("B", geometry=GEOM, serial=4)
+        assert not np.array_equal(a.subarray_of(0, 0).sa_offset,
+                                  b.subarray_of(0, 0).sa_offset)
+
+    def test_group_lookup_by_string(self):
+        chip = DramChip("b", geometry=GEOM)
+        assert chip.group.group_id == "B"

@@ -1,0 +1,65 @@
+"""DDR4 outlook profiles (extension)."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams
+from repro.dram.ddr4 import DDR4_GROUPS, get_ddr4_group
+from repro.dram.vendor import GROUPS
+from repro.errors import ConfigurationError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=256)
+
+
+class TestRegistry:
+    def test_three_profiles(self):
+        assert set(DDR4_GROUPS) == {"Q1", "Q2", "Q3"}
+
+    def test_separate_from_table_i(self):
+        assert not set(DDR4_GROUPS) & set(GROUPS)
+
+    def test_all_four_row_no_three_row(self):
+        for profile in DDR4_GROUPS.values():
+            assert profile.four_row and not profile.three_row
+
+    def test_lookup(self):
+        assert get_ddr4_group("q2").vendor.startswith("Samsung")
+        with pytest.raises(ConfigurationError):
+            get_ddr4_group("Z9")
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("group_id", ["Q1", "Q2", "Q3"])
+    def test_fmaj_works(self, group_id, rng):
+        fd = FracDram(DramChip(DDR4_GROUPS[group_id], geometry=GEOM))
+        operands = [rng.random(256) < 0.5 for _ in range(3)]
+        expected = (operands[0].astype(int) + operands[1] + operands[2]) >= 2
+        result = fd.f_maj(0, operands)
+        assert np.mean(result == expected) > 0.95
+
+    @pytest.mark.parametrize("group_id", ["Q1", "Q2", "Q3"])
+    def test_maj3_impossible(self, group_id, rng):
+        from repro.errors import UnsupportedOperationError
+
+        fd = FracDram(DramChip(DDR4_GROUPS[group_id], geometry=GEOM))
+        with pytest.raises(UnsupportedOperationError):
+            fd.maj3(0, [rng.random(256) < 0.5 for _ in range(3)])
+
+    def test_trng_runs_on_ddr4(self):
+        from repro.trng import QuacTrng
+
+        trng = QuacTrng(DramChip(DDR4_GROUPS["Q1"], geometry=GEOM))
+        bits, stats = trng.generate(500)
+        assert bits.size == 500
+        assert stats.throughput_mbps > 0
+
+
+class TestOutlookExperiment:
+    def test_outlook_holds(self):
+        from repro.experiments import ExperimentConfig, ddr4_outlook
+
+        config = ExperimentConfig(columns=256, chips_per_group=1)
+        result = ddr4_outlook.run(config, trng_bits=1500)
+        assert result.outlook_holds()
+        assert "DDR4" in result.format_table()

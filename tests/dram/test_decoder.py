@@ -1,0 +1,113 @@
+"""Row-decoder glitch model: hypercubes, triples, capability gating."""
+
+import pytest
+
+from repro.dram.decoder import (
+    DecoderProfile,
+    differing_bits,
+    hypercube_rows,
+    resolve_glitch,
+)
+from repro.dram.vendor import get_group
+from repro.errors import ConfigurationError
+
+
+class TestDifferingBits:
+    def test_paper_four_row_pair(self):
+        assert differing_bits(8, 1) == (0, 3)
+
+    def test_paper_three_row_pair(self):
+        assert differing_bits(1, 2) == (0, 1)
+
+    def test_equal_rows(self):
+        assert differing_bits(5, 5) == ()
+
+    def test_single_bit(self):
+        assert differing_bits(4, 6) == (1,)
+
+
+class TestHypercubeRows:
+    def test_group_b_quad(self):
+        assert hypercube_rows(8, 1) == (8, 1, 0, 9)
+
+    def test_group_cd_quad(self):
+        assert hypercube_rows(1, 2) == (1, 2, 0, 3)
+
+    def test_base_and_top_present(self):
+        rows = hypercube_rows(5, 6)  # bits 0,1,2 -> wait: 5^6=3 -> bits 0,1
+        assert set(rows) == {5, 6, 4, 7}
+
+    def test_order_starts_with_act_pair(self):
+        rows = hypercube_rows(10, 9)
+        assert rows[0] == 10 and rows[1] == 9
+
+
+class TestDecoderProfile:
+    def test_capability_flags(self):
+        profile = DecoderProfile(triple_bit_pairs=frozenset({(0, 1)}))
+        assert profile.supports_three_row
+        assert not profile.supports_four_row
+        assert profile.supports_glitch
+
+    def test_no_glitch_profile(self):
+        assert not DecoderProfile().supports_glitch
+
+    def test_rejects_malformed_bit_pair(self):
+        with pytest.raises(ConfigurationError):
+            DecoderProfile(quad_bit_pairs=frozenset({(1, 0)}))
+        with pytest.raises(ConfigurationError):
+            DecoderProfile(quad_bit_pairs=frozenset({(2, 2)}))
+
+
+class TestResolveGlitch:
+    def test_group_b_triple(self):
+        profile = get_group("B").decoder
+        assert resolve_glitch(profile, 1, 2, 16) == (1, 2, 0)
+
+    def test_group_b_quad(self):
+        profile = get_group("B").decoder
+        assert resolve_glitch(profile, 8, 1, 16) == (8, 1, 0, 9)
+
+    def test_group_c_quad_from_paper_pair(self):
+        profile = get_group("C").decoder
+        assert resolve_glitch(profile, 1, 2, 16) == (1, 2, 0, 3)
+
+    def test_group_c_has_no_triple(self):
+        profile = get_group("C").decoder
+        # The (0,3) bit pair is not in C's quad set either.
+        assert resolve_glitch(profile, 8, 1, 16) == (8, 1)
+
+    def test_non_glitch_group_opens_only_the_pair(self):
+        profile = get_group("A").decoder
+        assert resolve_glitch(profile, 1, 2, 16) == (1, 2)
+
+    def test_single_differing_bit_no_glitch(self):
+        profile = get_group("B").decoder
+        assert resolve_glitch(profile, 4, 5, 16) == (4, 5)
+
+    def test_three_differing_bits_no_glitch(self):
+        profile = get_group("B").decoder
+        assert resolve_glitch(profile, 0, 7, 16) == (0, 7)
+
+    def test_same_row_collapses(self):
+        profile = get_group("B").decoder
+        assert resolve_glitch(profile, 3, 3, 16) == (3,)
+
+    def test_cube_exceeding_subarray_suppressed(self):
+        profile = get_group("B").decoder
+        # Cube of (8, 1) is {0, 1, 8, 9}; row 9 exceeds a 9-row sub-array.
+        assert resolve_glitch(profile, 8, 1, 9) == (8, 1)
+
+    def test_out_of_range_rows_rejected(self):
+        profile = get_group("B").decoder
+        with pytest.raises(ConfigurationError):
+            resolve_glitch(profile, 1, 99, 16)
+
+    def test_triple_excludes_cube_top(self):
+        profile = get_group("B").decoder
+        opened = resolve_glitch(profile, 5, 6, 16)
+        assert set(opened) == {5, 6, 4}  # cube {4,5,6,7} minus top 7
+
+    def test_quad_anywhere_in_subarray(self):
+        profile = get_group("C").decoder
+        assert set(resolve_glitch(profile, 13, 14, 16)) == {12, 13, 14, 15}

@@ -1,0 +1,63 @@
+"""Environment model: Arrhenius leakage, ratio-metric supply scaling."""
+
+import pytest
+
+from repro.dram.environment import (
+    NOMINAL_TEMPERATURE_C,
+    NOMINAL_VDD_VOLTS,
+    Environment,
+)
+
+
+class TestEnvironment:
+    def test_nominal_acceleration_is_one(self):
+        assert Environment().leakage_acceleration == pytest.approx(1.0)
+
+    def test_leakage_doubles_every_ten_degrees(self):
+        assert Environment(temperature_c=30.0).leakage_acceleration == (
+            pytest.approx(2.0))
+        assert Environment(temperature_c=40.0).leakage_acceleration == (
+            pytest.approx(4.0))
+
+    def test_cold_slows_leakage(self):
+        assert Environment(temperature_c=10.0).leakage_acceleration == (
+            pytest.approx(0.5))
+
+    def test_vdd_ratio(self):
+        assert Environment(vdd_volts=1.4).vdd_ratio == pytest.approx(1.4 / 1.5)
+
+    def test_offset_shift_zero_at_nominal(self):
+        assert Environment().effective_offset_shift() == 0.0
+
+    def test_offset_shift_small_off_nominal(self):
+        shift = Environment(vdd_volts=1.4).effective_offset_shift()
+        assert shift != 0.0
+        assert abs(shift) < 0.001  # ratio-metric: tiny residual
+
+    def test_read_noise_grows_with_temperature(self):
+        hot = Environment(temperature_c=60.0)
+        cold = Environment(temperature_c=20.0)
+        assert hot.read_noise_scale(1e-3, 0.01) > cold.read_noise_scale(1e-3, 0.01)
+
+    def test_read_noise_not_reduced_below_nominal(self):
+        cool = Environment(temperature_c=0.0)
+        assert cool.read_noise_scale(1e-3, 0.01) == pytest.approx(1e-3)
+
+    def test_with_temperature_returns_new_instance(self):
+        nominal = Environment()
+        hot = nominal.with_temperature(60.0)
+        assert nominal.temperature_c == NOMINAL_TEMPERATURE_C
+        assert hot.temperature_c == 60.0
+        assert hot.vdd_volts == NOMINAL_VDD_VOLTS
+
+    def test_with_vdd_returns_new_instance(self):
+        low = Environment().with_vdd(1.4)
+        assert low.vdd_volts == 1.4
+
+    def test_rejects_implausible_vdd(self):
+        with pytest.raises(ValueError):
+            Environment(vdd_volts=5.0)
+
+    def test_rejects_implausible_temperature(self):
+        with pytest.raises(ValueError):
+            Environment(temperature_c=400.0)

@@ -1,0 +1,70 @@
+"""Module (multi-chip rank) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import DramModule, GeometryParams
+from repro.errors import ConfigurationError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=16)
+
+
+def roundtrip(module: DramModule, bank: int, row: int,
+              bits: np.ndarray) -> np.ndarray:
+    module.activate(bank, row, 0)
+    module.settle(6)
+    module.write_open(bank, row, bits)
+    module.precharge(bank, 15)
+    module.finish(20)
+    module.activate(bank, row, 40)
+    module.settle(46)
+    data = module.row_buffer_logical(bank, row)
+    module.precharge(bank, 55)
+    module.finish(60)
+    return data
+
+
+class TestModule:
+    def test_columns_sum_across_chips(self):
+        module = DramModule("B", n_chips=4, geometry=GEOM)
+        assert module.columns == 64
+
+    def test_roundtrip_spans_chips(self):
+        module = DramModule("B", n_chips=4, geometry=GEOM)
+        bits = np.arange(64) % 2 == 1
+        assert np.array_equal(roundtrip(module, 0, 3, bits), bits)
+
+    def test_write_width_checked(self):
+        module = DramModule("B", n_chips=2, geometry=GEOM)
+        module.activate(0, 1, 0)
+        module.settle(6)
+        with pytest.raises(ConfigurationError):
+            module.write_open(0, 1, np.zeros(16, dtype=bool))
+
+    def test_chips_are_distinct_silicon(self):
+        module = DramModule("B", n_chips=2, geometry=GEOM)
+        offsets = [chip.subarray_of(0, 0).sa_offset for chip in module.chips]
+        assert not np.array_equal(offsets[0], offsets[1])
+
+    def test_modules_are_distinct(self):
+        a = DramModule("B", n_chips=1, geometry=GEOM, module_serial=0)
+        b = DramModule("B", n_chips=1, geometry=GEOM, module_serial=1)
+        assert not np.array_equal(a.chips[0].subarray_of(0, 0).sa_offset,
+                                  b.chips[0].subarray_of(0, 0).sa_offset)
+
+    def test_requires_at_least_one_chip(self):
+        with pytest.raises(ConfigurationError):
+            DramModule("B", n_chips=0, geometry=GEOM)
+
+    def test_advance_time_broadcasts(self):
+        module = DramModule("B", n_chips=2, geometry=GEOM)
+        module.advance_time(5.0)
+        assert module.time_s == pytest.approx(5.0)
+        assert all(chip.time_s == pytest.approx(5.0) for chip in module.chips)
+
+    def test_dropped_commands_aggregate(self):
+        module = DramModule("J", n_chips=2, geometry=GEOM)
+        module.activate(0, 1, 100)
+        module.precharge(0, 101)
+        assert module.dropped_commands == 2

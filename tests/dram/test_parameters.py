@@ -1,0 +1,75 @@
+"""Electrical/timing/geometry parameter invariants."""
+
+import pytest
+
+from repro.dram.parameters import (
+    MEMORY_CYCLE_NS,
+    ElectricalParams,
+    GeometryParams,
+    TimingParams,
+    VariationParams,
+)
+
+
+class TestElectricalParams:
+    def test_memory_cycle_is_softmc(self):
+        assert MEMORY_CYCLE_NS == 2.5
+
+    def test_share_factor(self):
+        assert ElectricalParams(bitline_to_cell_ratio=3.0).share_factor == 0.25
+
+    def test_frac_residual_from_ones_decreases_monotonically(self):
+        electrical = ElectricalParams()
+        residuals = [electrical.frac_residual(n) for n in range(8)]
+        assert residuals[0] == 1.0
+        for earlier, later in zip(residuals, residuals[1:]):
+            assert later < earlier
+            assert later > 0.5
+
+    def test_frac_residual_from_zeros_increases_toward_half(self):
+        electrical = ElectricalParams()
+        residuals = [electrical.frac_residual(n, initial=0.0) for n in range(8)]
+        for earlier, later in zip(residuals, residuals[1:]):
+            assert earlier < later < 0.5
+
+    def test_frac_residual_fixed_point_at_half(self):
+        assert ElectricalParams().frac_residual(5, initial=0.5) == 0.5
+
+    def test_ten_fracs_converge_below_offset_scale(self):
+        # The PUF rationale: residue after 10 Fracs << sense-amp offsets.
+        residual = ElectricalParams().frac_residual(10) - 0.5
+        assert residual < VariationParams().sa_offset_sigma / 10
+
+
+class TestTimingParams:
+    def test_row_cycle(self):
+        timing = TimingParams()
+        assert timing.row_cycle == timing.t_ras + timing.t_rp
+
+    def test_jedec_orderings(self):
+        timing = TimingParams()
+        assert timing.t_rcd < timing.t_ras
+        assert timing.t_rp <= timing.t_ras
+        assert timing.t_rc >= timing.t_ras + timing.t_rp
+
+
+class TestGeometryParams:
+    def test_defaults_consistent(self):
+        geometry = GeometryParams()
+        assert geometry.rows_per_bank == (
+            geometry.subarrays_per_bank * geometry.rows_per_subarray)
+        assert geometry.total_cells == (
+            geometry.n_banks * geometry.rows_per_bank * geometry.columns)
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            GeometryParams(n_banks=0)
+
+    def test_scaled_overrides(self):
+        geometry = GeometryParams().scaled(columns=8192)
+        assert geometry.columns == 8192
+        assert geometry.n_banks == GeometryParams().n_banks
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GeometryParams().columns = 1  # type: ignore[misc]

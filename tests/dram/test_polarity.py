@@ -1,0 +1,43 @@
+"""Polarity maps and the anti-cell convention."""
+
+import numpy as np
+import pytest
+
+from repro.dram.polarity import POLARITY_SCHEMES, is_anti_row, polarity_map
+from repro.errors import ConfigurationError
+
+
+class TestPolarityMap:
+    def test_true_only_all_false(self):
+        assert not polarity_map("true-only", 16).any()
+
+    def test_row_paired_alternates_in_pairs(self):
+        mapped = polarity_map("row-paired", 8)
+        assert mapped.tolist() == [False, False, True, True,
+                                   False, False, True, True]
+
+    def test_consistent_with_is_anti_row(self):
+        for scheme in POLARITY_SCHEMES:
+            mapped = polarity_map(scheme, 16)
+            for row in range(16):
+                assert mapped[row] == is_anti_row(scheme, row)
+
+    def test_zero_rows(self):
+        assert polarity_map("true-only", 0).size == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polarity_map("sideways", 4)
+        with pytest.raises(ConfigurationError):
+            is_anti_row("sideways", 0)
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            polarity_map("true-only", -1)
+
+    def test_maj3_triple_rows_share_polarity(self):
+        # Rows {0, 1, 2}: 0 and 1 are true, 2 is anti under row-paired —
+        # which is exactly why the paper writes inverted data to anti
+        # cells; the map must expose this.
+        mapped = polarity_map("row-paired", 4)
+        assert not mapped[0] and not mapped[1] and mapped[2]

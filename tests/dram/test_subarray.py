@@ -1,0 +1,253 @@
+"""Sub-array physics: charge sharing, sensing, interrupts, leakage."""
+
+import numpy as np
+import pytest
+
+from repro.dram.decoder import DecoderProfile
+from repro.dram.environment import Environment
+from repro.dram.parameters import ElectricalParams, VariationParams
+from repro.dram.rng import NoiseSource
+from repro.dram.subarray import CLOSE_ABORT_WINDOW, CouplingProfile, SubArray
+from repro.errors import CommandSequenceError
+
+ENV = Environment()
+
+
+def make_subarray(n_rows: int = 16, n_cols: int = 32,
+                  decoder: DecoderProfile | None = None,
+                  variation: VariationParams | None = None,
+                  quiet: bool = True) -> SubArray:
+    """A sub-array with (optionally) all variation silenced for exactness."""
+    if variation is None:
+        if quiet:
+            variation = VariationParams(
+                sa_offset_sigma=0.0, read_noise_sigma=0.0,
+                primary_weight_mean=0.0, primary_weight_sigma=0.0,
+                weight_jitter_sigma=0.0, multirow_bias_sigma=0.0,
+                vrt_cell_fraction=0.0, halfm_amp_sigma=0.0,
+                halfm_amp_mean=0.5)
+        else:
+            variation = VariationParams()
+    return SubArray(
+        n_rows=n_rows, n_cols=n_cols,
+        electrical=ElectricalParams(),
+        variation=variation,
+        decoder_profile=decoder or DecoderProfile(
+            triple_bit_pairs=frozenset({(0, 1)}),
+            quad_bit_pairs=frozenset({(0, 3)})),
+        coupling=CouplingProfile(),
+        fabrication_rng=np.random.default_rng(7),
+        noise=NoiseSource(7, "test"),
+    )
+
+
+def write_row(subarray: SubArray, row: int, bits: np.ndarray,
+              start: int = 0) -> int:
+    """In-spec write; returns the next free cycle."""
+    subarray.activate(row, start, ENV)
+    subarray.settle(start + 6, ENV)
+    subarray.write_open_row(bits)
+    subarray.precharge(start + 15, ENV)
+    subarray.finish(start + 20, ENV)
+    return start + 20
+
+
+class TestNormalOperation:
+    def test_write_then_sense_reads_back(self):
+        subarray = make_subarray()
+        bits = np.arange(32) % 2 == 0
+        cycle = write_row(subarray, 3, bits)
+        subarray.activate(3, cycle + 10, ENV)
+        subarray.settle(cycle + 20, ENV)
+        assert np.array_equal(subarray.row_buffer(), bits)
+
+    def test_sense_restores_cells_to_rails(self):
+        subarray = make_subarray()
+        bits = np.ones(32, dtype=bool)
+        write_row(subarray, 3, bits)
+        assert np.allclose(subarray.cell_v[3], 1.0)
+
+    def test_row_buffer_before_sense_raises(self):
+        subarray = make_subarray()
+        subarray.activate(1, 0, ENV)
+        with pytest.raises(CommandSequenceError):
+            subarray.row_buffer()  # SA not fired yet
+
+    def test_write_before_sense_raises(self):
+        subarray = make_subarray()
+        subarray.activate(1, 0, ENV)
+        with pytest.raises(CommandSequenceError):
+            subarray.write_open_row(np.zeros(32, dtype=bool))
+
+    def test_write_wrong_shape_raises(self):
+        subarray = make_subarray()
+        subarray.activate(1, 0, ENV)
+        subarray.settle(10, ENV)
+        with pytest.raises(CommandSequenceError):
+            subarray.write_open_row(np.zeros(5, dtype=bool))
+
+    def test_activate_out_of_range_raises(self):
+        subarray = make_subarray()
+        with pytest.raises(CommandSequenceError):
+            subarray.activate(16, 0, ENV)
+
+    def test_idle_after_full_cycle(self):
+        subarray = make_subarray()
+        write_row(subarray, 1, np.zeros(32, dtype=bool))
+        assert subarray.is_idle
+
+
+class TestFracInterrupt:
+    def test_interrupted_activation_leaves_fractional_value(self):
+        subarray = make_subarray()
+        cycle = write_row(subarray, 2, np.ones(32, dtype=bool))
+        subarray.activate(2, cycle + 10, ENV)
+        subarray.precharge(cycle + 11, ENV)       # 1 cycle later: interrupt
+        subarray.finish(cycle + 18, ENV)
+        expected = ElectricalParams().frac_residual(1)
+        assert np.allclose(subarray.cell_v[2], expected)
+        assert subarray.is_idle
+
+    def test_repeated_frac_converges_to_half(self):
+        subarray = make_subarray()
+        cycle = write_row(subarray, 2, np.ones(32, dtype=bool))
+        for index in range(10):
+            start = cycle + 10 + 7 * index
+            subarray.activate(2, start, ENV)
+            subarray.precharge(start + 1, ENV)
+        subarray.finish(cycle + 10 + 70, ENV)
+        assert np.allclose(subarray.cell_v[2], 0.5, atol=1e-4)
+
+    def test_frac_from_zeros_approaches_half_from_below(self):
+        subarray = make_subarray()
+        cycle = write_row(subarray, 2, np.zeros(32, dtype=bool))
+        subarray.activate(2, cycle + 10, ENV)
+        subarray.precharge(cycle + 11, ENV)
+        subarray.finish(cycle + 18, ENV)
+        value = subarray.cell_v[2, 0]
+        assert 0.0 < value < 0.5
+
+    def test_sense_destroys_fractional_value(self):
+        subarray = make_subarray()
+        cycle = write_row(subarray, 2, np.ones(32, dtype=bool))
+        subarray.activate(2, cycle + 10, ENV)
+        subarray.precharge(cycle + 11, ENV)
+        subarray.finish(cycle + 18, ENV)
+        subarray.activate(2, cycle + 30, ENV)
+        subarray.settle(cycle + 40, ENV)
+        assert np.all((subarray.cell_v[2] == 0.0)
+                      | (subarray.cell_v[2] == 1.0))
+
+
+class TestMultiRowGlitch:
+    def test_act_pre_act_opens_triple(self):
+        subarray = make_subarray()
+        subarray.activate(1, 0, ENV)
+        subarray.precharge(1, ENV)
+        subarray.activate(2, 2, ENV)
+        assert subarray.open_rows == (1, 2, 0)
+
+    def test_act_pre_act_opens_quad(self):
+        subarray = make_subarray()
+        subarray.activate(8, 0, ENV)
+        subarray.precharge(1, ENV)
+        subarray.activate(1, 2, ENV)
+        assert subarray.open_rows == (8, 1, 0, 9)
+
+    def test_late_second_act_does_not_glitch(self):
+        subarray = make_subarray()
+        write_row(subarray, 5, np.ones(32, dtype=bool))
+        subarray.activate(1, 100, ENV)
+        subarray.precharge(101, ENV)
+        # Past the abort window: the close commits first.
+        subarray.activate(2, 101 + CLOSE_ABORT_WINDOW, ENV)
+        assert subarray.open_rows == (2,)
+
+    def test_charge_sharing_majority(self):
+        subarray = make_subarray()
+        cycle = 0
+        values = {1: True, 2: True, 0: False}
+        for row, value in values.items():
+            cycle = write_row(subarray, row, np.full(32, value), cycle)
+        subarray.activate(1, cycle, ENV)
+        subarray.precharge(cycle + 1, ENV)
+        subarray.activate(2, cycle + 2, ENV)
+        subarray.settle(cycle + 10, ENV)
+        assert subarray.sense_fired
+        assert subarray.row_buffer().all()        # majority of {1,1,0} = 1
+        for row in values:
+            assert np.allclose(subarray.cell_v[row], 1.0)
+
+    def test_row_copy_through_driven_bitlines(self):
+        subarray = make_subarray()
+        bits = np.arange(32) % 3 == 0
+        cycle = write_row(subarray, 5, bits)
+        # ACT(src) long enough to sense, then PRE-ACT(dst) inside window.
+        subarray.activate(5, cycle, ENV)
+        subarray.settle(cycle + 5, ENV)
+        subarray.precharge(cycle + 5, ENV)
+        subarray.activate(6, cycle + 6, ENV)
+        subarray.precharge(cycle + 12, ENV)
+        subarray.finish(cycle + 18, ENV)
+        assert np.array_equal(subarray.cell_v[6] > 0.5, bits)
+
+    def test_half_m_freezes_shared_voltage(self):
+        subarray = make_subarray()
+        cycle = 0
+        for row in (8, 1, 0, 9):
+            cycle = write_row(subarray, row, np.ones(32, dtype=bool), cycle)
+        subarray.activate(8, cycle, ENV)
+        subarray.precharge(cycle + 1, ENV)
+        subarray.activate(1, cycle + 2, ENV)
+        subarray.precharge(cycle + 4, ENV)        # before SA fires
+        subarray.finish(cycle + 9, ENV)
+        # All-ones quad: weak one strictly between Vdd/2 and Vdd.
+        for row in (8, 1, 0, 9):
+            assert np.all(subarray.cell_v[row] > 0.5)
+            assert np.all(subarray.cell_v[row] < 1.0)
+
+
+class TestLeakage:
+    def test_leak_decays_toward_zero(self):
+        subarray = make_subarray()
+        write_row(subarray, 1, np.ones(32, dtype=bool))
+        before = subarray.cell_v[1].copy()
+        subarray.leak(3600.0, ENV)
+        assert np.all(subarray.cell_v[1] < before)
+        assert np.all(subarray.cell_v[1] >= 0.0)
+
+    def test_hotter_leaks_faster(self):
+        cold = make_subarray()
+        hot = make_subarray()
+        write_row(cold, 1, np.ones(32, dtype=bool))
+        write_row(hot, 1, np.ones(32, dtype=bool))
+        cold.leak(3600.0, Environment(temperature_c=20.0))
+        hot.leak(3600.0, Environment(temperature_c=60.0))
+        assert hot.cell_v[1].mean() < cold.cell_v[1].mean()
+
+    def test_leak_with_open_rows_raises(self):
+        subarray = make_subarray()
+        subarray.activate(1, 0, ENV)
+        with pytest.raises(CommandSequenceError):
+            subarray.leak(1.0, ENV)
+
+    def test_negative_dt_raises(self):
+        subarray = make_subarray()
+        with pytest.raises(ValueError):
+            subarray.leak(-1.0, ENV)
+
+    def test_zero_dt_noop(self):
+        subarray = make_subarray()
+        write_row(subarray, 1, np.ones(32, dtype=bool))
+        before = subarray.cell_v.copy()
+        subarray.leak(0.0, ENV)
+        assert np.array_equal(subarray.cell_v, before)
+
+
+class TestFabricationDeterminism:
+    def test_same_seed_same_silicon(self):
+        a = make_subarray(quiet=False)
+        b = make_subarray(quiet=False)
+        assert np.array_equal(a.sa_offset, b.sa_offset)
+        assert np.array_equal(a.tau_s, b.tau_s)
+        assert np.array_equal(a.primary_boost, b.primary_boost)

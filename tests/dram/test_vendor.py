@@ -1,0 +1,95 @@
+"""Group profiles: Table I structure and internal consistency."""
+
+import pytest
+
+from repro.dram.vendor import CHIPS_PER_MODULE, GROUPS, get_group, group_ids
+from repro.errors import ConfigurationError
+
+
+class TestTableI:
+    def test_twelve_groups(self):
+        assert group_ids() == tuple("ABCDEFGHIJKL")
+
+    def test_chip_counts_match_paper(self):
+        counts = {g: GROUPS[g].n_chips for g in GROUPS}
+        assert counts == {"A": 16, "B": 80, "C": 160, "D": 16, "E": 32,
+                          "F": 48, "G": 32, "H": 32, "I": 32, "J": 16,
+                          "K": 32, "L": 32}
+
+    def test_vendors_match_paper(self):
+        assert GROUPS["B"].vendor == "SK Hynix"
+        assert GROUPS["E"].vendor == "Samsung"
+        assert GROUPS["H"].vendor == "TimeTec"
+        assert GROUPS["I"].vendor == "Corsair"
+        assert GROUPS["J"].vendor == "Micron"
+        assert GROUPS["K"].vendor == "Elpida"
+        assert GROUPS["L"].vendor == "Nanya"
+
+    def test_capability_matrix(self):
+        frac_groups = {g for g in GROUPS if GROUPS[g].frac_capable}
+        assert frac_groups == set("ABCDEFGHI")
+        assert {g for g in GROUPS if GROUPS[g].three_row} == {"B"}
+        assert {g for g in GROUPS if GROUPS[g].four_row} == {"B", "C", "D"}
+
+    def test_spacing_enforcers(self):
+        enforcers = {g for g in GROUPS
+                     if GROUPS[g].decoder.enforces_command_spacing}
+        assert enforcers == {"J", "K", "L"}
+
+    def test_preferred_fmaj_configs(self):
+        assert GROUPS["B"].preferred_fmaj.frac_position == 1   # R2
+        assert GROUPS["B"].preferred_fmaj.init_ones is True
+        assert GROUPS["C"].preferred_fmaj.frac_position == 0   # R1
+        assert GROUPS["C"].preferred_fmaj.init_ones is True
+        assert GROUPS["D"].preferred_fmaj.frac_position == 3   # R4
+        assert GROUPS["D"].preferred_fmaj.init_ones is False
+
+    def test_group_a_hamming_weight_target(self):
+        assert GROUPS["A"].expected_hamming_weight == pytest.approx(0.21)
+
+    def test_n_modules(self):
+        assert GROUPS["B"].n_modules == 80 // CHIPS_PER_MODULE
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert get_group("b") is GROUPS["B"]
+
+    def test_unknown_group(self):
+        with pytest.raises(ConfigurationError):
+            get_group("Z")
+
+    def test_with_variation_override(self):
+        modified = GROUPS["B"].with_variation(read_noise_sigma=0.5)
+        assert modified.variation.read_noise_sigma == 0.5
+        assert GROUPS["B"].variation.read_noise_sigma != 0.5
+
+
+class TestProfileValidation:
+    def test_declared_capability_must_match_decoder(self):
+        from dataclasses import replace
+
+        from repro.dram.decoder import DecoderProfile
+
+        base = GROUPS["A"]
+        with pytest.raises(ConfigurationError):
+            replace(base, three_row=True)  # decoder has no triple pairs
+
+    def test_frac_incompatible_with_spacing(self):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            replace(GROUPS["J"], frac_capable=True)
+
+    def test_offset_means_give_declared_weights(self):
+        # HW = Phi(-mean/sigma) must invert back to the declared target.
+        from scipy.stats import norm
+
+        for group in GROUPS.values():
+            if not group.frac_capable:
+                continue
+            variation = group.variation
+            implied = float(norm.cdf(
+                -variation.sa_offset_mean / variation.sa_offset_sigma))
+            assert implied == pytest.approx(group.expected_hamming_weight,
+                                            abs=1e-6)

@@ -1,0 +1,74 @@
+"""Result serialization and report generation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import (
+    export_json,
+    export_series_csv,
+    generate_report,
+    result_to_dict,
+)
+
+
+class TestResultToDict:
+    def test_dataclass_with_arrays(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Sample:
+            name: str
+            values: np.ndarray
+            nested: dict
+
+        sample = Sample("x", np.array([1.0, 2.0]), {"k": np.int64(3)})
+        converted = result_to_dict(sample)
+        assert converted == {"name": "x", "values": [1.0, 2.0],
+                             "nested": {"k": 3}}
+        json.dumps(converted)  # round-trips through JSON
+
+    def test_tuple_keys_stringified(self):
+        assert result_to_dict({(1, 0, 1): 0.5}) == {"1,0,1": 0.5}
+
+    def test_non_finite_floats_survive(self):
+        converted = result_to_dict({"x": float("inf"), "y": float("nan")})
+        json.dumps(converted)
+
+    def test_numpy_bool(self):
+        assert result_to_dict(np.bool_(True)) is True
+
+    def test_real_experiment_result_serializes(self):
+        from repro.experiments import latency
+
+        converted = result_to_dict(latency.run())
+        assert converted["frac_cycles"] == 7
+        json.dumps(converted)
+
+
+class TestExports:
+    def test_export_json(self, tmp_path):
+        from repro.experiments import latency
+
+        path = export_json(latency.run(), tmp_path / "latency.json")
+        data = json.loads(path.read_text())
+        assert data["row_copy_cycles"] == 18
+
+    def test_export_csv(self, tmp_path):
+        path = export_series_csv(tmp_path / "series.csv",
+                                 ("n_frac", "coverage"),
+                                 [(0, 0.1), (1, 0.9)])
+        assert path.read_text() == "n_frac,coverage\n0,0.1\n1,0.9\n"
+
+
+class TestGenerateReport:
+    def test_report_for_fast_subset(self, tmp_path):
+        config = ExperimentConfig(columns=128, chips_per_group=1)
+        report = generate_report(tmp_path, config,
+                                 names=["latency", "timing"])
+        text = report.read_text()
+        assert "latency" in text and "timing" in text
+        assert (tmp_path / "latency.json").exists()
+        assert (tmp_path / "timing.json").exists()

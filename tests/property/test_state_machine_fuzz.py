@@ -1,0 +1,144 @@
+"""Fuzzing the sub-array state machine and related invariants.
+
+Random command streams — valid or wildly out-of-spec — must never crash
+the device, corrupt voltage bounds, or leave the timeline inconsistent.
+This is exactly the robustness a simulator of *deliberately undefined*
+behaviour needs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import DramChip, GeometryParams
+from repro.dram.addressing import BitScrambleMap, random_scramble
+from repro.errors import ReproError
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=16)
+
+# A fuzz step: (opcode, operand) — opcodes index into the action table.
+fuzz_steps = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 15), st.integers(1, 6)),
+    min_size=1, max_size=40)
+
+
+def apply_steps(chip: DramChip, steps) -> None:
+    cycle = 0
+    for opcode, row, gap in steps:
+        cycle += gap
+        if opcode == 0:
+            chip.activate(0, row, cycle)
+        elif opcode == 1:
+            chip.precharge(0, cycle)
+        elif opcode == 2:
+            chip.settle(cycle)
+        else:
+            chip.finish(cycle)
+
+
+class TestSubArrayFuzz:
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(fuzz_steps)
+    def test_random_command_streams_never_crash(self, steps):
+        chip = DramChip("B", geometry=GEOM)
+        apply_steps(chip, steps)
+
+    @settings(max_examples=120, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(fuzz_steps)
+    def test_voltages_stay_within_rails(self, steps):
+        chip = DramChip("B", geometry=GEOM)
+        apply_steps(chip, steps)
+        subarray = chip.subarray_of(0, 0)
+        assert np.all(subarray.cell_v >= -1e-9)
+        assert np.all(subarray.cell_v <= 1.0 + 1e-9)
+        assert np.all(subarray.bitline_v >= -1e-9)
+        assert np.all(subarray.bitline_v <= 1.0 + 1e-9)
+
+    @settings(max_examples=80, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(fuzz_steps)
+    def test_device_always_recoverable(self, steps):
+        """After any abuse, a precharge-all + idle returns to a clean
+        state from which normal operation works."""
+        chip = DramChip("B", geometry=GEOM)
+        apply_steps(chip, steps)
+        last = 1000
+        chip.precharge_all(last)
+        chip.finish(last + 10)
+        assert chip.is_idle
+        # Normal write/read still round-trips.
+        chip.activate(0, 3, last + 20)
+        chip.settle(last + 26)
+        bits = np.arange(16) % 2 == 0
+        chip.write_open(0, 3, bits)
+        chip.precharge(0, last + 35)
+        chip.finish(last + 45)
+        chip.activate(0, 3, last + 60)
+        chip.settle(last + 66)
+        assert np.array_equal(chip.row_buffer_logical(0, 3), bits)
+
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(fuzz_steps)
+    def test_spacing_enforcing_group_never_glitches(self, steps):
+        """Group J may pile up explicitly activated rows (spaced ACT-ACT
+        is merely out-of-spec), but the decoder glitch never opens a row
+        nobody activated."""
+        chip = DramChip("J", geometry=GEOM)
+        apply_steps(chip, steps)
+        activated = {row for opcode, row, _ in steps if opcode == 0}
+        assert set(chip.bank(0).open_rows()) <= activated
+
+
+class TestAddressingProperties:
+    @settings(deadline=None)
+    @given(st.integers(0, 2**31))
+    def test_random_scramble_is_bijective(self, seed):
+        mapping = random_scramble(16, seed)
+        assert sorted(mapping.to_physical(r) for r in range(16)) == list(range(16))
+
+    @settings(deadline=None)
+    @given(st.integers(0, 2**31), st.integers(0, 15))
+    def test_roundtrip(self, seed, row):
+        mapping = random_scramble(16, seed)
+        assert mapping.to_logical(mapping.to_physical(row)) == row
+
+    @settings(deadline=None)
+    @given(st.integers(0, 2**31), st.integers(0, 15), st.integers(0, 15))
+    def test_popcount_of_xor_preserved(self, seed, a, b):
+        mapping = random_scramble(16, seed)
+        logical = bin(a ^ b).count("1")
+        physical = bin(mapping.to_physical(a) ^ mapping.to_physical(b)).count("1")
+        assert logical == physical
+
+
+class TestProgramRoundTripFuzz:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 15),
+                              st.integers(0, 12)),
+                    min_size=1, max_size=20))
+    def test_disassemble_assemble_identity(self, raw_commands):
+        from repro.controller import assemble, disassemble
+        from repro.controller.commands import (
+            Activate, CommandSequence, Precharge, PrechargeAll, TimedCommand)
+
+        cycle = 0
+        commands = []
+        for kind, row, gap in raw_commands:
+            if kind == 0:
+                command = Activate(0, row)
+            elif kind == 1:
+                command = Precharge(0)
+            else:
+                command = PrechargeAll()
+            commands.append(TimedCommand(cycle, command))
+            cycle += 1 + gap
+        sequence = CommandSequence(tuple(commands), cycle, "fuzz")
+        redone = assemble(disassemble(sequence), label="fuzz")
+        assert [(tc.cycle, tc.command) for tc in redone] == (
+            [(tc.cycle, tc.command) for tc in sequence])
+        assert redone.duration == sequence.duration

@@ -1,0 +1,79 @@
+"""PUF-based authentication."""
+
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.puf.auth import Authenticator
+from repro.puf.frac_puf import Challenge, FracPuf
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=64)
+CHALLENGES = [Challenge(0, 1), Challenge(0, 3), Challenge(1, 5)]
+
+
+def make_puf(serial: int, group: str = "B") -> FracPuf:
+    return FracPuf(DramChip(group, geometry=GEOM, serial=serial))
+
+
+class TestEnrollment:
+    def test_enroll_and_list(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        assert auth.enrolled_ids == ("dev-0",)
+
+    def test_double_enroll_rejected(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        with pytest.raises(ConfigurationError):
+            auth.enroll("dev-0", make_puf(1))
+
+    def test_requires_challenges(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator([])
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            Authenticator(CHALLENGES, threshold=0.9)
+
+
+class TestAuthentication:
+    def test_genuine_device_accepted(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        auth.enroll("dev-1", make_puf(1))
+        decision = auth.authenticate(make_puf(0))
+        assert decision.accepted
+        assert decision.device_id == "dev-0"
+        assert decision.mean_distance < 0.1
+
+    def test_unknown_device_rejected(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        decision = auth.authenticate(make_puf(42))
+        assert not decision.accepted
+        assert decision.device_id is None
+        assert decision.mean_distance > 0.2
+
+    def test_cross_vendor_impostor_rejected(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0, group="B"))
+        decision = auth.authenticate(make_puf(0, group="G"))
+        assert not decision.accepted
+
+    def test_authentication_with_fresh_noise_epoch(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        probe = make_puf(0)
+        probe.fd.device.reseed_noise(epoch=1)
+        assert auth.authenticate(probe).accepted
+
+    def test_empty_database_raises(self):
+        auth = Authenticator(CHALLENGES)
+        with pytest.raises(InsufficientDataError):
+            auth.authenticate(make_puf(0))
+
+    def test_decision_str(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        assert "dev-0" in str(auth.authenticate(make_puf(0)))

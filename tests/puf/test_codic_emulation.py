@@ -1,0 +1,75 @@
+"""CODIC leak-based emulation: the paper's practicality comparison."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.errors import ConfigurationError
+from repro.puf import Challenge, FracPuf
+from repro.puf.codic_emulation import (
+    CODIC_LEAK_HOURS,
+    CodicEmulationPuf,
+    speedup_vs_codic,
+)
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=512)
+
+
+class TestCodicEmulation:
+    def test_response_is_device_unique(self):
+        a = CodicEmulationPuf(DramChip("B", geometry=GEOM, serial=0))
+        b = CodicEmulationPuf(DramChip("B", geometry=GEOM, serial=1))
+        challenge = Challenge(0, 1)
+        distance = float(np.mean(a.evaluate(challenge) ^ b.evaluate(challenge)))
+        assert distance > 0.15
+
+    def test_response_is_reproducible_per_device(self):
+        first = CodicEmulationPuf(DramChip("B", geometry=GEOM, serial=0))
+        second = CodicEmulationPuf(DramChip("B", geometry=GEOM, serial=0))
+        challenge = Challenge(0, 1)
+        distance = float(np.mean(
+            first.evaluate(challenge) ^ second.evaluate(challenge)))
+        assert distance < 0.1
+
+    def test_response_mixes_zeros_and_ones(self):
+        puf = CodicEmulationPuf(DramChip("B", geometry=GEOM))
+        response = puf.evaluate(Challenge(0, 1))
+        assert 0.02 < response.mean() < 0.98
+
+    def test_evaluation_time_is_48_hours(self):
+        puf = CodicEmulationPuf(DramChip("B", geometry=GEOM))
+        assert puf.evaluation_time_s == CODIC_LEAK_HOURS * 3600.0
+
+    def test_evaluate_many(self):
+        puf = CodicEmulationPuf(DramChip("B", geometry=GEOM))
+        stacked = puf.evaluate_many([Challenge(0, 1), Challenge(0, 3)])
+        assert stacked.shape == (2, GEOM.columns)
+
+    def test_rejects_nonpositive_leak(self):
+        with pytest.raises(ConfigurationError):
+            CodicEmulationPuf(DramChip("B", geometry=GEOM), leak_hours=0)
+
+
+class TestComparison:
+    def test_speedup_is_astronomical(self):
+        # 48 h vs 1.5 us: the paper's "too time-consuming" argument.
+        assert speedup_vs_codic() > 1e10
+
+    def test_leak_fallback_extracts_retention_entropy(self):
+        """The 48 h fallback is really a *retention* PUF: its response
+        tracks the per-cell leakage map, not the sense-amp offsets that
+        the Frac PUF reads — another qualitative gap between the two."""
+        chip = DramChip("B", geometry=GEOM, serial=9)
+        puf = CodicEmulationPuf(chip)
+        response = puf.evaluate(Challenge(0, 1)).astype(float)
+        log_tau = np.log(chip.subarray_of(0, 1).tau_s[1])
+        tau_correlation = np.corrcoef(response, log_tau)[0, 1]
+        assert tau_correlation > 0.3
+
+    def test_frac_puf_reads_offsets_not_retention(self):
+        chip = DramChip("B", geometry=GEOM, serial=9)
+        response = FracPuf(chip).evaluate(Challenge(0, 1)).astype(float)
+        offsets = chip.subarray_of(0, 1).sa_offset
+        offset_correlation = np.corrcoef(response, -offsets)[0, 1]
+        assert offset_correlation > 0.5

@@ -1,0 +1,56 @@
+"""Von Neumann extractor."""
+
+import numpy as np
+import pytest
+
+from repro.puf.extractor import extraction_efficiency, von_neumann_extract
+
+
+class TestExtractor:
+    def test_known_example(self):
+        bits = np.array([0, 1, 1, 0, 1, 1, 0, 0])
+        assert von_neumann_extract(bits).tolist() == [0, 1]
+
+    def test_concordant_pairs_discarded(self):
+        assert von_neumann_extract(np.array([1, 1, 0, 0])).size == 0
+
+    def test_trailing_odd_bit_discarded(self):
+        assert von_neumann_extract(np.array([0, 1, 1])).tolist() == [0]
+
+    def test_empty_input(self):
+        assert von_neumann_extract(np.array([], dtype=bool)).size == 0
+
+    def test_output_unbiased_for_biased_input(self):
+        rng = np.random.default_rng(3)
+        biased = (rng.random(200_000) < 0.2).astype(np.uint8)
+        whitened = von_neumann_extract(biased)
+        assert abs(whitened.mean() - 0.5) < 0.01
+
+    def test_expected_yield(self):
+        rng = np.random.default_rng(4)
+        bias = 0.3
+        bits = (rng.random(100_000) < bias).astype(np.uint8)
+        whitened = von_neumann_extract(bits)
+        expected = extraction_efficiency(bias) * bits.size
+        assert whitened.size == pytest.approx(expected, rel=0.1)
+
+    def test_accepts_bool_arrays(self):
+        bits = np.array([False, True, True, False])
+        assert von_neumann_extract(bits).tolist() == [0, 1]
+
+    def test_flattens_2d_responses(self):
+        bits = np.array([[0, 1], [1, 0]])
+        assert von_neumann_extract(bits).tolist() == [0, 1]
+
+
+class TestEfficiency:
+    def test_maximum_at_half(self):
+        assert extraction_efficiency(0.5) == 0.25
+
+    def test_zero_at_rails(self):
+        assert extraction_efficiency(0.0) == 0.0
+        assert extraction_efficiency(1.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            extraction_efficiency(1.5)

@@ -1,0 +1,92 @@
+"""Fuzzy-extractor key generation from PUF responses."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.errors import ConfigurationError, InsufficientDataError
+from repro.puf import Challenge, FracPuf, FuzzyExtractor, key_failure_probability
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=512)
+CHALLENGES = [Challenge(0, 1), Challenge(1, 1)]
+
+
+def make_extractor(serial: int = 0, **kwargs) -> FuzzyExtractor:
+    puf = FracPuf(DramChip("B", geometry=GEOM, serial=serial))
+    return FuzzyExtractor(puf, CHALLENGES, **kwargs)
+
+
+class TestEnrollReconstruct:
+    def test_same_device_reconstructs_exactly(self, rng):
+        extractor = make_extractor()
+        key, helper = extractor.enroll(rng)
+        extractor.puf.fd.device.reseed_noise(1)  # fresh measurement noise
+        assert np.array_equal(extractor.reconstruct(helper), key)
+
+    def test_reconstruction_across_environments(self, rng):
+        from repro import Environment
+
+        extractor = make_extractor(serial=2)
+        key, helper = extractor.enroll(rng)
+        hot = DramChip("B", geometry=GEOM, serial=2,
+                       environment=Environment(temperature_c=55.0))
+        hot.reseed_noise(3)
+        hot_extractor = FuzzyExtractor(FracPuf(hot), CHALLENGES)
+        assert np.array_equal(hot_extractor.reconstruct(helper), key)
+
+    def test_other_device_cannot_reconstruct(self, rng):
+        extractor = make_extractor(serial=0)
+        _, helper = extractor.enroll(rng)
+        impostor = make_extractor(serial=1)
+        with pytest.raises(InsufficientDataError):
+            impostor.reconstruct(helper)
+
+    def test_key_is_random_across_enrollments(self, rng):
+        extractor = make_extractor()
+        key_a, _ = extractor.enroll(rng)
+        key_b, _ = extractor.enroll(rng)
+        assert not np.array_equal(key_a, key_b)
+
+    def test_helper_data_does_not_leak_key(self, rng):
+        """With a fresh uniform key, helper bits are balanced regardless
+        of the (biased) response."""
+        extractor = make_extractor(key_bits=256, repetition=3)
+        masks = [extractor.enroll(rng)[1].mask for _ in range(6)]
+        weight = float(np.mean(np.concatenate(masks)))
+        assert abs(weight - 0.5) < 0.05
+
+
+class TestParameters:
+    def test_even_repetition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_extractor(repetition=4)
+
+    def test_too_few_response_bits_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            make_extractor(repetition=9, key_bits=1024)
+
+    def test_helper_parameter_mismatch_rejected(self, rng):
+        extractor = make_extractor(repetition=5)
+        _, helper = extractor.enroll(rng)
+        other = make_extractor(repetition=7, key_bits=64)
+        with pytest.raises(ConfigurationError):
+            other.reconstruct(helper)
+
+
+class TestFailureModel:
+    def test_failure_probability_monotone_in_noise(self):
+        low = key_failure_probability(0.01, 5, 128)
+        high = key_failure_probability(0.10, 5, 128)
+        assert low < high
+
+    def test_more_repetition_reduces_failure(self):
+        weak = key_failure_probability(0.05, 3, 128)
+        strong = key_failure_probability(0.05, 7, 128)
+        assert strong < weak
+
+    def test_frac_puf_operating_point_is_safe(self):
+        # Intra-HD ~1%: a 5x repetition keeps whole-key failure rare, and
+        # stepping to 7x buys two more orders of magnitude.
+        assert key_failure_probability(0.01, 5, 128) < 2e-3
+        assert key_failure_probability(0.01, 7, 128) < 1e-4

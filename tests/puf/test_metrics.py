@@ -1,0 +1,79 @@
+"""PUF metrics: intra/inter HD studies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.puf.metrics import (
+    HdStudy,
+    inter_hd_distances,
+    intra_hd_distances,
+    response_weights,
+)
+
+
+def responses(*rows):
+    return np.asarray(rows, dtype=bool)
+
+
+class TestIntra:
+    def test_zero_for_identical_trials(self):
+        trial = responses([1, 0, 1, 0], [0, 0, 1, 1])
+        distances = intra_hd_distances([trial, trial.copy()])
+        assert (distances == 0).all()
+        assert distances.shape == (2,)
+
+    def test_counts_flips_against_enrollment(self):
+        first = responses([1, 0, 1, 0])
+        second = responses([1, 1, 1, 0])
+        assert intra_hd_distances([first, second]).tolist() == [0.25]
+
+    def test_multiple_repetitions_compare_to_first(self):
+        first = responses([0, 0, 0, 0])
+        later = responses([1, 1, 1, 1])
+        distances = intra_hd_distances([first, later, later])
+        assert distances.tolist() == [1.0, 1.0]
+
+    def test_needs_two_trials(self):
+        with pytest.raises(InsufficientDataError):
+            intra_hd_distances([responses([1, 0])])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            intra_hd_distances([responses([1, 0]), responses([1, 0, 1])])
+
+
+class TestInter:
+    def test_pairs_all_devices(self):
+        device_a = responses([0, 0, 0, 0])
+        device_b = responses([1, 1, 1, 1])
+        device_c = responses([1, 1, 0, 0])
+        distances = inter_hd_distances([device_a, device_b, device_c])
+        assert sorted(distances.tolist()) == [0.5, 0.5, 1.0]
+
+    def test_needs_two_devices(self):
+        with pytest.raises(InsufficientDataError):
+            inter_hd_distances([responses([1, 0])])
+
+    def test_multiple_challenges(self):
+        device_a = responses([0, 0], [1, 1])
+        device_b = responses([0, 1], [1, 1])
+        distances = inter_hd_distances([device_a, device_b])
+        assert distances.tolist() == [0.5, 0.0]
+
+
+class TestWeightsAndStudy:
+    def test_response_weights(self):
+        assert response_weights(responses([1, 1, 0, 0], [1, 1, 1, 1])) == 0.75
+
+    def test_study_margin(self):
+        study = HdStudy(intra=np.array([0.01, 0.02]),
+                        inter=np.array([0.4, 0.3]))
+        assert study.max_intra == 0.02
+        assert study.min_inter == 0.3
+        assert study.margin == pytest.approx(0.28)
+        assert study.separates
+
+    def test_study_violation(self):
+        study = HdStudy(intra=np.array([0.4]), inter=np.array([0.3]))
+        assert not study.separates

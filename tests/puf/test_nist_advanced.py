@@ -1,0 +1,151 @@
+"""NIST suite: matrix rank, templates, universal, complexity, excursions."""
+
+import numpy as np
+import pytest
+
+from repro.puf.nist import (
+    berlekamp_massey,
+    binary_matrix_rank_test,
+    gf2_rank,
+    linear_complexity_test,
+    non_overlapping_template_test,
+    overlapping_template_test,
+    random_excursions_test,
+    random_excursions_variant_test,
+    universal_test,
+)
+
+
+@pytest.fixture(scope="module")
+def random_stream():
+    return np.random.default_rng(77).integers(0, 2, size=400_000).astype(np.uint8)
+
+
+class TestGf2Rank:
+    def test_identity_full_rank(self):
+        assert gf2_rank(np.eye(8, dtype=int)) == 8
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((4, 4), dtype=int)) == 0
+
+    def test_duplicate_rows(self):
+        matrix = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert gf2_rank(matrix) == 2
+
+    def test_xor_dependence(self):
+        # row3 = row1 XOR row2 over GF(2): rank 2 (over the rationals it
+        # would be 3 when entries are 0/1 summed — GF(2) matters).
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert gf2_rank(matrix) == 2
+
+    def test_random_square_matrices_mostly_near_full_rank(self):
+        rng = np.random.default_rng(5)
+        ranks = [gf2_rank(rng.integers(0, 2, size=(16, 16)))
+                 for _ in range(50)]
+        assert np.mean(np.asarray(ranks) >= 14) > 0.9
+
+
+class TestBerlekampMassey:
+    def test_all_zeros(self):
+        assert berlekamp_massey(np.zeros(16, dtype=np.uint8)) == 0
+
+    def test_single_one(self):
+        assert berlekamp_massey(np.array([1], dtype=np.uint8)) == 1
+
+    def test_spec_example(self):
+        # SP800-22 section 2.10.8: 1101011110001 has linear complexity 4.
+        bits = np.array([int(b) for b in "1101011110001"], dtype=np.uint8)
+        assert berlekamp_massey(bits) == 4
+
+    def test_lfsr_sequence_has_register_length(self):
+        # x^5 + x^2 + 1, maximal length m-sequence: complexity 5.
+        state = [1, 0, 0, 0, 0]
+        sequence = []
+        for _ in range(62):
+            sequence.append(state[-1])
+            feedback = state[4] ^ state[1]
+            state = [feedback] + state[:-1]
+        assert berlekamp_massey(np.array(sequence, dtype=np.uint8)) == 5
+
+    def test_random_sequence_complexity_near_half(self):
+        bits = np.random.default_rng(6).integers(0, 2, size=200).astype(np.uint8)
+        complexity = berlekamp_massey(bits)
+        assert 90 <= complexity <= 110
+
+
+class TestAdvancedTestsOnRandomData:
+    def test_matrix_rank(self, random_stream):
+        assert binary_matrix_rank_test(random_stream).passed()
+
+    def test_non_overlapping_template(self, random_stream):
+        assert non_overlapping_template_test(random_stream).passed()
+
+    def test_overlapping_template(self, random_stream):
+        assert overlapping_template_test(random_stream).passed()
+
+    def test_universal(self, random_stream):
+        assert universal_test(random_stream).passed()
+
+    def test_linear_complexity(self, random_stream):
+        assert linear_complexity_test(random_stream, max_blocks=400).passed()
+
+    def test_random_excursions(self, random_stream):
+        result = random_excursions_test(random_stream)
+        assert not result.applicable or result.passed()
+
+    def test_random_excursions_variant(self, random_stream):
+        result = random_excursions_variant_test(random_stream)
+        assert not result.applicable or result.passed()
+
+
+class TestAdvancedTestsCatchDefects:
+    def test_repeated_block_fails_universal(self):
+        block = np.random.default_rng(8).integers(0, 2, size=512).astype(np.uint8)
+        stream = np.tile(block, 800)
+        assert not universal_test(stream).passed()
+
+    def test_lfsr_stream_fails_linear_complexity(self):
+        state = [1, 0, 1, 0, 1, 1, 0, 1]
+        sequence = []
+        for _ in range(110_000):
+            sequence.append(state[-1])
+            feedback = state[7] ^ state[5] ^ state[4] ^ state[3]
+            state = [feedback] + state[:-1]
+        result = linear_complexity_test(np.array(sequence, dtype=np.uint8),
+                                        max_blocks=220)
+        assert not result.passed()
+
+    def test_structured_matrices_fail_rank(self):
+        # Stream built from rank-deficient 32x32 blocks.
+        rng = np.random.default_rng(9)
+        rows = rng.integers(0, 2, size=(2, 32))
+        matrix = np.vstack([rows[i % 2] for i in range(32)])
+        stream = np.tile(matrix.reshape(-1), 50).astype(np.uint8)
+        assert not binary_matrix_rank_test(stream).passed()
+
+    def test_template_flood_fails_non_overlapping(self):
+        rng = np.random.default_rng(10)
+        stream = rng.integers(0, 2, size=100_000).astype(np.uint8)
+        template = [0, 0, 0, 0, 0, 0, 0, 0, 1]
+        for start in range(0, stream.size - 9, 200):
+            stream[start:start + 9] = template
+        assert not non_overlapping_template_test(stream).passed()
+
+
+class TestPrerequisites:
+    def test_matrix_rank_needs_enough_matrices(self):
+        assert not binary_matrix_rank_test(np.ones(1024, dtype=np.uint8)).applicable
+
+    def test_universal_needs_long_streams(self):
+        assert not universal_test(np.ones(1000, dtype=np.uint8)).applicable
+
+    def test_linear_complexity_needs_blocks(self):
+        assert not linear_complexity_test(np.ones(60_000, dtype=np.uint8)).applicable
+
+    def test_excursions_need_cycles(self):
+        constant = np.ones(200_000, dtype=np.uint8)
+        assert not random_excursions_test(constant).applicable
+
+    def test_linear_complexity_notes_subsampling(self, random_stream):
+        result = linear_complexity_test(random_stream, max_blocks=300)
+        assert "subsampled" in result.note

@@ -1,0 +1,126 @@
+"""NIST suite: known-answer vectors and per-test sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.puf.nist import (
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    dft_test,
+    frequency_test,
+    longest_run_test,
+    runs_test,
+    serial_test,
+)
+from repro.puf.nist.frequency import _cusum_p_value
+
+# SP800-22 section 2.1.8 example: the first 100 bits of pi's binary
+# expansion; S_100 = -16, frequency p-value = 0.109599.
+PI_100 = np.array([int(b) for b in
+                   "1100100100001111110110101010001000100001011010001100"
+                   "001000110100110001001100011001100010100010111000"])
+
+
+@pytest.fixture(scope="module")
+def random_stream():
+    return np.random.default_rng(2022).integers(0, 2, size=100_000).astype(np.uint8)
+
+
+class TestKnownAnswers:
+    def test_frequency_pi_example(self):
+        result = frequency_test(PI_100)
+        assert result.p_values[0] == pytest.approx(0.109599, abs=1e-5)
+
+    def test_runs_pi_example(self):
+        # SP800-22 section 2.3.8: same sequence, p-value = 0.500798.
+        result = runs_test(PI_100)
+        assert result.p_values[0] == pytest.approx(0.500798, abs=1e-5)
+
+    def test_cusum_tail_formula_spec_example(self):
+        # SP800-22 section 2.13.8: n=10, z=4 gives p = 0.4116588.
+        assert _cusum_p_value(4, 10) == pytest.approx(0.4116588, abs=1e-6)
+
+
+class TestRandomStreamsPass:
+    def test_frequency(self, random_stream):
+        assert frequency_test(random_stream).passed()
+
+    def test_block_frequency(self, random_stream):
+        assert block_frequency_test(random_stream).passed()
+
+    def test_runs(self, random_stream):
+        assert runs_test(random_stream).passed()
+
+    def test_longest_run(self, random_stream):
+        assert longest_run_test(random_stream).passed()
+
+    def test_dft(self, random_stream):
+        assert dft_test(random_stream).passed()
+
+    def test_serial(self, random_stream):
+        assert serial_test(random_stream).passed()
+
+    def test_approximate_entropy(self, random_stream):
+        assert approximate_entropy_test(random_stream).passed()
+
+    def test_cumulative_sums(self, random_stream):
+        assert cumulative_sums_test(random_stream).passed()
+
+
+class TestPathologicalStreamsFail:
+    def test_biased_stream_fails_frequency(self):
+        biased = (np.random.default_rng(1).random(10_000) < 0.45).astype(np.uint8)
+        assert not frequency_test(biased).passed()
+
+    def test_alternating_stream_fails_runs(self):
+        alternating = np.tile([0, 1], 5_000)
+        assert not runs_test(alternating).passed()
+
+    def test_alternating_stream_fails_dft(self):
+        alternating = np.tile([0, 1], 5_000)
+        assert not dft_test(alternating).passed()
+
+    def test_periodic_pattern_fails_serial(self):
+        periodic = np.tile([0, 0, 1, 1, 0, 1], 4_000)
+        assert not serial_test(periodic).passed()
+
+    def test_clustered_stream_fails_block_frequency(self):
+        clustered = np.concatenate([np.ones(5_000), np.zeros(5_000)]).astype(np.uint8)
+        assert not block_frequency_test(clustered).passed()
+
+    def test_long_runs_fail_longest_run(self):
+        rng = np.random.default_rng(2)
+        stream = rng.integers(0, 2, size=10_000).astype(np.uint8)
+        stream[::97] = 1  # seed extra long runs
+        for start in range(0, 10_000, 500):
+            stream[start:start + 40] = 1
+        assert not longest_run_test(stream).passed()
+
+    def test_drifting_stream_fails_cusum(self):
+        rng = np.random.default_rng(3)
+        drift = (rng.random(10_000) < 0.53).astype(np.uint8)
+        assert not cumulative_sums_test(drift).passed()
+
+    def test_low_entropy_fails_apen(self):
+        stream = np.tile([1, 1, 0, 1], 8_000)
+        assert not approximate_entropy_test(stream).passed()
+
+
+class TestPrerequisites:
+    def test_too_short_not_applicable(self):
+        tiny = np.ones(8, dtype=np.uint8)
+        assert not frequency_test(tiny).applicable
+        assert not runs_test(tiny).applicable
+        assert not longest_run_test(tiny).applicable
+        assert not dft_test(tiny).applicable
+
+    def test_non_binary_input_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_test(np.array([0, 1, 2]))
+
+    def test_runs_prerequisite_failure_reports_zero(self):
+        biased = (np.random.default_rng(0).random(1000) < 0.2).astype(np.uint8)
+        result = runs_test(biased)
+        assert result.applicable
+        assert result.p_values == (0.0,)

@@ -1,0 +1,51 @@
+"""NIST suite runner."""
+
+import numpy as np
+import pytest
+
+from repro.puf.nist import ALL_TESTS, TestResult as NistTestResult, run_all
+
+
+class TestSuiteRunner:
+    def test_fifteen_tests(self):
+        assert len(ALL_TESTS) == 15
+
+    def test_random_stream_all_pass(self):
+        bits = np.random.default_rng(11).integers(0, 2, size=150_000)
+        suite = run_all(bits)
+        assert suite.all_passed
+        assert suite.n_passed == suite.n_applicable
+
+    def test_biased_stream_fails(self):
+        bits = (np.random.default_rng(12).random(150_000) < 0.45)
+        suite = run_all(bits)
+        assert not suite.all_passed
+
+    def test_format_table_mentions_every_test(self):
+        bits = np.random.default_rng(13).integers(0, 2, size=150_000)
+        table = run_all(bits).format_table()
+        for name in ("frequency", "runs", "dft", "universal",
+                     "linear-complexity", "random-excursions"):
+            assert name in table
+
+    def test_alpha_threshold_respected(self):
+        bits = np.random.default_rng(14).integers(0, 2, size=150_000)
+        permissive = run_all(bits, alpha=0.001)
+        assert permissive.alpha == 0.001
+
+
+class TestResultObject:
+    def test_passed_requires_applicability(self):
+        result = NistTestResult("x", (), applicable=False, note="short")
+        assert not result.passed()
+        assert "SKIPPED" in result.summary()
+
+    def test_passed_threshold(self):
+        assert NistTestResult("x", (0.02,)).passed(alpha=0.01)
+        assert not NistTestResult("x", (0.005,)).passed(alpha=0.01)
+
+    def test_min_p_over_multiple_values(self):
+        assert NistTestResult("x", (0.5, 0.02, 0.9)).min_p == 0.02
+
+    def test_all_p_values_must_clear(self):
+        assert not NistTestResult("x", (0.5, 0.001)).passed()

@@ -1,0 +1,69 @@
+"""Aperiodic-template generation and the full template sweep."""
+
+import numpy as np
+import pytest
+
+from repro.puf.nist import aperiodic_templates, non_overlapping_template_sweep
+from repro.puf.nist.template import _is_aperiodic
+
+
+class TestAperiodicTemplates:
+    def test_nist_count_for_m9(self):
+        # The NIST reference distribution ships exactly 148 templates.
+        assert len(aperiodic_templates(9)) == 148
+
+    def test_small_m_counts(self):
+        assert len(aperiodic_templates(2)) == 2   # 01, 10
+        assert len(aperiodic_templates(3)) == 4
+        assert len(aperiodic_templates(4)) == 6
+
+    def test_all_generated_are_aperiodic(self):
+        for template in aperiodic_templates(6):
+            assert _is_aperiodic(template)
+
+    def test_periodic_examples_excluded(self):
+        templates = set(aperiodic_templates(4))
+        assert (0, 0, 0, 0) not in templates    # period 1
+        assert (0, 1, 0, 1) not in templates    # period 2
+        assert (1, 0, 0, 1) not in templates    # prefix 1 == suffix 1
+
+    def test_known_members(self):
+        templates = set(aperiodic_templates(9))
+        assert (0, 0, 0, 0, 0, 0, 0, 0, 1) in templates
+        assert (1, 0, 0, 0, 0, 0, 0, 0, 0) in templates
+
+    def test_reversal_symmetry(self):
+        # Aperiodicity is preserved under reversal: the set is closed.
+        templates = set(aperiodic_templates(7))
+        for template in templates:
+            assert tuple(reversed(template)) in templates
+
+
+class TestTemplateSweep:
+    def test_random_data_mostly_passes(self):
+        rng = np.random.default_rng(21)
+        bits = rng.integers(0, 2, 150_000).astype(np.uint8)
+        result = non_overlapping_template_sweep(bits)
+        assert len(result.p_values) == 148
+        failures = sum(1 for p in result.p_values if p < 0.01)
+        # ~1% expected false-reject rate over 148 templates.
+        assert failures <= 7
+
+    def test_subsampling(self):
+        rng = np.random.default_rng(22)
+        bits = rng.integers(0, 2, 100_000).astype(np.uint8)
+        result = non_overlapping_template_sweep(bits, max_templates=20)
+        assert len(result.p_values) <= 20
+
+    def test_flooded_template_detected(self):
+        rng = np.random.default_rng(23)
+        bits = rng.integers(0, 2, 120_000).astype(np.uint8)
+        pattern = (1, 0, 1, 1, 0, 0, 1, 0, 0)
+        for start in range(0, bits.size - 9, 150):
+            bits[start:start + 9] = pattern
+        result = non_overlapping_template_sweep(bits)
+        assert min(result.p_values) < 1e-6
+
+    def test_too_short_not_applicable(self):
+        result = non_overlapping_template_sweep(np.ones(64, dtype=np.uint8))
+        assert not result.applicable

@@ -1,0 +1,49 @@
+"""Top-level CLI (``python -m repro``)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_experiments_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_experiments_only_latency(self, capsys):
+        assert main(["experiments", "--only", "latency"]) == 0
+        assert "Frac operation" in capsys.readouterr().out
+
+    def test_puf_response(self, capsys):
+        assert main(["puf", "--row", "3"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert set(out) <= {"0", "1"}
+        assert len(out) >= 64
+
+    def test_trng(self, capsys):
+        assert main(["trng", "--bits", "32", "--columns", "2048"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out) == 32
+        assert set(out) <= {"0", "1"}
+
+    def test_disassemble_frac(self, capsys):
+        assert main(["disassemble", "frac", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ACT 0 1") == 2
+        assert "WAIT 5" in out
+
+    def test_assemble_roundtrip(self, tmp_path, capsys):
+        program = tmp_path / "frac.smc"
+        program.write_text("ACT 0 1\nPRE 0\nWAIT 5\n")
+        assert main(["assemble", str(program)]) == 0
+        out = capsys.readouterr().out
+        assert "ACT(b0,r1)" in out
+
+    def test_report(self, tmp_path, capsys):
+        assert main(["report", "--output", str(tmp_path),
+                     "--only", "latency", "--columns", "128"]) == 0
+        assert (tmp_path / "RESULTS.md").exists()

@@ -1,0 +1,75 @@
+"""QUAC-style TRNG."""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams, UnsupportedOperationError
+from repro.errors import ConfigurationError
+from repro.trng import QuacTrng
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=1024)
+
+
+@pytest.fixture
+def trng():
+    return QuacTrng(DramChip("B", geometry=GEOM))
+
+
+class TestConstruction:
+    def test_requires_four_row_capability(self):
+        with pytest.raises(UnsupportedOperationError):
+            QuacTrng(DramChip("A", geometry=GEOM))
+
+    def test_group_c_works(self):
+        trng = QuacTrng(DramChip("C", geometry=GEOM))
+        assert trng.plan.n_rows == 4
+
+
+class TestGeneration:
+    def test_raw_width(self, trng):
+        raw = trng.generate_raw(3)
+        assert raw.shape == (3 * GEOM.columns,)
+
+    def test_successive_activations_differ(self, trng):
+        first = trng.activate_once()
+        second = trng.activate_once()
+        # Metastable columns flip between activations: fresh entropy.
+        assert 0.0 < np.mean(first ^ second) < 1.0
+
+    def test_whitened_output_unbiased(self, trng):
+        bits, stats = trng.generate(4000)
+        assert bits.size == 4000
+        assert abs(bits.mean() - 0.5) < 0.05
+        assert stats.whitened_bits >= 4000
+        assert 0.0 < stats.whitening_efficiency < 0.5
+
+    def test_throughput_positive(self, trng):
+        _, stats = trng.generate(500)
+        assert stats.throughput_mbps > 0
+        assert stats.bus_cycles > 0
+
+    def test_two_runs_are_independent(self, trng):
+        first, _ = trng.generate(2000)
+        second, _ = trng.generate(2000)
+        assert 0.4 < np.mean(first != second) < 0.6
+
+    def test_whitened_passes_basic_randomness(self, trng):
+        from repro.puf.nist import frequency_test, runs_test
+
+        bits, _ = trng.generate(8000)
+        assert frequency_test(bits).passed()
+        assert runs_test(bits).passed()
+
+    def test_rejects_bad_requests(self, trng):
+        with pytest.raises(ConfigurationError):
+            trng.generate(0)
+        with pytest.raises(ConfigurationError):
+            trng.generate_raw(0)
+
+    def test_max_activations_guard(self, trng):
+        with pytest.raises(ConfigurationError):
+            trng.generate(10 ** 9, max_activations=2)
+
+    def test_cycles_per_activation_accounting(self, trng):
+        assert trng.cycles_per_activation == 4 * 18 + 13 + 20
