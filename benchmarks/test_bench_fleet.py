@@ -1,0 +1,74 @@
+"""Fleet benchmark: serial vs. 2-worker vs. 4-worker wall time for fig6.
+
+Measures the end-to-end wall time of the Figure 6 retention experiment
+at the default configuration through ``FleetExecutor`` with 0 (serial),
+2, and 4 workers, asserts that every mode produces byte-identical
+tables, and — on machines with at least 4 usable CPUs — asserts the
+>= 2x wall-clock speedup at 4 workers.  On smaller machines the
+speedup assertion is skipped (parallel wall-clock gains are physically
+impossible on one core) but the timings are still printed and the
+byte-identity contract is still enforced.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_fleet.py -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.base import DEFAULT_CONFIG
+from repro.fleet import FleetExecutor
+
+WORKER_COUNTS = (0, 2, 4)
+SPEEDUP_TARGET = 2.0
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.fleet
+def test_fig6_fleet_speedup(capsys):
+    tables = {}
+    wall = {}
+    outcomes = {}
+    for workers in WORKER_COUNTS:
+        executor = FleetExecutor(workers)
+        started = time.perf_counter()
+        outcome = executor.run("fig6", DEFAULT_CONFIG)
+        wall[workers] = time.perf_counter() - started
+        tables[workers] = outcome.result.format_table()
+        outcomes[workers] = outcome
+
+    with capsys.disabled():
+        print("\nfig6 fleet scaling (default config, "
+              f"{_usable_cpus()} usable CPUs):")
+        for workers in WORKER_COUNTS:
+            speedup = wall[0] / wall[workers]
+            print(f"  workers={workers}: wall {wall[workers]:.2f}s "
+                  f"(speedup {speedup:.2f}x) | "
+                  f"{outcomes[workers].describe()}")
+
+    # Byte-identity is unconditional: parallelism must never change
+    # the science.
+    for workers in WORKER_COUNTS[1:]:
+        assert tables[workers] == tables[0], (
+            f"fig6 table with {workers} workers differs from serial")
+
+    if _usable_cpus() < 4:
+        pytest.skip(
+            f"only {_usable_cpus()} usable CPU(s): wall-clock speedup is "
+            f"not measurable (serial {wall[0]:.2f}s, 4-worker "
+            f"{wall[4]:.2f}s)")
+    assert wall[0] / wall[4] >= SPEEDUP_TARGET, (
+        f"expected >= {SPEEDUP_TARGET}x speedup at 4 workers, got "
+        f"{wall[0] / wall[4]:.2f}x (serial {wall[0]:.2f}s, "
+        f"4-worker {wall[4]:.2f}s)")

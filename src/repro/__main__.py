@@ -26,18 +26,31 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
         forwarded.append("--list")
     forwarded.extend(["--seed", str(arguments.seed)])
     forwarded.extend(["--columns", str(arguments.columns)])
+    if arguments.workers is not None:
+        forwarded.extend(["--workers", str(arguments.workers)])
+    if arguments.no_cache:
+        forwarded.append("--no-cache")
+    if arguments.cache_dir:
+        forwarded.extend(["--cache-dir", arguments.cache_dir])
     return runner_main(forwarded)
 
 
 def _cmd_report(arguments: argparse.Namespace) -> int:
     from .experiments.base import DEFAULT_CONFIG
     from .experiments.report import generate_report
+    from .fleet import ResultCache, resolve_workers
 
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns)
+    workers = resolve_workers(arguments.workers)
+    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
     path = generate_report(arguments.output, config,
-                           arguments.only or None)
+                           arguments.only or None,
+                           workers=workers, cache=cache)
     print(f"report written to {path}")
+    if cache is not None and cache.hits:
+        print(f"({cache.hits} experiment(s) served from cache "
+              f"{cache.directory})")
     return 0
 
 
@@ -109,6 +122,12 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--list", action="store_true")
     experiments.add_argument("--seed", type=int, default=2022)
     experiments.add_argument("--columns", type=int, default=1024)
+    experiments.add_argument("--workers", type=int, default=None,
+                             help="worker processes for fleet-capable "
+                                  "experiments (0 = serial)")
+    experiments.add_argument("--no-cache", action="store_true",
+                             help="recompute results even if cached")
+    experiments.add_argument("--cache-dir", default=None)
     experiments.set_defaults(handler=_cmd_experiments)
 
     report = subparsers.add_parser(
@@ -117,6 +136,12 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--only", nargs="*")
     report.add_argument("--seed", type=int, default=2022)
     report.add_argument("--columns", type=int, default=1024)
+    report.add_argument("--workers", type=int, default=None,
+                        help="worker processes for fleet-capable "
+                             "experiments (0 = serial)")
+    report.add_argument("--no-cache", action="store_true",
+                        help="recompute results even if cached")
+    report.add_argument("--cache-dir", default=None)
     report.set_defaults(handler=_cmd_report)
 
     trng = subparsers.add_parser("trng", help="generate random bits")

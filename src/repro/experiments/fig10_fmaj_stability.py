@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.ops import FMajConfig, FracDram
+from ..dram.rng import derive_rng
 from .base import (
     DEFAULT_CONFIG,
     ExperimentConfig,
@@ -35,7 +36,8 @@ from .base import (
     subarray_targets,
 )
 
-__all__ = ["Fig10aResult", "StabilityModule", "Fig10Result", "run"]
+__all__ = ["Fig10aResult", "StabilityModule", "Fig10Result", "run",
+           "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 10: (a) majority-one combos start at 100% and decline "
@@ -149,37 +151,31 @@ class Fig10Result:
         return "\n".join(lines)
 
 
-def _combo_success(config: ExperimentConfig, group_id: str,
-                   fmaj_config_base: FMajConfig) -> Fig10aResult:
+def _combo_success_at(config: ExperimentConfig, group_id: str,
+                      fmaj_config_base: FMajConfig, n_frac: int,
+                      ) -> tuple[dict[tuple[int, int, int], float], float]:
+    """Per-combination success rates at one Frac count (one work unit)."""
     combos = input_combos(config.columns)
-    per_combo: dict[tuple[int, int, int], list[float]] = {
-        pattern: [] for pattern, _ in combos}
-    overall = []
     targets = subarray_targets(config)
-    for n_frac in FRAC_COUNTS:
-        fmaj_config = FMajConfig(fmaj_config_base.frac_position,
-                                 fmaj_config_base.init_ones, n_frac)
-        sums = {pattern: 0.0 for pattern, _ in combos}
-        all_correct_sum = 0.0
-        samples = 0
-        for serial in range(config.chips_per_group):
-            fd = make_fd(group_id, config, serial)
-            for bank, subarray in targets:
-                correct_all = np.ones(fd.columns, dtype=bool)
-                for pattern, operands in combos:
-                    expected = sum(pattern) >= 2
-                    result = fd.f_maj(bank, operands, fmaj_config, subarray)
-                    matches = result == expected
-                    sums[pattern] += float(np.mean(matches))
-                    correct_all &= matches
-                all_correct_sum += float(np.mean(correct_all))
-                samples += 1
-        for pattern, _ in combos:
-            per_combo[pattern].append(sums[pattern] / samples)
-        overall.append(all_correct_sum / samples)
-    return Fig10aResult(
-        {pattern: tuple(values) for pattern, values in per_combo.items()},
-        tuple(overall))
+    fmaj_config = FMajConfig(fmaj_config_base.frac_position,
+                             fmaj_config_base.init_ones, n_frac)
+    sums = {pattern: 0.0 for pattern, _ in combos}
+    all_correct_sum = 0.0
+    samples = 0
+    for serial in range(config.chips_per_group):
+        fd = make_fd(group_id, config, serial)
+        for bank, subarray in targets:
+            correct_all = np.ones(fd.columns, dtype=bool)
+            for pattern, operands in combos:
+                expected = sum(pattern) >= 2
+                result = fd.f_maj(bank, operands, fmaj_config, subarray)
+                matches = result == expected
+                sums[pattern] += float(np.mean(matches))
+                correct_all &= matches
+            all_correct_sum += float(np.mean(correct_all))
+            samples += 1
+    return ({pattern: sums[pattern] / samples for pattern, _ in combos},
+            all_correct_sum / samples)
 
 
 def _stability(fd: FracDram, operation: str, trials: int,
@@ -198,18 +194,79 @@ def _stability(fd: FracDram, operation: str, trials: int,
     return successes / trials
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        trials: int = 500) -> Fig10Result:
-    part_a = _combo_success(config, "C", FMajConfig(0, True, 1))
-    rng = np.random.default_rng(config.master_seed + 10)
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  Two unit kinds:
+#   ("a", n_frac)                          — one part-(a) Frac count,
+#   ("stability", group, operation, serial) — one stability module.
+# Each stability unit draws its random inputs from a dedicated RNG
+# stream derived from (master_seed, "fig10", group, operation, serial),
+# so its rates are independent of shard placement.
+# ----------------------------------------------------------------------
 
-    def modules(group_id: str, operation: str) -> tuple[StabilityModule, ...]:
-        result = []
-        for serial in range(config.chips_per_group):
+#: The stability campaigns of parts (b)/(c): (group, operation).
+_STABILITY_CAMPAIGNS = (("B", "f-maj"), ("B", "maj3"), ("C", "f-maj"))
+
+_PART_A_BASE = FMajConfig(0, True, 1)  # group C, frac in R1, init ones
+
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[tuple, ...]:
+    """Part-(a) Frac counts first, then every stability module."""
+    units: list[tuple] = [("a", n_frac) for n_frac in FRAC_COUNTS]
+    units.extend(("stability", group_id, operation, serial)
+                 for group_id, operation in _STABILITY_CAMPAIGNS
+                 for serial in range(config.chips_per_group))
+    return tuple(units)
+
+
+def run_shard(config: ExperimentConfig, units, trials: int = 500,
+              **_kwargs) -> list:
+    """Execute part-(a) and stability units; one payload per unit."""
+    payloads = []
+    for unit in units:
+        if unit[0] == "a":
+            _, n_frac = unit
+            values, all_correct = _combo_success_at(config, "C",
+                                                    _PART_A_BASE, n_frac)
+            payloads.append(("a", n_frac, values, all_correct))
+        else:
+            _, group_id, operation, serial = unit
+            rng = derive_rng(config.master_seed, "fig10", group_id,
+                             operation, serial)
             fd = make_fd(group_id, config, serial)
             rates = _stability(fd, operation, trials, rng)
-            result.append(StabilityModule(group_id, serial, operation, rates))
-        return tuple(result)
+            payloads.append(("stability",
+                             StabilityModule(group_id, serial, operation,
+                                             rates)))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, trials: int = 500,
+          **_kwargs) -> Fig10Result:
+    """Assemble unit payloads (any order) into a :class:`Fig10Result`."""
+    part_a_units: dict[int, tuple[dict, float]] = {}
+    stability: dict[tuple[str, str], dict[int, StabilityModule]] = {
+        campaign: {} for campaign in _STABILITY_CAMPAIGNS}
+    for payload in payloads:
+        if payload[0] == "a":
+            _, n_frac, values, all_correct = payload
+            part_a_units[n_frac] = (values, all_correct)
+        else:
+            module = payload[1]
+            stability[(module.group_id,
+                       module.operation)][module.serial] = module
+
+    combos = input_combos(config.columns)
+    per_combo = {
+        pattern: tuple(part_a_units[n_frac][0][pattern]
+                       for n_frac in FRAC_COUNTS)
+        for pattern, _ in combos}
+    overall = tuple(part_a_units[n_frac][1] for n_frac in FRAC_COUNTS)
+    part_a = Fig10aResult(per_combo, overall)
+
+    def modules(group_id: str, operation: str) -> tuple[StabilityModule, ...]:
+        by_serial = stability[(group_id, operation)]
+        return tuple(by_serial[serial] for serial in sorted(by_serial))
 
     return Fig10Result(
         part_a=part_a,
@@ -218,3 +275,10 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
         modules_c_fmaj=modules("C", "f-maj"),
         trials=trials,
     )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        trials: int = 500) -> Fig10Result:
+    units = shard_units(config)
+    return merge(config, run_shard(config, units, trials=trials),
+                 trials=trials)

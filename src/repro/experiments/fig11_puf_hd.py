@@ -26,7 +26,8 @@ from ..puf.metrics import inter_hd_distances, intra_hd_distances, response_weigh
 from ..dram.vendor import GROUPS
 from .base import DEFAULT_CONFIG, ExperimentConfig, make_chip, markdown_table
 
-__all__ = ["Fig11Group", "Fig11Result", "run", "default_challenges"]
+__all__ = ["Fig11Group", "Fig11Result", "run", "default_challenges",
+           "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 11: intra-HD ~ 0 (max 0.051); inter-HD clusters reflect each "
@@ -113,21 +114,57 @@ class Fig11Result:
         return "\n".join(lines)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        n_challenges: int = 24, modules_per_group: int = 2) -> Fig11Result:
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# physical module, ``(group_id, serial)``: its two response collections
+# depend only on the chip identity (fabrication is a pure function of
+# master_seed/group/serial) and the per-epoch noise reseed, never on
+# other modules.  All Hamming-distance pooling happens at merge time.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                modules_per_group: int = 2,
+                **_kwargs) -> tuple[tuple[str, int], ...]:
+    """One work unit per (group, module serial)."""
+    return tuple((group_id, serial)
+                 for group_id in FRAC_CAPABLE_GROUPS
+                 for serial in range(modules_per_group))
+
+
+def run_shard(config: ExperimentConfig, units, n_challenges: int = 24,
+              **_kwargs) -> list:
+    """Collect both response epochs for each module in ``units``.
+
+    Payloads are ``(group_id, serial, [epoch0, epoch1])`` with each
+    epoch a stacked ``(n_challenges, columns)`` response array.
+    """
     challenges = default_challenges(config, n_challenges)
+    payloads = []
+    for group_id, serial in units:
+        chip = make_chip(group_id, config, serial)
+        puf = FracPuf(chip)
+        trials = []
+        for epoch in range(2):
+            chip.reseed_noise(epoch)
+            trials.append(puf.evaluate_many(challenges))
+        payloads.append((group_id, serial, trials))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Fig11Result:
+    """Pool per-module collections into intra/inter-HD statistics."""
+    by_group: dict[str, dict[int, list[np.ndarray]]] = {}
+    for group_id, serial, trials in payloads:
+        by_group.setdefault(group_id, {})[serial] = trials
+
     group_results = []
     first_collections: dict[str, list[np.ndarray]] = {}
     for group_id in FRAC_CAPABLE_GROUPS:
-        collections_by_module: list[list[np.ndarray]] = []
-        for serial in range(modules_per_group):
-            chip = make_chip(group_id, config, serial)
-            puf = FracPuf(chip)
-            trials = []
-            for epoch in range(2):
-                chip.reseed_noise(epoch)
-                trials.append(puf.evaluate_many(challenges))
-            collections_by_module.append(trials)
+        if group_id not in by_group:
+            continue
+        modules = by_group[group_id]
+        collections_by_module = [modules[serial]
+                                 for serial in sorted(modules)]
         intra = np.concatenate([
             intra_hd_distances(trials) for trials in collections_by_module])
         first = [trials[0] for trials in collections_by_module]
@@ -147,3 +184,9 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
                 float(np.mean(ra ^ rb))
                 for ra, rb in zip(responses_a, responses_b))
     return Fig11Result(tuple(group_results), np.asarray(cross))
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        n_challenges: int = 24, modules_per_group: int = 2) -> Fig11Result:
+    units = shard_units(config, modules_per_group=modules_per_group)
+    return merge(config, run_shard(config, units, n_challenges=n_challenges))

@@ -25,10 +25,12 @@ from ..analysis.retention import (
     RetentionProfile,
     RetentionProfiler,
 )
+from ..dram.rng import derive_rng
 from ..dram.vendor import GROUPS
 from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table, percent
 
-__all__ = ["Fig6GroupResult", "Fig6Result", "run"]
+__all__ = ["Fig6GroupResult", "Fig6Result", "run", "shard_units",
+           "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 6: PDF mass moves to shorter retention buckets as Frac count "
@@ -99,14 +101,33 @@ def _sample_rows(config: ExperimentConfig, rows_per_bank_sample: int,
     return targets
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        rows_per_bank_sample: int = 2) -> Fig6Result:
-    """Profile retention for every Frac-capable group."""
-    rng = np.random.default_rng(config.master_seed + 6)
-    results = []
-    unaffected = []
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# vendor group; each unit draws its row sample from a dedicated RNG
+# stream derived from (master_seed, "fig6", group_id), so a unit's
+# result is independent of which shard executes it or in what order.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[str, ...]:
+    """One work unit per vendor group, in Table I order."""
+    return tuple(GROUPS)
+
+
+def run_shard(config: ExperimentConfig, units,
+              rows_per_bank_sample: int = 2, **_kwargs) -> list:
+    """Profile the groups in ``units``; one payload per unit.
+
+    Payloads are ``(kind, group_id, profile)`` with ``kind`` one of
+    ``"capable"`` (profile attached), ``"unaffected"`` (Frac provably
+    has no effect) or ``"irregular"`` (non-capable group that failed
+    the flat-profile sanity check).
+    """
+    payloads = []
     geometry = config.geometry()
-    for group_id, profile in GROUPS.items():
+    for group_id in units:
+        profile = GROUPS[group_id]
+        rng = derive_rng(config.master_seed, "fig6", group_id)
         fd = make_fd(group_id, config, serial=0)
         targets = _sample_rows(config, rows_per_bank_sample, rng,
                                geometry.rows_per_bank, geometry.n_banks)
@@ -119,8 +140,32 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
             changed = max(
                 float(np.mean(retention.buckets[i] != baseline))
                 for i in range(len(FRAC_COUNTS)))
-            if changed < 0.02:
-                unaffected.append(group_id)
+            kind = "unaffected" if changed < 0.02 else "irregular"
+            payloads.append((kind, group_id, None))
+        else:
+            payloads.append(("capable", group_id, retention))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Fig6Result:
+    """Assemble per-group payloads (any order) into a :class:`Fig6Result`."""
+    by_group = {group_id: (kind, retention)
+                for kind, group_id, retention in payloads}
+    results = []
+    unaffected = []
+    for group_id in GROUPS:  # canonical Table I order
+        if group_id not in by_group:
             continue
-        results.append(Fig6GroupResult(group_id, retention))
+        kind, retention = by_group[group_id]
+        if kind == "capable":
+            results.append(Fig6GroupResult(group_id, retention))
+        elif kind == "unaffected":
+            unaffected.append(group_id)
     return Fig6Result(tuple(results), tuple(unaffected))
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        rows_per_bank_sample: int = 2) -> Fig6Result:
+    """Profile retention for every Frac-capable group."""
+    return merge(config, run_shard(config, shard_units(config),
+                                   rows_per_bank_sample=rows_per_bank_sample))

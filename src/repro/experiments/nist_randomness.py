@@ -29,7 +29,8 @@ from ..puf.frac_puf import Challenge, FracPuf
 from ..puf.nist import SuiteResult, run_all
 from .base import DEFAULT_CONFIG, ExperimentConfig
 
-__all__ = ["NistExperimentResult", "run"]
+__all__ = ["NistExperimentResult", "run", "shard_units", "run_shard",
+           "merge"]
 
 PAPER_EXPECTATION = (
     "Section VI-B2: after Von Neumann whitening, 1 Mbit per module "
@@ -72,20 +73,53 @@ def _nist_geometry(paper_scale: bool) -> GeometryParams:
                           rows_per_subarray=10, columns=8192)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG, group_id: str = "B",
-        paper_scale: bool = False) -> NistExperimentResult:
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# challenge (one sub-array's sense-amp stripe), keyed by its serial
+# position in the concatenated stream.  Before evaluating a challenge,
+# the chip's measurement noise is reseeded to an epoch derived from
+# that position, so each response depends only on (chip identity,
+# challenge index) — never on which challenges the worker evaluated
+# before it.  Workers rebuild the chip locally from its fabrication
+# streams; only the response arrays travel back.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                group_id: str = "B", paper_scale: bool = False,
+                **_kwargs) -> tuple[tuple[int, int, int], ...]:
+    """Units ``(index, bank, subarray)`` in concatenation order."""
+    geometry = _nist_geometry(paper_scale)
+    units = []
+    for bank in range(geometry.n_banks):
+        for subarray in range(geometry.subarrays_per_bank):
+            units.append((len(units), bank, subarray))
+    return tuple(units)
+
+
+def run_shard(config: ExperimentConfig, units, group_id: str = "B",
+              paper_scale: bool = False, **_kwargs) -> list:
+    """Evaluate the challenges in ``units`` on a locally rebuilt chip."""
     geometry = _nist_geometry(paper_scale)
     chip = DramChip(group_id, geometry=geometry,
                     master_seed=config.master_seed, serial=99)
     puf = FracPuf(chip)
-    challenges = []
-    for bank in range(geometry.n_banks):
-        for subarray in range(geometry.subarrays_per_bank):
-            # One challenge per sub-array: its sense-amp stripe is the
-            # entropy source; row 0 is as good as any non-reserved row.
-            challenges.append(
-                Challenge(bank, subarray * geometry.rows_per_subarray))
-    raw = puf.concatenated_bitstream(challenges)
+    payloads = []
+    for index, bank, subarray in units:
+        # One challenge per sub-array: its sense-amp stripe is the
+        # entropy source; row 0 is as good as any non-reserved row.
+        chip.reseed_noise(index)
+        response = puf.evaluate(
+            Challenge(bank, subarray * geometry.rows_per_subarray))
+        payloads.append((index, response))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, group_id: str = "B",
+          paper_scale: bool = False, **_kwargs) -> NistExperimentResult:
+    """Concatenate responses in stream order, whiten, run the suite."""
+    responses = [response for _, response in sorted(payloads,
+                                                    key=lambda p: p[0])]
+    raw = np.concatenate(responses)
     whitened = von_neumann_extract(raw)
     suite = run_all(whitened)
     return NistExperimentResult(
@@ -96,3 +130,12 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG, group_id: str = "B",
         whitened_weight=float(np.mean(whitened)),
         suite=suite,
     )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG, group_id: str = "B",
+        paper_scale: bool = False) -> NistExperimentResult:
+    units = shard_units(config, group_id=group_id, paper_scale=paper_scale)
+    payloads = run_shard(config, units, group_id=group_id,
+                         paper_scale=paper_scale)
+    return merge(config, payloads, group_id=group_id,
+                 paper_scale=paper_scale)

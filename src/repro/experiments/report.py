@@ -89,9 +89,15 @@ def export_series_csv(path: str | Path, header: Sequence[str],
 
 def generate_report(output_dir: str | Path,
                     config: ExperimentConfig = DEFAULT_CONFIG,
-                    names: Sequence[str] | None = None) -> Path:
+                    names: Sequence[str] | None = None, *,
+                    workers: int = 0, cache=None) -> Path:
     """Run experiments and write RESULTS.md + per-experiment JSON.
 
+    ``workers``/``cache`` are forwarded to
+    :func:`repro.experiments.runner.run_experiment`: fleet-capable
+    experiments fan out over worker processes, and a
+    :class:`repro.fleet.ResultCache` lets repeated report generation
+    skip every experiment whose (config, version) is unchanged.
     Returns the path of the markdown report.
     """
     output = Path(output_dir)
@@ -103,16 +109,19 @@ def generate_report(output_dir: str | Path,
     for name in names:
         description, _ = EXPERIMENTS[name]
         started = time.time()
-        result = run_experiment(name, config)
+        hits_before = cache.hits if cache is not None else 0
+        result = run_experiment(name, config, workers=workers, cache=cache)
         elapsed = time.time() - started
+        cached = cache is not None and cache.hits > hits_before
         export_json(result, output / f"{name}.json")
         sections.append(f"## {name} — {description}")
         sections.append("")
         sections.append("```")
         sections.append(result.format_table())
         sections.append("```")
-        sections.append(f"_completed in {elapsed:.1f}s; raw data in "
-                        f"`{name}.json`_")
+        sections.append(f"_completed in {elapsed:.1f}s"
+                        + (" (cache hit)" if cached else "")
+                        + f"; raw data in `{name}.json`_")
         sections.append("")
     report_path = output / "RESULTS.md"
     report_path.write_text("\n".join(sections))

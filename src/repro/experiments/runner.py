@@ -4,7 +4,15 @@ Usage::
 
     python -m repro.experiments.runner            # quick configuration
     python -m repro.experiments.runner --only fig9 fig10
+    python -m repro.experiments.runner --only fig6 fig11 --workers 4
     python -m repro.experiments.runner --list
+
+The heavy experiments (fig6, fig10, fig11, nist) are fleet-capable:
+``--workers N`` fans their work units out over N worker processes (see
+:mod:`repro.fleet`); ``--workers 0`` — the default, also settable via
+``$REPRO_FLEET_WORKERS`` — runs serially.  Results are memoized in a
+content-addressed on-disk cache keyed by (experiment, config, package
+version); disable with ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -61,15 +69,47 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 }
 
 
-def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG):
-    """Run one experiment by name and return its result object."""
+def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
+                   workers: int = 0, cache=None):
+    """Run one experiment by name and return its result object.
+
+    ``workers > 0`` routes fleet-capable experiments (fig6, fig10,
+    fig11, nist) through :class:`repro.fleet.FleetExecutor`; other
+    experiments always run in-process.  Passing a
+    :class:`repro.fleet.ResultCache` as ``cache`` memoizes the result on
+    disk — its ``hits``/``stores`` counters tell the caller whether the
+    result was recomputed.  Serial, parallel, and cached runs of the
+    same (experiment, config, version) are all byte-identical.
+    """
     try:
         _, runner = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
         ) from None
-    return runner(config)
+
+    key = None
+    if cache is not None:
+        from ..fleet import cache_key
+
+        key = cache_key(name, config)
+        hit, result = cache.fetch(key)
+        if hit:
+            return result
+
+    from ..fleet import is_shardable
+
+    if workers and is_shardable(name):
+        from ..fleet import FleetExecutor
+
+        result = FleetExecutor(workers).run(name, config).result
+    else:
+        result = runner(config)
+
+    if cache is not None and key is not None:
+        cache.store(key, result, meta={"experiment": name,
+                                       "config": repr(config)})
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -82,12 +122,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_CONFIG.master_seed)
     parser.add_argument("--columns", type=int, default=DEFAULT_CONFIG.columns,
                         help="row width in bits (paper: 65536)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for fleet-capable experiments "
+                             "(0 = serial; -1 = one per CPU; default "
+                             "$REPRO_FLEET_WORKERS or 0)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute results even if cached")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result-cache directory (default "
+                             "$REPRO_FLEET_CACHE or ~/.cache/repro-fleet)")
     arguments = parser.parse_args(argv)
 
     if arguments.list:
         for name, (description, _) in EXPERIMENTS.items():
             print(f"{name:<10s} {description}")
         return 0
+
+    from ..fleet import ResultCache, resolve_workers
+
+    workers = resolve_workers(arguments.workers)
+    cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
 
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns)
@@ -98,9 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{name}: {description}")
         print("=" * 72)
         started = time.time()
-        result = run_experiment(name, config)
+        hits_before = cache.hits if cache is not None else 0
+        result = run_experiment(name, config, workers=workers, cache=cache)
         print(result.format_table())
-        print(f"\n[{name} completed in {time.time() - started:.1f}s]\n")
+        cached = cache is not None and cache.hits > hits_before
+        suffix = " (cache hit)" if cached else ""
+        print(f"\n[{name} completed in {time.time() - started:.1f}s{suffix}]\n")
     return 0
 
 

@@ -1,0 +1,157 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every simulation in this package is deterministic: a result is a pure
+function of ``(experiment name, configuration, code version)``.  That
+makes caching trivially sound — there is no invalidation problem beyond
+hashing the inputs.  The cache key is a BLAKE2b digest over:
+
+* the experiment name,
+* a canonical JSON rendering of the :class:`ExperimentConfig` dataclass
+  (plus any extra keyword arguments the experiment was run with),
+* the installed package version (``repro.__version__``), so upgrading
+  the simulator invalidates every entry at once.
+
+Entries are stored as ``<name>-<digest>.pkl`` (pickled result object)
+next to a ``.json`` sidecar with human-readable metadata.  Corrupt or
+unreadable entries are treated as misses and overwritten — the cache is
+an accelerator, never a source of truth.
+
+The default directory is ``$REPRO_FLEET_CACHE`` if set, else
+``$XDG_CACHE_HOME/repro-fleet``, else ``~/.cache/repro-fleet``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+__all__ = ["ResultCache", "cache_key", "config_fingerprint",
+           "default_cache_dir", "ENV_CACHE_DIR"]
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_FLEET_CACHE"
+
+_DIGEST_CHARS = 24  # 96 bits rendered in the file name: ample for a cache
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro-fleet"
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to JSON-stable primitives for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, Mapping):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_fingerprint(config: Any, extra: Mapping[str, Any] | None = None) -> str:
+    """Canonical JSON for a config dataclass plus extra run arguments."""
+    document = {"config": _canonical(config), "extra": _canonical(extra or {})}
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(experiment: str, config: Any,
+              extra: Mapping[str, Any] | None = None,
+              version: str | None = None) -> str:
+    """Content-addressed key: ``<experiment>-<digest>``."""
+    if version is None:
+        from .. import __version__ as version
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(experiment.encode())
+    hasher.update(b"\0")
+    hasher.update(str(version).encode())
+    hasher.update(b"\0")
+    hasher.update(config_fingerprint(config, extra).encode())
+    return f"{experiment}-{hasher.hexdigest()[:_DIGEST_CHARS]}"
+
+
+class ResultCache:
+    """Pickle-backed result store addressed by :func:`cache_key`.
+
+    ``hits``/``misses``/``stores`` counters let callers report whether a
+    result came from disk or a fresh run.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def _meta(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def fetch(self, key: str) -> tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss.
+
+        Any I/O or unpickling failure counts as a miss: a damaged entry
+        must never poison a run.
+        """
+        path = self._entry(key)
+        try:
+            with path.open("rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, result
+
+    def store(self, key: str, result: Any,
+              meta: Mapping[str, Any] | None = None) -> Path:
+        """Persist ``result`` under ``key``; returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._entry(key)
+        temporary = path.with_suffix(".pkl.tmp")
+        with temporary.open("wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        temporary.replace(path)  # atomic within a directory
+        sidecar = {"key": key, "created": time.time(),
+                   "result_type": type(result).__name__}
+        if meta:
+            sidecar.update({str(k): v for k, v in meta.items()})
+        self._meta(key).write_text(json.dumps(sidecar, indent=2,
+                                              sort_keys=True, default=repr)
+                                   + "\n")
+        self.stores += 1
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.pkl"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ResultCache({str(self.directory)!r}, hits={self.hits}, "
+                f"misses={self.misses}, stores={self.stores})")

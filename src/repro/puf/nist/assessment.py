@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import ClassVar, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ UNIFORMITY_THRESHOLD: float = 1e-4
 @dataclass(frozen=True)
 class TestAssessment:
     """Aggregate verdict for one test across all sequences."""
+
+    #: The Test- prefix is NIST terminology, not a pytest case.
+    __test__: ClassVar[bool] = False
 
     name: str
     p_values: tuple[float, ...]

@@ -12,6 +12,18 @@ TINY_GEOMETRY = GeometryParams(
     n_banks=2, subarrays_per_bank=2, rows_per_subarray=16, columns=64)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_fleet_cache(monkeypatch, tmp_path_factory):
+    """Keep the fleet result cache out of the user's real cache dir.
+
+    CLI code paths default to an on-disk cache under ~/.cache; tests
+    must never read stale entries from — or write into — the
+    developer's cache, so every test gets a throwaway directory.
+    """
+    monkeypatch.setenv("REPRO_FLEET_CACHE",
+                       str(tmp_path_factory.mktemp("fleet-cache")))
+
+
 @pytest.fixture
 def geometry() -> GeometryParams:
     return TINY_GEOMETRY

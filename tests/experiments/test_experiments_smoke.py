@@ -28,6 +28,7 @@ def table1_result():
     return table1.run(TINY)
 
 
+@pytest.mark.slow
 class TestTable1:
     def test_matches_paper(self, table1_result):
         assert table1_result.matches_paper
@@ -105,6 +106,7 @@ class TestFig12:
         assert "1.4V" in result.format_table()
 
 
+@pytest.mark.slow
 class TestNist:
     def test_whitened_stream_passes(self):
         result = nist_randomness.run(TINY)

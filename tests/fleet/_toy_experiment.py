@@ -1,0 +1,27 @@
+"""A minimal shardable 'experiment' for exercising the fleet executor.
+
+Lives in its own importable module (not a test file) because worker
+processes import it by path when executing shards.
+"""
+
+from __future__ import annotations
+
+__test__ = False
+
+
+def shard_units(config, n_units: int = 8, **_kwargs):
+    return tuple(range(n_units))
+
+
+def run_shard(config, units, poison: int | None = None, **_kwargs):
+    payloads = []
+    for unit in units:
+        if poison is not None and unit == poison:
+            raise ValueError(f"poisoned unit {unit}")
+        payloads.append((unit, unit * 10))
+    return payloads
+
+
+def merge(config, payloads, **_kwargs):
+    ordered = sorted(payloads)
+    return {"config": config, "values": [value for _, value in ordered]}

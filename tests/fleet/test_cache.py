@@ -1,0 +1,97 @@
+"""Content-addressed result cache (repro.fleet.cache)."""
+
+from dataclasses import dataclass
+
+from repro.experiments import ExperimentConfig
+from repro.fleet import ResultCache, cache_key
+from repro.fleet.cache import config_fingerprint, default_cache_dir
+
+
+@dataclass(frozen=True)
+class FakeResult:
+    value: int
+    label: str
+
+
+CONFIG = ExperimentConfig(columns=128)
+
+
+class TestCacheKey:
+    def test_stable_for_identical_inputs(self):
+        assert cache_key("fig6", CONFIG) == cache_key("fig6", CONFIG)
+
+    def test_sensitive_to_experiment_name(self):
+        assert cache_key("fig6", CONFIG) != cache_key("fig11", CONFIG)
+
+    def test_sensitive_to_config(self):
+        other = CONFIG.scaled(master_seed=7)
+        assert cache_key("fig6", CONFIG) != cache_key("fig6", other)
+
+    def test_sensitive_to_extra_kwargs(self):
+        assert (cache_key("fig6", CONFIG, extra={"trials": 10})
+                != cache_key("fig6", CONFIG, extra={"trials": 20}))
+
+    def test_sensitive_to_version(self):
+        assert (cache_key("fig6", CONFIG, version="1.0.0")
+                != cache_key("fig6", CONFIG, version="9.9.9"))
+
+    def test_key_names_the_experiment(self):
+        assert cache_key("fig6", CONFIG).startswith("fig6-")
+
+    def test_fingerprint_is_canonical_json(self):
+        first = config_fingerprint(CONFIG, {"b": 2, "a": 1})
+        second = config_fingerprint(CONFIG, {"a": 1, "b": 2})
+        assert first == second
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("fake", CONFIG)
+        result = FakeResult(42, "hello")
+        cache.store(key, result, meta={"experiment": "fake"})
+        hit, loaded = cache.fetch(key)
+        assert hit
+        assert loaded == result
+        assert cache.hits == 1 and cache.stores == 1
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, loaded = cache.fetch("fake-0000")
+        assert not hit and loaded is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("fake", CONFIG)
+        cache.store(key, FakeResult(1, "x"))
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        hit, _ = cache.fetch(key)
+        assert not hit
+
+    def test_sidecar_metadata_written(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("fake", CONFIG)
+        cache.store(key, FakeResult(1, "x"), meta={"experiment": "fake"})
+        sidecar = (tmp_path / f"{key}.json").read_text()
+        assert '"experiment": "fake"' in sidecar
+        assert '"result_type": "FakeResult"' in sidecar
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for name in ("a", "b"):
+            cache.store(cache_key(name, CONFIG), FakeResult(0, name))
+        assert cache.clear() == 2
+        hit, _ = cache.fetch(cache_key("a", CONFIG))
+        assert not hit
+
+
+class TestDefaultDirectory:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FLEET_CACHE", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_FLEET_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-fleet"

@@ -1,0 +1,63 @@
+"""Deterministic work decomposition (repro.fleet.sharding)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import Shard, default_shard_count, partition, plan_shards
+
+
+class TestPartition:
+    def test_concatenation_reproduces_input_order(self):
+        units = [("g", i) for i in range(17)]
+        for n_shards in (1, 2, 3, 5, 16, 17, 40):
+            chunks = partition(units, n_shards)
+            flattened = [unit for chunk in chunks for unit in chunk]
+            assert flattened == units
+
+    def test_balanced_sizes(self):
+        chunks = partition(list(range(14)), 4)
+        sizes = [len(chunk) for chunk in chunks]
+        assert sizes == [4, 4, 3, 3]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_no_empty_shards(self):
+        chunks = partition(list(range(3)), 10)
+        assert len(chunks) == 3
+        assert all(chunks)
+
+    def test_deterministic(self):
+        units = [("B", s) for s in range(9)]
+        assert partition(units, 4) == partition(units, 4)
+
+    def test_empty_units(self):
+        assert partition([], 4) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ConfigurationError):
+            partition([1, 2], 0)
+
+
+class TestPlanShards:
+    def test_indices_and_totals(self):
+        shards = plan_shards("fig6", list("ABCDE"), 2)
+        assert [s.index for s in shards] == [0, 1]
+        assert all(s.total == 2 for s in shards)
+        assert all(s.experiment == "fig6" for s in shards)
+        assert shards[0].units + shards[1].units == tuple("ABCDE")
+
+    def test_shard_validation(self):
+        with pytest.raises(ConfigurationError):
+            Shard("fig6", index=3, total=2, units=("A",))
+        with pytest.raises(ConfigurationError):
+            Shard("fig6", index=0, total=1, units=())
+
+
+class TestDefaultShardCount:
+    def test_serial_is_one_shard(self):
+        assert default_shard_count(100, 0) == 1
+
+    def test_oversubscribes_workers(self):
+        assert default_shard_count(100, 4) == 8
+
+    def test_never_exceeds_units(self):
+        assert default_shard_count(3, 4) == 3

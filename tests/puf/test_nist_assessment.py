@@ -48,6 +48,7 @@ class TestTestAssessment:
         assert "PASS" in good.summary()
 
 
+@pytest.mark.slow
 class TestAssessSequences:
     def test_random_sequences_pass(self):
         rng = np.random.default_rng(31)

@@ -39,6 +39,7 @@ class TestAperiodicTemplates:
             assert tuple(reversed(template)) in templates
 
 
+@pytest.mark.slow
 class TestTemplateSweep:
     def test_random_data_mostly_passes(self):
         rng = np.random.default_rng(21)
