@@ -6,7 +6,13 @@ Subcommands:
 * ``report`` — run experiments and write RESULTS.md + JSON exports,
 * ``trng`` — generate random bits from a simulated device,
 * ``puf`` — print a device's PUF response to a challenge,
-* ``assemble`` / ``disassemble`` — SoftMC program tooling.
+* ``assemble`` / ``disassemble`` — SoftMC program tooling,
+* ``validate-trace`` — check JSON-lines telemetry traces against the
+  ``repro-trace/1`` schema.
+
+``experiments`` and ``report`` accept ``--telemetry`` / ``--trace-out
+PATH`` to record counters, phase timers, and a structured event trace
+(see ``docs/telemetry.md``).
 """
 
 from __future__ import annotations
@@ -32,26 +38,45 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
         forwarded.append("--no-cache")
     if arguments.cache_dir:
         forwarded.extend(["--cache-dir", arguments.cache_dir])
+    if arguments.telemetry:
+        forwarded.append("--telemetry")
+    if arguments.trace_out:
+        forwarded.extend(["--trace-out", arguments.trace_out])
     return runner_main(forwarded)
 
 
 def _cmd_report(arguments: argparse.Namespace) -> int:
+    from contextlib import nullcontext
+
     from .experiments.base import DEFAULT_CONFIG
     from .experiments.report import generate_report
     from .fleet import ResultCache, resolve_workers
+    from .telemetry import session as telemetry_session
 
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns)
     workers = resolve_workers(arguments.workers)
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
-    path = generate_report(arguments.output, config,
-                           arguments.only or None,
-                           workers=workers, cache=cache)
+    use_telemetry = arguments.telemetry or arguments.trace_out is not None
+    context = (telemetry_session(trace_path=arguments.trace_out)
+               if use_telemetry else nullcontext(None))
+    with context:
+        path = generate_report(arguments.output, config,
+                               arguments.only or None,
+                               workers=workers, cache=cache)
     print(f"report written to {path}")
+    if arguments.trace_out:
+        print(f"trace written to {arguments.trace_out}")
     if cache is not None and cache.hits:
         print(f"({cache.hits} experiment(s) served from cache "
               f"{cache.directory})")
     return 0
+
+
+def _cmd_validate_trace(arguments: argparse.Namespace) -> int:
+    from .telemetry.schema import main as schema_main
+
+    return schema_main(arguments.paths)
 
 
 def _cmd_trng(arguments: argparse.Namespace) -> int:
@@ -128,6 +153,11 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--no-cache", action="store_true",
                              help="recompute results even if cached")
     experiments.add_argument("--cache-dir", default=None)
+    experiments.add_argument("--telemetry", action="store_true",
+                             help="collect and print telemetry counters")
+    experiments.add_argument("--trace-out", default=None, metavar="PATH",
+                             help="write a JSON-lines event trace "
+                                  "(implies --telemetry)")
     experiments.set_defaults(handler=_cmd_experiments)
 
     report = subparsers.add_parser(
@@ -142,6 +172,12 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     report.add_argument("--cache-dir", default=None)
+    report.add_argument("--telemetry", action="store_true",
+                        help="collect telemetry; adds a deterministic "
+                             "summary section to RESULTS.md")
+    report.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a JSON-lines event trace "
+                             "(implies --telemetry)")
     report.set_defaults(handler=_cmd_report)
 
     trng = subparsers.add_parser("trng", help="generate random bits")
@@ -163,6 +199,12 @@ def main(argv: list[str] | None = None) -> int:
         "assemble", help="assemble a SoftMC program file")
     assemble.add_argument("program")
     assemble.set_defaults(handler=_cmd_assemble)
+
+    validate_trace = subparsers.add_parser(
+        "validate-trace",
+        help="validate repro-trace/1 JSON-lines trace files")
+    validate_trace.add_argument("paths", nargs="+", metavar="TRACE")
+    validate_trace.set_defaults(handler=_cmd_validate_trace)
 
     disassemble = subparsers.add_parser(
         "disassemble", help="print a primitive as SoftMC program text")

@@ -11,7 +11,7 @@ cycles").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import ClassVar, Iterator, Sequence
 
 import numpy as np
 
@@ -33,6 +33,10 @@ __all__ = [
 class Command:
     """Base class for DRAM bus commands."""
 
+    #: Short bus mnemonic family ("ACT", "PRE", ...) — stable identifiers
+    #: used by telemetry counters and the ``repro-trace/1`` event schema.
+    KIND: ClassVar[str] = "CMD"
+
     def mnemonic(self) -> str:
         return type(self).__name__.upper()
 
@@ -44,6 +48,8 @@ class Activate(Command):
     bank: int
     row: int
 
+    KIND = "ACT"
+
     def mnemonic(self) -> str:
         return f"ACT(b{self.bank},r{self.row})"
 
@@ -54,6 +60,8 @@ class Precharge(Command):
 
     bank: int
 
+    KIND = "PRE"
+
     def mnemonic(self) -> str:
         return f"PRE(b{self.bank})"
 
@@ -61,6 +69,8 @@ class Precharge(Command):
 @dataclass(frozen=True)
 class PrechargeAll(Command):
     """Precharge every bank."""
+
+    KIND = "PREA"
 
     def mnemonic(self) -> str:
         return "PREA"
@@ -78,6 +88,8 @@ class ReadRow(Command):
     bank: int
     row: int
 
+    KIND = "RD"
+
     def mnemonic(self) -> str:
         return f"RD(b{self.bank},r{self.row})"
 
@@ -89,6 +101,8 @@ class WriteRow(Command):
     bank: int
     row: int
     data: tuple[bool, ...]
+
+    KIND = "WR"
 
     def mnemonic(self) -> str:
         return f"WR(b{self.bank},r{self.row})"
@@ -124,6 +138,10 @@ class CommandSequence:
     commands: tuple[TimedCommand, ...]
     duration: int
     label: str = ""
+    #: Machine-readable operation tag set by the sequence builders
+    #: ("frac", "half-m", "row-copy", ...); "" for ad-hoc or mixed
+    #: sequences.  Telemetry keys per-operation counters off this.
+    op: str = ""
 
     def __post_init__(self) -> None:
         previous = -1
@@ -152,6 +170,7 @@ class CommandSequence:
             tuple(TimedCommand(tc.cycle + offset, tc.command) for tc in self.commands),
             self.duration + offset,
             self.label,
+            self.op,
         )
 
     def then(self, other: "CommandSequence") -> "CommandSequence":
@@ -161,7 +180,16 @@ class CommandSequence:
             self.commands + shifted.commands,
             shifted.duration,
             label=f"{self.label}+{other.label}".strip("+"),
+            op=self.op if self.op == other.op else "",
         )
+
+    def command_counts(self) -> dict[str, int]:
+        """Commands per bus-mnemonic family ({"ACT": 2, "PRE": 2, ...})."""
+        counts: dict[str, int] = {}
+        for timed in self.commands:
+            kind = timed.command.KIND
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
 
     def describe(self) -> str:
         """Human-readable one-line-per-command trace."""

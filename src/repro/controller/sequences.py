@@ -56,7 +56,8 @@ def precharge_all_sequence(timing: TimingParams | None = None) -> CommandSequenc
     """Close every bank; used to reach a known idle state."""
     timing = timing or TimingParams()
     return CommandSequence(
-        (TimedCommand(0, PrechargeAll()),), timing.t_rp, label="precharge-all")
+        (TimedCommand(0, PrechargeAll()),), timing.t_rp,
+        label="precharge-all", op="precharge-all")
 
 
 def write_row_sequence(bank: int, row: int, bits: SequenceType[bool],
@@ -71,6 +72,7 @@ def write_row_sequence(bank: int, row: int, bits: SequenceType[bool],
         ),
         timing.row_cycle,
         label=f"write-row b{bank} r{row}",
+        op="write-row",
     )
 
 
@@ -87,6 +89,7 @@ def read_row_sequence(bank: int, row: int,
         ),
         timing.row_cycle,
         label=f"read-row b{bank} r{row}",
+        op="read-row",
     )
 
 
@@ -101,6 +104,7 @@ def refresh_row_sequence(bank: int, row: int,
         ),
         timing.row_cycle,
         label=f"refresh b{bank} r{row}",
+        op="refresh",
     )
 
 
@@ -123,7 +127,7 @@ def frac_sequence(bank: int, row: int, n_frac: int = 1,
         commands.append(TimedCommand(start + 1, Precharge(bank)))
     return CommandSequence(
         tuple(commands), n_frac * FRAC_OP_CYCLES,
-        label=f"frac x{n_frac} b{bank} r{row}")
+        label=f"frac x{n_frac} b{bank} r{row}", op="frac")
 
 
 def multi_row_sequence(bank: int, r1: int, r2: int,
@@ -150,6 +154,7 @@ def multi_row_sequence(bank: int, r1: int, r2: int,
         ),
         settle_at + timing.t_rp,
         label=f"multi-row-act b{bank} ({r1},{r2})",
+        op="multi-row-act",
     )
 
 
@@ -171,6 +176,7 @@ def half_m_sequence(bank: int, r1: int, r2: int,
         ),
         4 + timing.t_rp,
         label=f"half-m b{bank} ({r1},{r2})",
+        op="half-m",
     )
 
 
@@ -198,4 +204,5 @@ def row_copy_sequence(bank: int, src: int, dst: int,
         ),
         final_pre_at + timing.t_rp + 1,
         label=f"row-copy b{bank} {src}->{dst}",
+        op="row-copy",
     )

@@ -17,12 +17,14 @@ Two operating modes mirror the real SoftMC:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Protocol, Sequence as SequenceType
 
 import numpy as np
 
 from ..dram.parameters import MEMORY_CYCLE_NS, ElectricalParams, TimingParams
 from ..errors import TimingViolationError
+from ..telemetry.registry import active as _telemetry_active
 from .commands import (
     Activate,
     CommandSequence,
@@ -34,7 +36,7 @@ from .commands import (
 )
 from . import sequences as seq
 
-__all__ = ["SoftMC", "JedecChecker", "DeviceLike"]
+__all__ = ["SoftMC", "JedecChecker", "JedecViolation", "DeviceLike"]
 
 
 class DeviceLike(Protocol):
@@ -51,8 +53,37 @@ class DeviceLike(Protocol):
     def write_open(self, bank: int, row: int, bits: SequenceType[bool]) -> None: ...
 
 
+@dataclass(frozen=True)
+class JedecViolation:
+    """One JEDEC constraint broken by a command (observe-mode record)."""
+
+    constraint: str
+    message: str
+    required_cycles: int | None = None
+    actual_cycles: int | None = None
+
+    def to_error(self) -> TimingViolationError:
+        return TimingViolationError(
+            self.message, constraint=self.constraint,
+            required_cycles=self.required_cycles,
+            actual_cycles=self.actual_cycles)
+
+    def to_event(self) -> dict:
+        """The ``violations`` entry shape of the ``repro-trace/1`` schema."""
+        return {"constraint": self.constraint,
+                "required_cycles": self.required_cycles,
+                "actual_cycles": self.actual_cycles}
+
+
 class JedecChecker:
-    """Validates command gaps against the JEDEC DDR3 timing constraints."""
+    """Validates command gaps against the JEDEC DDR3 timing constraints.
+
+    Two entry points share one state machine: :meth:`check` raises on the
+    first violation (strict mode), while :meth:`observe` records every
+    violation *and keeps tracking state*, which is what lets the tracer
+    flag each out-of-spec command in an intentionally violating FracDRAM
+    stream without aborting it.
+    """
 
     def __init__(self, timing: TimingParams) -> None:
         self.timing = timing
@@ -69,58 +100,72 @@ class JedecChecker:
             self._open.get(bank, False),
         )
 
-    def check(self, cycle: int, command) -> None:
+    def observe(self, cycle: int, command) -> tuple[JedecViolation, ...]:
+        """Advance the state machine; return violations (possibly empty)."""
         timing = self.timing
+        violations: list[JedecViolation] = []
         if isinstance(command, Activate):
             last_act, last_pre, is_open = self._bank_state(command.bank)
             if is_open:
-                raise TimingViolationError(
-                    f"ACT to bank {command.bank} while a row is open",
-                    constraint="one-row-per-bank")
+                violations.append(JedecViolation(
+                    "one-row-per-bank",
+                    f"ACT to bank {command.bank} while a row is open"))
             if cycle - last_pre < timing.t_rp:
-                raise TimingViolationError(
+                violations.append(JedecViolation(
+                    "tRP",
                     f"ACT {cycle - last_pre} cycles after PRE (tRP={timing.t_rp})",
-                    constraint="tRP", required_cycles=timing.t_rp,
-                    actual_cycles=cycle - last_pre)
+                    required_cycles=timing.t_rp,
+                    actual_cycles=cycle - last_pre))
             if cycle - last_act < timing.t_rc:
-                raise TimingViolationError(
+                violations.append(JedecViolation(
+                    "tRC",
                     f"ACT {cycle - last_act} cycles after ACT (tRC={timing.t_rc})",
-                    constraint="tRC", required_cycles=timing.t_rc,
-                    actual_cycles=cycle - last_act)
+                    required_cycles=timing.t_rc,
+                    actual_cycles=cycle - last_act))
             self._last_act[command.bank] = cycle
             self._open[command.bank] = True
         elif isinstance(command, Precharge):
             last_act, _, is_open = self._bank_state(command.bank)
             if is_open and cycle - last_act < timing.t_ras:
-                raise TimingViolationError(
+                violations.append(JedecViolation(
+                    "tRAS",
                     f"PRE {cycle - last_act} cycles after ACT (tRAS={timing.t_ras})",
-                    constraint="tRAS", required_cycles=timing.t_ras,
-                    actual_cycles=cycle - last_act)
+                    required_cycles=timing.t_ras,
+                    actual_cycles=cycle - last_act))
             self._last_pre[command.bank] = cycle
             self._open[command.bank] = False
         elif isinstance(command, PrechargeAll):
-            for bank, is_open in list(self._open.items()):
+            for bank in sorted(self._open):
                 last_act = self._last_act.get(bank, self._far_past)
-                if is_open and cycle - last_act < timing.t_ras:
-                    raise TimingViolationError(
+                if self._open[bank] and cycle - last_act < timing.t_ras:
+                    violations.append(JedecViolation(
+                        "tRAS",
                         f"PREA {cycle - last_act} cycles after ACT on bank {bank}",
-                        constraint="tRAS", required_cycles=timing.t_ras,
-                        actual_cycles=cycle - last_act)
+                        required_cycles=timing.t_ras,
+                        actual_cycles=cycle - last_act))
             for bank in set(self._last_act) | set(self._last_pre) | set(self._open):
                 self._last_pre[bank] = cycle
                 self._open[bank] = False
         elif isinstance(command, (ReadRow, WriteRow)):
             last_act, _, is_open = self._bank_state(command.bank)
             if not is_open:
-                raise TimingViolationError(
-                    f"column access to bank {command.bank} with no open row",
-                    constraint="row-open")
+                violations.append(JedecViolation(
+                    "row-open",
+                    f"column access to bank {command.bank} with no open row"))
             if cycle - last_act < timing.t_rcd:
-                raise TimingViolationError(
+                violations.append(JedecViolation(
+                    "tRCD",
                     f"column access {cycle - last_act} cycles after ACT "
                     f"(tRCD={timing.t_rcd})",
-                    constraint="tRCD", required_cycles=timing.t_rcd,
-                    actual_cycles=cycle - last_act)
+                    required_cycles=timing.t_rcd,
+                    actual_cycles=cycle - last_act))
+        return tuple(violations)
+
+    def check(self, cycle: int, command) -> None:
+        """Strict mode: raise on the first violation of ``command``."""
+        violations = self.observe(cycle, command)
+        if violations:
+            raise violations[0].to_error()
 
 
 class SoftMC:
@@ -149,15 +194,27 @@ class SoftMC:
         """Issue a sequence starting at the current cycle.
 
         Returns the data of every READ in the sequence, in issue order.
+        With telemetry active, every command is counted and traced with
+        its JEDEC-violation flags (the checker runs in observe mode, so
+        intentionally out-of-spec FracDRAM streams are annotated rather
+        than aborted; strict mode still raises on the first violation).
         """
-        checker = JedecChecker(self.timing) if self.strict else None
+        telemetry = _telemetry_active()
+        checker = (JedecChecker(self.timing)
+                   if (self.strict or telemetry is not None) else None)
+        if telemetry is not None:
+            self._record_sequence(telemetry, sequence)
         reads: list[np.ndarray] = []
         base = self.cycle
         for timed in sequence:
             cycle = base + timed.cycle
             command = timed.command
             if checker is not None:
-                checker.check(timed.cycle, command)
+                violations = checker.observe(timed.cycle, command)
+                if violations and self.strict:
+                    raise violations[0].to_error()
+                if telemetry is not None:
+                    self._record_command(telemetry, command, cycle, violations)
             if isinstance(command, Activate):
                 self.device.activate(command.bank, command.row, cycle)
             elif isinstance(command, Precharge):
@@ -176,6 +233,40 @@ class SoftMC:
         self.cycle = base + sequence.duration
         self.device.finish(self.cycle)
         return reads
+
+    def _record_sequence(self, telemetry, sequence: CommandSequence) -> None:
+        """Count and trace one sequence issue (telemetry active only)."""
+        telemetry.count("controller.sequences")
+        if sequence.op:
+            telemetry.count(f"controller.seq.{sequence.op}")
+            if sequence.op == "frac":
+                # One Frac operation per ACT/PRE pair (Section III-A).
+                telemetry.count("controller.frac_ops", len(sequence) // 2)
+        telemetry.emit("sequence", {
+            "label": sequence.label,
+            "op": sequence.op,
+            "start_cycle": self.cycle,
+            "duration": sequence.duration,
+            "n_commands": len(sequence),
+        })
+
+    def _record_command(self, telemetry, command, cycle: int,
+                        violations: tuple[JedecViolation, ...]) -> None:
+        """Count and trace one issued command (telemetry active only)."""
+        telemetry.count("controller.commands")
+        telemetry.count(f"controller.{command.KIND.lower()}")
+        if violations:
+            telemetry.count("controller.jedec_violations", len(violations))
+            for violation in violations:
+                telemetry.count(
+                    f"controller.jedec.{violation.constraint.lower()}")
+        telemetry.emit("command", {
+            "cmd": command.KIND,
+            "bank": getattr(command, "bank", None),
+            "row": getattr(command, "row", None),
+            "cycle": cycle,
+            "violations": [violation.to_event() for violation in violations],
+        })
 
     def idle(self, cycles: int) -> None:
         """Advance the bus clock without issuing commands."""

@@ -62,6 +62,7 @@ class Bank:
                 fabrication_rng=np.random.default_rng(
                     fabrication_rng.integers(0, 2 ** 63)),
                 noise=noise.spawn("bank", bank_index, "subarray", index),
+                origin=(bank_index, index),
             )
             for index in range(subarrays_per_bank)
         ]

@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import AddressError, CommandSequenceError, ConfigurationError
+from ..telemetry.registry import active as _telemetry_active
 from .bank import Bank
 from .environment import Environment
 from .parameters import GeometryParams
@@ -146,6 +147,10 @@ class DramChip:
         last = self._last_command_cycle.get(bank)
         if last is not None and cycle - last < MIN_COMMAND_SPACING_CYCLES:
             self.dropped_commands += 1
+            telemetry = _telemetry_active()
+            if telemetry is not None:
+                telemetry.count("dram.dropped_commands")
+                telemetry.emit("drop", {"bank": bank, "cycle": cycle})
             return False
         self._last_command_cycle[bank] = cycle
         return True
@@ -204,6 +209,12 @@ class DramChip:
         for bank in self.banks:
             bank.leak(dt_s, self.environment)
         self.time_s += dt_s
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            telemetry.count("dram.leak_events")
+            telemetry.observe("dram.leak_dt_s", dt_s)
+            telemetry.emit("leak", {"dt_s": float(dt_s),
+                                    "time_s": float(self.time_s)})
 
     def set_environment(self, environment: Environment) -> None:
         """Change the operating point (temperature / supply voltage)."""

@@ -25,6 +25,7 @@ from typing import Literal
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..telemetry.registry import active as _telemetry_active
 from .chip import DramChip
 from .subarray import SubArray
 
@@ -115,6 +116,14 @@ class FaultInjector:
             # this bit-line becomes unreliable near Vdd/2.
             subarray.sa_offset[fault.column] += 0.2
         self.faults.append(fault)
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            telemetry.count("dram.faults_injected")
+            telemetry.count(f"dram.faults.{fault.kind}")
+            telemetry.emit("fault", {
+                "fault_kind": fault.kind, "bank": fault.bank,
+                "row": fault.row, "column": fault.column,
+            })
 
     def inject_random(self, kind: FaultKind, count: int,
                       rng: np.random.Generator) -> list[Fault]:

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import CommandSequenceError, ConfigurationError
+from ..telemetry.registry import active as _telemetry_active
 from .decoder import DecoderProfile, resolve_glitch
 from .environment import Environment
 from .parameters import ElectricalParams, VariationParams
@@ -93,11 +94,15 @@ class SubArray:
         coupling: CouplingProfile,
         fabrication_rng: np.random.Generator,
         noise: NoiseSource,
+        origin: tuple[int, int] = (0, 0),
     ) -> None:
         if n_rows < 1 or n_cols < 1:
             raise ConfigurationError("sub-array dimensions must be positive")
         self.n_rows = n_rows
         self.n_cols = n_cols
+        #: (bank index, sub-array index) — address stamped onto telemetry
+        #: events so traces can attribute electrical activity.
+        self.origin = (int(origin[0]), int(origin[1]))
         self.electrical = electrical
         self.variation = variation
         self.decoder_profile = decoder_profile
@@ -324,6 +329,7 @@ class SubArray:
             # is overwritten with the sensed value.  This is the RowClone /
             # ComputeDRAM in-DRAM row-copy mechanism.
             opened = tuple(dict.fromkeys((*previous, *glitch_rows)))
+            self._record_glitch(previous, row, opened, overwrite=True)
             level = self.bitline_v.copy()
             for open_row in opened:
                 self.cell_v[open_row] = level
@@ -333,9 +339,25 @@ class SubArray:
         # The interrupted first activation only partially shared: roll the
         # connected cells back toward their pre-share voltage, then the
         # precharge equalizer briefly resets the bit-lines to Vdd/2.
+        self._record_glitch(previous, row, glitch_rows, overwrite=False)
         self._rollback_partial_share()
         self.bitline_v[:] = 0.5
         self._open(glitch_rows, cycle)
+
+    def _record_glitch(self, previous: tuple[int, ...], requested: int,
+                       opened: tuple[int, ...], *, overwrite: bool) -> None:
+        telemetry = _telemetry_active()
+        if telemetry is None:
+            return
+        telemetry.count("dram.glitch_overwrite" if overwrite
+                        else "dram.glitch_abort")
+        telemetry.emit("glitch", {
+            "bank": self.origin[0], "subarray": self.origin[1],
+            "previous": [int(r) for r in previous],
+            "requested": int(requested),
+            "opened": [int(r) for r in opened],
+            "overwrite": overwrite,
+        })
 
     def _rollback_partial_share(self) -> None:
         if self._preshare_snapshot is None:
@@ -363,6 +385,13 @@ class SubArray:
             self.cell_v[rows] = (
                 self._preshare_snapshot
                 + coupling * (shared - self._preshare_snapshot))
+            telemetry = _telemetry_active()
+            if telemetry is not None:
+                telemetry.count("dram.frac_freeze")
+                telemetry.emit("frac_freeze", {
+                    "bank": self.origin[0], "subarray": self.origin[1],
+                    "rows": [int(row) for row in rows],
+                })
         self._pre_started_cycle = None
         self._open_rows = ()
         self._preshare_rows = ()
@@ -406,6 +435,14 @@ class SubArray:
         each column heads for is the comparator's decision; per-column
         strength ``amp_alpha`` encodes sense-amp speed variation.
         """
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            telemetry.count("dram.partial_amplify")
+            telemetry.emit("partial_amplify", {
+                "bank": self.origin[0], "subarray": self.origin[1],
+                "rows": [int(row) for row in self._open_rows],
+                "steps": int(steps),
+            })
         noise_sigma = env.read_noise_scale(
             self.variation.read_noise_sigma, self.variation.read_noise_temp_coeff)
         sensed = self.bitline_v + self._noise.normal(noise_sigma, self.n_cols)
@@ -435,6 +472,20 @@ class SubArray:
         if len(self._open_rows) >= 3:
             threshold = threshold + self.multirow_bias
         decision = sensed > threshold
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            # Sense-amp flips: cells whose restored logical value differs
+            # from their pre-share state (the destructive part of sensing).
+            flips = 0
+            if self._preshare_snapshot is not None:
+                flips = int(np.sum((self._preshare_snapshot > 0.5) != decision))
+            telemetry.count("dram.sense_fired")
+            telemetry.count("dram.sense_flips", flips)
+            telemetry.emit("sense", {
+                "bank": self.origin[0], "subarray": self.origin[1],
+                "rows": [int(row) for row in self._open_rows],
+                "ones": int(np.sum(decision)), "flips": flips,
+            })
         level = np.where(decision, self.electrical.restore_level, 0.0)
         self.bitline_v[:] = level
         for row in self._open_rows:

@@ -10,8 +10,9 @@ rows, hundreds of chips) for overnight runs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -21,9 +22,27 @@ from ..dram.environment import Environment
 from ..dram.module_ import DramModule
 from ..dram.parameters import GeometryParams
 from ..dram.vendor import GroupProfile, get_group
+from ..telemetry.registry import active as _telemetry_active
 
 __all__ = ["ExperimentConfig", "make_chip", "make_fd", "make_module",
-           "markdown_table", "percent"]
+           "markdown_table", "percent", "stage"]
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Time a named pipeline stage on the active telemetry registry.
+
+    The run/shard/merge stages of every experiment (and the fleet
+    executor's dispatch) wrap themselves in ``stage(...)`` so a
+    ``--telemetry`` run reports where the wall time went.  With no
+    registry active this is a no-op.
+    """
+    telemetry = _telemetry_active()
+    if telemetry is None:
+        yield
+        return
+    with telemetry.phase(name):
+        yield
 
 
 @dataclass(frozen=True)

@@ -123,6 +123,34 @@ def generate_report(output_dir: str | Path,
                         + (" (cache hit)" if cached else "")
                         + f"; raw data in `{name}.json`_")
         sections.append("")
+    sections.extend(_telemetry_section())
     report_path = output / "RESULTS.md"
     report_path.write_text("\n".join(sections))
     return report_path
+
+
+def _telemetry_section() -> list[str]:
+    """A deterministic telemetry summary for RESULTS.md.
+
+    Only counters appear — sorted by key, no wall-clock timings or
+    execution-shape notes — so a report generated serially, via an
+    N-worker fleet, or from the result cache stays byte-identical for a
+    fixed (config, seed) and remains safe to golden-compare.  Returns
+    nothing when no telemetry session is active.
+    """
+    from ..telemetry import active
+
+    telemetry = active()
+    if telemetry is None:
+        return []
+    snapshot = telemetry.snapshot(deterministic=True)
+    lines = ["## Telemetry", ""]
+    if snapshot["counters"]:
+        lines.append("| counter | value |")
+        lines.append("|---|---|")
+        lines.extend(f"| `{name}` | {value} |"
+                     for name, value in snapshot["counters"].items())
+    else:
+        lines.append("_no counters recorded_")
+    lines.append("")
+    return lines

@@ -88,6 +88,10 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
             f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
         ) from None
 
+    from ..telemetry.registry import active as telemetry_active
+    from .base import stage
+
+    telemetry = telemetry_active()
     key = None
     if cache is not None:
         from ..fleet import cache_key
@@ -95,16 +99,21 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
         key = cache_key(name, config)
         hit, result = cache.fetch(key)
         if hit:
+            if telemetry is not None:
+                telemetry.count("experiment.cache_hits")
             return result
 
     from ..fleet import is_shardable
 
-    if workers and is_shardable(name):
-        from ..fleet import FleetExecutor
+    with stage(f"experiment.{name}"):
+        if workers and is_shardable(name):
+            from ..fleet import FleetExecutor
 
-        result = FleetExecutor(workers).run(name, config).result
-    else:
-        result = runner(config)
+            result = FleetExecutor(workers).run(name, config).result
+        else:
+            result = runner(config)
+    if telemetry is not None:
+        telemetry.count("experiment.runs")
 
     if cache is not None and key is not None:
         cache.store(key, result, meta={"experiment": name,
@@ -131,6 +140,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="result-cache directory (default "
                              "$REPRO_FLEET_CACHE or ~/.cache/repro-fleet)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="collect counters/phase timers and print a "
+                             "summary after the run")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a repro-trace/1 JSON-lines event trace "
+                             "(implies --telemetry)")
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -138,7 +153,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<10s} {description}")
         return 0
 
+    from contextlib import nullcontext
+
     from ..fleet import ResultCache, resolve_workers
+    from ..telemetry import session as telemetry_session
 
     workers = resolve_workers(arguments.workers)
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
@@ -146,18 +164,27 @@ def main(argv: list[str] | None = None) -> int:
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns)
     names = arguments.only or list(EXPERIMENTS)
-    for name in names:
-        description, _ = EXPERIMENTS[name]
-        print("=" * 72)
-        print(f"{name}: {description}")
-        print("=" * 72)
-        started = time.time()
-        hits_before = cache.hits if cache is not None else 0
-        result = run_experiment(name, config, workers=workers, cache=cache)
-        print(result.format_table())
-        cached = cache is not None and cache.hits > hits_before
-        suffix = " (cache hit)" if cached else ""
-        print(f"\n[{name} completed in {time.time() - started:.1f}s{suffix}]\n")
+    use_telemetry = arguments.telemetry or arguments.trace_out is not None
+    context = (telemetry_session(trace_path=arguments.trace_out)
+               if use_telemetry else nullcontext(None))
+    with context as telemetry:
+        for name in names:
+            description, _ = EXPERIMENTS[name]
+            print("=" * 72)
+            print(f"{name}: {description}")
+            print("=" * 72)
+            started = time.time()
+            hits_before = cache.hits if cache is not None else 0
+            result = run_experiment(name, config, workers=workers, cache=cache)
+            print(result.format_table())
+            cached = cache is not None and cache.hits > hits_before
+            suffix = " (cache hit)" if cached else ""
+            print(f"\n[{name} completed in "
+                  f"{time.time() - started:.1f}s{suffix}]\n")
+        if telemetry is not None:
+            print(telemetry.format_summary())
+            if arguments.trace_out:
+                print(f"trace written to {arguments.trace_out}")
     return 0
 
 

@@ -108,18 +108,33 @@ class FleetOutcome:
 
 
 def _execute_shard(module_path: str, config: Any, units: tuple,
-                   kwargs: Mapping[str, Any]) -> tuple[list, float, int]:
+                   kwargs: Mapping[str, Any], collect_telemetry: bool = False,
+                   ) -> tuple[list, float, int, dict | None]:
     """Worker entry point: rebuild devices locally and run one shard.
 
     Must stay a module-level function so the pool can pickle a reference
     to it; receives only primitives, a frozen config, and unit keys.
+    When the parent runs with telemetry, the worker activates a local
+    registry and ships its snapshot back for merging, so an N-worker run
+    reports the same deterministic counters as a serial one.
     """
     import importlib
 
     module = importlib.import_module(module_path)
+    snapshot = None
     started = time.perf_counter()
-    payloads = module.run_shard(config, units, **dict(kwargs))
-    return payloads, time.perf_counter() - started, os.getpid()
+    if collect_telemetry:
+        from ..telemetry.registry import Telemetry, activate, deactivate
+
+        local = activate(Telemetry())
+        try:
+            payloads = module.run_shard(config, units, **dict(kwargs))
+        finally:
+            deactivate()
+        snapshot = local.snapshot()
+    else:
+        payloads = module.run_shard(config, units, **dict(kwargs))
+    return payloads, time.perf_counter() - started, os.getpid(), snapshot
 
 
 class FleetExecutor:
@@ -138,6 +153,8 @@ class FleetExecutor:
         ``shard_units`` / ``run_shard`` / ``merge`` hooks (e.g. fig10's
         ``trials``); they must be picklable primitives.
         """
+        from ..telemetry.registry import active as telemetry_active
+
         module = merge_mod.get_shardable(name)
         units = tuple(module.shard_units(config, **kwargs))
         started = time.perf_counter()
@@ -145,14 +162,31 @@ class FleetExecutor:
             n_shards = default_shard_count(len(units), self.workers,
                                            self.chunks_per_worker)
         shards = plan_shards(name, units, n_shards)
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            # Everything here is execution shape (a serial run_experiment
+            # never routes through the executor), so notes/histograms
+            # only — counters must stay identical serial vs. parallel.
+            telemetry.note(f"fleet.{name}.workers", self.workers)
+            telemetry.note(f"fleet.{name}.shards", len(shards))
+            telemetry.note(f"fleet.{name}.units", len(units))
         if self.workers == 0 or len(shards) <= 1:
             payload_lists, stats = self._run_serial(module, config, shards,
                                                     kwargs)
         else:
             payload_lists, stats = self._run_pool(module, config, shards,
-                                                  kwargs)
-        result = merge_mod.merge_payloads(name, config, payload_lists,
-                                          **kwargs)
+                                                  kwargs, telemetry)
+        if telemetry is not None:
+            for shard_stats in stats:
+                telemetry.observe("fleet.shard_wall_s", shard_stats.wall_s)
+            merge_context = telemetry.phase("fleet.merge")
+        else:
+            from contextlib import nullcontext
+
+            merge_context = nullcontext()
+        with merge_context:
+            result = merge_mod.merge_payloads(name, config, payload_lists,
+                                              **kwargs)
         return FleetOutcome(
             experiment=name, result=result, workers=self.workers,
             n_units=len(units), shard_stats=tuple(stats),
@@ -172,20 +206,21 @@ class FleetExecutor:
                                     os.getpid()))
         return payload_lists, stats
 
-    def _run_pool(self, module, config, shards, kwargs):
+    def _run_pool(self, module, config, shards, kwargs, telemetry=None):
         payload_lists: list = [None] * len(shards)
         stats: list = [None] * len(shards)
         module_path = module.__name__
+        collect = telemetry is not None
         with ProcessPoolExecutor(max_workers=min(self.workers,
                                                  len(shards))) as pool:
             futures = {
                 pool.submit(_execute_shard, module_path, config, shard.units,
-                            kwargs): shard
+                            kwargs, collect): shard
                 for shard in shards
             }
             for future, shard in futures.items():
                 try:
-                    payloads, wall_s, pid = future.result()
+                    payloads, wall_s, pid, snapshot = future.result()
                 except BrokenProcessPool as error:
                     raise FleetWorkerError(shard, error) from error
                 except Exception as error:
@@ -193,4 +228,6 @@ class FleetExecutor:
                 payload_lists[shard.index] = payloads
                 stats[shard.index] = ShardStats(shard.index, shard.n_units,
                                                 wall_s, pid)
+                if telemetry is not None and snapshot is not None:
+                    telemetry.merge_snapshot(snapshot)
         return payload_lists, stats

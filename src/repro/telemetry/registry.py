@@ -1,0 +1,348 @@
+"""Process-wide telemetry registry: counters, histograms, phase timers.
+
+The registry is the single sink for every metric the simulator produces —
+controller command counts, DRAM sense/charge events, experiment phase
+timings, fleet shard accounting.  Design rules:
+
+* **Null sink by default.** Nothing is recorded unless a
+  :class:`Telemetry` instance has been activated (via :func:`activate` or
+  the :func:`session` context manager).  Instrumented call sites guard
+  with ``tel = active()`` / ``if tel is not None``, so a disabled run pays
+  one function call and one ``is None`` test per *event* (not per column
+  or per cycle) — unmeasurable next to the NumPy work each event wraps.
+
+* **Deterministic vs. execution-shape metrics.** ``counters`` measure
+  *work done* and are a pure function of (experiment, config, seed): a
+  serial run and an N-worker fleet run of the same experiment produce
+  identical counter snapshots.  Wall-clock data (``histograms``,
+  ``phases``) and execution-shape metadata (``notes`` — worker counts,
+  shard plans, PIDs) are intentionally kept out of the deterministic
+  snapshot so byte-identity guarantees (golden reports, result caching)
+  are never polluted by timing noise.
+
+* **Mergeable.** :meth:`Telemetry.snapshot` produces a plain-dict,
+  picklable view and :meth:`Telemetry.merge_snapshot` folds one registry
+  into another; this is how fleet worker processes ship their metrics
+  back to the parent (see :mod:`repro.fleet.executor`).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "PhaseStats",
+    "Telemetry",
+    "activate",
+    "active",
+    "deactivate",
+    "session",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavored, but any unit
+#: works; the final bucket is the implicit +inf overflow).
+DEFAULT_BUCKET_BOUNDS: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a histogram for "
+                             "signed observations")
+        self.value += int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Bucketed summary of a stream of observations (count/sum/min/max)."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = 0
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                break
+        else:
+            index = len(self.bounds)
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        if tuple(state["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge differing bucket "
+                f"bounds {state['bounds']} into {list(self.bounds)}")
+        self.bucket_counts = [
+            mine + int(theirs)
+            for mine, theirs in zip(self.bucket_counts, state["bucket_counts"])]
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        for extreme, pick in (("min", min), ("max", max)):
+            theirs = state[extreme]
+            if theirs is None:
+                continue
+            mine = getattr(self, extreme)
+            setattr(self, extreme,
+                    float(theirs) if mine is None else pick(mine, float(theirs)))
+
+
+class PhaseStats:
+    """Accumulated wall time for one named phase."""
+
+    __slots__ = ("name", "count", "total_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += float(elapsed_s)
+
+
+class Telemetry:
+    """One registry of counters, histograms, phase timers, and a tracer."""
+
+    def __init__(self, tracer: Any | None = None) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.phases: dict[str, PhaseStats] = {}
+        self.notes: dict[str, Any] = {}
+        self.tracer = tracer
+
+    # -- counters -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            counter = self.counters[name] = Counter(name)
+            return counter
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counter(name).add(n)
+
+    # -- histograms -----------------------------------------------------
+
+    def histogram(self, name: str,
+                  bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
+                  ) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            histogram = self.histograms[name] = Histogram(name, bounds)
+            return histogram
+
+    def observe(self, name: str, value: float,
+                bounds: tuple[float, ...] = DEFAULT_BUCKET_BOUNDS) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    # -- execution-shape metadata --------------------------------------
+
+    def note(self, name: str, value: Any) -> None:
+        """Record execution metadata (workers, shard plan, ...).
+
+        Notes never enter the deterministic snapshot: they describe *how*
+        the run executed, not *what* it computed.
+        """
+        self.notes[name] = value
+
+    # -- phase timers ---------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named stage; the trace (if any) gets begin/end markers.
+
+        Trace markers deliberately carry no duration so traces stay
+        byte-identical across serial runs of the same seed; durations
+        accumulate in :attr:`phases` (the non-deterministic section).
+        """
+        if self.tracer is not None:
+            self.tracer.emit("phase", {"name": name, "event": "begin"})
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            stats = self.phases.get(name)
+            if stats is None:
+                stats = self.phases[name] = PhaseStats(name)
+            stats.record(elapsed)
+            if self.tracer is not None:
+                self.tracer.emit("phase", {"name": name, "event": "end"})
+
+    # -- tracing --------------------------------------------------------
+
+    def emit(self, kind: str, fields: Mapping[str, Any]) -> None:
+        """Forward a structured event to the tracer, if one is attached."""
+        if self.tracer is not None:
+            self.tracer.emit(kind, fields)
+
+    # -- snapshots ------------------------------------------------------
+
+    def snapshot(self, *, deterministic: bool = False) -> dict[str, Any]:
+        """A plain-dict view of the registry (picklable, JSON-safe).
+
+        ``deterministic=True`` restricts the view to counters — the part
+        that is identical between serial, re-sharded, and N-worker runs
+        of the same (experiment, config, seed).
+        """
+        counters = {name: self.counters[name].value
+                    for name in sorted(self.counters)}
+        if deterministic:
+            return {"counters": counters}
+        return {
+            "counters": counters,
+            "histograms": {name: self.histograms[name].state()
+                           for name in sorted(self.histograms)},
+            "phases": {name: {"count": stats.count, "total_s": stats.total_s}
+                       for name, stats in sorted(self.phases.items())},
+            "notes": {name: self.notes[name] for name in sorted(self.notes)},
+        }
+
+    def merge_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker process) into this
+        registry: counters and histograms add, phases accumulate, notes
+        fill in only where absent."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+        for name, state in snapshot.get("histograms", {}).items():
+            self.histogram(name, tuple(state["bounds"])).merge_state(state)
+        for name, data in snapshot.get("phases", {}).items():
+            stats = self.phases.get(name)
+            if stats is None:
+                stats = self.phases[name] = PhaseStats(name)
+            stats.count += int(data["count"])
+            stats.total_s += float(data["total_s"])
+        for name, value in snapshot.get("notes", {}).items():
+            self.notes.setdefault(name, value)
+
+    # -- rendering ------------------------------------------------------
+
+    def format_summary(self, *, deterministic: bool = False) -> str:
+        """Human-readable summary; deterministic mode prints counters only
+        (sorted keys, no wall-clock data) and is safe to golden-compare."""
+        lines = ["telemetry summary", "  counters:"]
+        for name in sorted(self.counters):
+            lines.append(f"    {name} = {self.counters[name].value}")
+        if len(lines) == 2:
+            lines.append("    (none)")
+        if deterministic:
+            return "\n".join(lines)
+        if self.phases:
+            lines.append("  phases:")
+            for name, stats in sorted(self.phases.items()):
+                lines.append(f"    {name}: {stats.count} x, "
+                             f"{stats.total_s:.3f}s total")
+        if self.histograms:
+            lines.append("  histograms:")
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"    {name}: n={h.count} mean={h.mean:.4g} "
+                    f"min={h.min if h.min is not None else '-'} "
+                    f"max={h.max if h.max is not None else '-'}")
+        if self.notes:
+            lines.append("  notes:")
+            for name in sorted(self.notes):
+                lines.append(f"    {name} = {self.notes[name]}")
+        return "\n".join(lines)
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+# ----------------------------------------------------------------------
+# process-wide activation
+# ----------------------------------------------------------------------
+
+_ACTIVE: Telemetry | None = None
+
+
+def active() -> Telemetry | None:
+    """The currently activated registry, or None (the null sink)."""
+    return _ACTIVE
+
+
+def activate(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the process-wide registry."""
+    global _ACTIVE
+    _ACTIVE = telemetry
+    return telemetry
+
+
+def deactivate() -> None:
+    """Return to the null sink (instrumentation becomes no-ops)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextmanager
+def session(trace_path: Any | None = None) -> Iterator[Telemetry]:
+    """Activate a fresh registry for the duration of a ``with`` block.
+
+    ``trace_path`` attaches a JSON-lines :class:`~repro.telemetry.tracer.
+    TraceWriter`.  Nesting is supported: the previous registry (if any)
+    is restored on exit, and the trace file is flushed and footered.
+    """
+    from .tracer import TraceWriter
+
+    tracer = TraceWriter(trace_path) if trace_path is not None else None
+    telemetry = Telemetry(tracer=tracer)
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous
+        telemetry.close()

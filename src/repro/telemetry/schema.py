@@ -1,0 +1,266 @@
+"""Trace-format schema and validator (``repro-trace/1``).
+
+The schema is expressed as a Python table (:data:`EVENT_SPECS`) instead of
+an external JSON-Schema dependency; `docs/telemetry.md` carries the prose
+version.  Validation enforces:
+
+* every line is a JSON object with a known ``kind`` and an exact ``seq``
+  (0, 1, 2, ... — gaps or reordering fail),
+* required fields present, no unknown fields, field types correct,
+* enumerated fields (``cmd``, ``phase.event``, ``fault_kind``) in range,
+* ``violations`` entries are well-formed constraint records,
+* the file starts with ``trace_start`` (matching schema version), ends
+  with ``trace_end``, and the footer's event count matches reality.
+
+Run directly to validate a file::
+
+    python -m repro.telemetry.schema trace.jsonl
+    python -m repro validate-trace trace.jsonl     # same thing
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import ReproError
+from .tracer import SCHEMA_VERSION, read_trace
+
+__all__ = ["COMMAND_KINDS", "EVENT_SPECS", "TraceSchemaError",
+           "validate_event", "validate_trace", "validate_trace_file", "main"]
+
+
+class TraceSchemaError(ReproError):
+    """A trace event (or file) does not conform to ``repro-trace/1``."""
+
+
+#: Bus-command mnemonics a ``command`` event may carry.
+COMMAND_KINDS = ("ACT", "PRE", "PREA", "RD", "WR")
+
+#: JEDEC constraint identifiers a violation record may name.
+VIOLATION_CONSTRAINTS = ("tRP", "tRAS", "tRC", "tRCD",
+                         "one-row-per-bank", "row-open")
+
+_INT = (int,)
+_NUM = (int, float)
+_STR = (str,)
+_BOOL = (bool,)
+_OPT_INT = (int, type(None))
+_LIST = (list,)
+
+#: kind -> {field: (allowed types, required)}.  ``kind`` and ``seq`` are
+#: common to every event and checked separately.
+EVENT_SPECS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
+    "trace_start": {"schema": (_STR, True)},
+    "trace_end": {"events": (_INT, True)},
+    "sequence": {
+        "label": (_STR, True),
+        "op": (_STR, True),
+        "start_cycle": (_INT, True),
+        "duration": (_INT, True),
+        "n_commands": (_INT, True),
+    },
+    "command": {
+        "cmd": (_STR, True),
+        "bank": (_OPT_INT, True),
+        "row": (_OPT_INT, True),
+        "cycle": (_INT, True),
+        "violations": (_LIST, True),
+    },
+    "sense": {
+        "bank": (_INT, True),
+        "subarray": (_INT, True),
+        "rows": (_LIST, True),
+        "ones": (_INT, True),
+        "flips": (_INT, True),
+    },
+    "partial_amplify": {
+        "bank": (_INT, True),
+        "subarray": (_INT, True),
+        "rows": (_LIST, True),
+        "steps": (_INT, True),
+    },
+    "frac_freeze": {
+        "bank": (_INT, True),
+        "subarray": (_INT, True),
+        "rows": (_LIST, True),
+    },
+    "glitch": {
+        "bank": (_INT, True),
+        "subarray": (_INT, True),
+        "previous": (_LIST, True),
+        "requested": (_INT, True),
+        "opened": (_LIST, True),
+        "overwrite": (_BOOL, True),
+    },
+    "drop": {"bank": (_INT, True), "cycle": (_INT, True)},
+    "leak": {"dt_s": (_NUM, True), "time_s": (_NUM, True)},
+    "fault": {
+        "fault_kind": (_STR, True),
+        "bank": (_INT, True),
+        "row": (_INT, True),
+        "column": (_INT, True),
+    },
+    "phase": {"name": (_STR, True), "event": (_STR, True)},
+}
+
+_ENUMS: dict[tuple[str, str], tuple[str, ...]] = {
+    ("command", "cmd"): COMMAND_KINDS,
+    ("phase", "event"): ("begin", "end"),
+    ("fault", "fault_kind"): ("stuck-at-0", "stuck-at-1", "leaky", "offset"),
+}
+
+_VIOLATION_FIELDS = {
+    "constraint": _STR,
+    "required_cycles": _OPT_INT,
+    "actual_cycles": _OPT_INT,
+}
+
+
+def _type_name(types: tuple[type, ...]) -> str:
+    return " | ".join("null" if t is type(None) else t.__name__
+                      for t in types)
+
+
+def _check_type(where: str, field: str, value: Any,
+                types: tuple[type, ...]) -> None:
+    # bool is an int subclass; don't let True slip into int-typed fields.
+    if isinstance(value, bool) and bool not in types:
+        raise TraceSchemaError(
+            f"{where}: field {field!r} must be {_type_name(types)}, "
+            f"got bool")
+    if not isinstance(value, types):
+        raise TraceSchemaError(
+            f"{where}: field {field!r} must be {_type_name(types)}, "
+            f"got {type(value).__name__}")
+
+
+def _check_int_list(where: str, field: str, value: list) -> None:
+    for item in value:
+        if isinstance(item, bool) or not isinstance(item, int):
+            raise TraceSchemaError(
+                f"{where}: field {field!r} must contain only integers, "
+                f"got {item!r}")
+
+
+def _check_violations(where: str, value: list) -> None:
+    for record in value:
+        if not isinstance(record, Mapping):
+            raise TraceSchemaError(
+                f"{where}: violations entries must be objects, got "
+                f"{record!r}")
+        unknown = set(record) - set(_VIOLATION_FIELDS)
+        if unknown:
+            raise TraceSchemaError(
+                f"{where}: violation record has unknown fields "
+                f"{sorted(unknown)}")
+        for field, types in _VIOLATION_FIELDS.items():
+            if field not in record:
+                raise TraceSchemaError(
+                    f"{where}: violation record missing {field!r}")
+            _check_type(where, f"violations.{field}", record[field], types)
+        if record["constraint"] not in VIOLATION_CONSTRAINTS:
+            raise TraceSchemaError(
+                f"{where}: unknown JEDEC constraint "
+                f"{record['constraint']!r}")
+
+
+def validate_event(event: Any, index: int) -> str:
+    """Validate one parsed event; returns its kind."""
+    where = f"event {index}"
+    if not isinstance(event, Mapping):
+        raise TraceSchemaError(f"{where}: not a JSON object")
+    kind = event.get("kind")
+    if kind not in EVENT_SPECS:
+        raise TraceSchemaError(
+            f"{where}: unknown kind {kind!r}; expected one of "
+            f"{', '.join(sorted(EVENT_SPECS))}")
+    seq = event.get("seq")
+    if isinstance(seq, bool) or not isinstance(seq, int) or seq != index:
+        raise TraceSchemaError(
+            f"{where}: seq must be {index}, got {seq!r}")
+    spec = EVENT_SPECS[kind]
+    unknown = set(event) - set(spec) - {"kind", "seq"}
+    if unknown:
+        raise TraceSchemaError(
+            f"{where} ({kind}): unknown fields {sorted(unknown)}")
+    for field, (types, required) in spec.items():
+        if field not in event:
+            if required:
+                raise TraceSchemaError(
+                    f"{where} ({kind}): missing required field {field!r}")
+            continue
+        value = event[field]
+        _check_type(f"{where} ({kind})", field, value, types)
+        if types is _LIST and field != "violations":
+            _check_int_list(f"{where} ({kind})", field, value)
+    if kind == "command":
+        _check_violations(f"{where} (command)", event["violations"])
+    enum_key_fields = [(k, f) for (k, f) in _ENUMS if k == kind]
+    for _, field in enum_key_fields:
+        allowed = _ENUMS[(kind, field)]
+        if event[field] not in allowed:
+            raise TraceSchemaError(
+                f"{where} ({kind}): {field}={event[field]!r} not in "
+                f"{allowed}")
+    return kind
+
+
+def validate_trace(events: list[Any]) -> dict[str, int]:
+    """Validate a full parsed trace; returns event counts by kind."""
+    if not events:
+        raise TraceSchemaError("empty trace (missing trace_start header)")
+    by_kind: dict[str, int] = {}
+    for index, event in enumerate(events):
+        kind = validate_event(event, index)
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    if events[0]["kind"] != "trace_start":
+        raise TraceSchemaError("first event must be trace_start")
+    if events[0]["schema"] != SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"schema version {events[0]['schema']!r} != {SCHEMA_VERSION!r}")
+    if events[-1]["kind"] != "trace_end":
+        raise TraceSchemaError(
+            "last event must be trace_end (truncated trace?)")
+    if events[-1]["events"] != len(events):
+        raise TraceSchemaError(
+            f"trace_end claims {events[-1]['events']} events, file has "
+            f"{len(events)}")
+    return by_kind
+
+
+def validate_trace_file(path: str | Path) -> dict[str, int]:
+    """Parse and validate a JSON-lines trace file; returns counts by kind."""
+    try:
+        events = read_trace(path)
+    except ValueError as error:
+        raise TraceSchemaError(str(error)) from error
+    return validate_trace(events)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: validate trace files, print event summaries."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=f"validate {SCHEMA_VERSION} JSON-lines trace files")
+    parser.add_argument("paths", nargs="+", metavar="TRACE")
+    arguments = parser.parse_args(argv)
+    status = 0
+    for path in arguments.paths:
+        try:
+            by_kind = validate_trace_file(path)
+        except (TraceSchemaError, OSError) as error:
+            print(f"{path}: INVALID: {error}", file=sys.stderr)
+            status = 1
+            continue
+        total = sum(by_kind.values())
+        summary = ", ".join(f"{kind}={count}"
+                            for kind, count in sorted(by_kind.items()))
+        print(f"{path}: ok ({total} events: {summary})")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Property tests: JEDEC checker flags a gap iff it is below spec.
+
+The oracle is a tiny independent re-implementation of the DDR3 timing
+rules (tRP, tRAS, tRC, one-row-per-bank, row-open) driven by randomly
+generated ACT/PRE/RD streams; :class:`repro.controller.softmc.
+JedecChecker` must agree with it violation-for-violation, and its
+``check``/``observe`` entry points must agree with each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.commands import Activate, Precharge, ReadRow
+from repro.controller.softmc import JedecChecker, SoftMC
+from repro.controller import sequences as seq
+from repro.dram.chip import DramChip
+from repro.dram.parameters import GeometryParams, TimingParams
+from repro.errors import TimingViolationError
+
+TIMING = TimingParams()
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=1,
+                      rows_per_subarray=16, columns=32)
+
+#: (op, gap-to-previous-command) steps; ops touch a single bank.
+steps = st.lists(
+    st.tuples(st.sampled_from(["ACT", "PRE", "RD"]),
+              st.integers(min_value=0, max_value=25)),
+    min_size=1, max_size=12)
+
+
+def oracle(stream, timing: TimingParams):
+    """Reference model: the set of broken constraints per command."""
+    far_past = -(10 ** 9)
+    last_act, last_pre, is_open = far_past, far_past, False
+    expected = []
+    cycle = 0
+    for op, gap in stream:
+        cycle += gap
+        broken = set()
+        if op == "ACT":
+            if is_open:
+                broken.add("one-row-per-bank")
+            if cycle - last_pre < timing.t_rp:
+                broken.add("tRP")
+            if cycle - last_act < timing.t_rc:
+                broken.add("tRC")
+            last_act, is_open = cycle, True
+        elif op == "PRE":
+            if is_open and cycle - last_act < timing.t_ras:
+                broken.add("tRAS")
+            last_pre, is_open = cycle, False
+        else:  # RD
+            if not is_open:
+                broken.add("row-open")
+            if cycle - last_act < timing.t_rcd:
+                broken.add("tRCD")
+        expected.append(broken)
+    return expected
+
+
+def as_commands(stream):
+    cycle = 0
+    for op, gap in stream:
+        cycle += gap
+        command = {"ACT": Activate(0, 1), "PRE": Precharge(0),
+                   "RD": ReadRow(0, 1)}[op]
+        yield cycle, command
+
+
+class TestObserveMatchesOracle:
+    @given(steps)
+    @settings(deadline=None)
+    def test_flagged_iff_gap_below_spec(self, stream):
+        checker = JedecChecker(TIMING)
+        expected = oracle(stream, TIMING)
+        for (cycle, command), broken in zip(as_commands(stream), expected):
+            violations = checker.observe(cycle, command)
+            assert {v.constraint for v in violations} == broken
+
+    @given(steps)
+    @settings(deadline=None)
+    def test_violation_records_carry_the_measured_gap(self, stream):
+        checker = JedecChecker(TIMING)
+        required = {"tRP": TIMING.t_rp, "tRAS": TIMING.t_ras,
+                    "tRC": TIMING.t_rc, "tRCD": TIMING.t_rcd}
+        for cycle, command in as_commands(stream):
+            for violation in checker.observe(cycle, command):
+                if violation.required_cycles is None:
+                    continue  # state violations carry no gap
+                assert violation.required_cycles == required[
+                    violation.constraint]
+                assert violation.actual_cycles < violation.required_cycles
+
+    @given(steps)
+    @settings(deadline=None)
+    def test_check_raises_iff_observe_flags(self, stream):
+        observing = JedecChecker(TIMING)
+        strict = JedecChecker(TIMING)
+        for cycle, command in as_commands(stream):
+            violations = observing.observe(cycle, command)
+            if violations:
+                try:
+                    strict.check(cycle, command)
+                except TimingViolationError as error:
+                    assert error.constraint == violations[0].constraint
+                else:
+                    raise AssertionError("check() did not raise")
+            else:
+                strict.check(cycle, command)
+
+
+in_spec_rows = st.integers(min_value=0, max_value=GEOM.rows_per_subarray - 1)
+
+
+def violations_of(sequence) -> int:
+    """Total violations a sequence triggers from a cold checker."""
+    checker = JedecChecker(TIMING)
+    return sum(len(checker.observe(timed.cycle, timed.command))
+               for timed in sequence)
+
+
+class TestBuilderSequences:
+    @given(in_spec_rows)
+    @settings(deadline=None)
+    def test_normal_traffic_is_in_spec(self, row):
+        for build in (
+            lambda: seq.write_row_sequence(0, row, [True] * 8, TIMING),
+            lambda: seq.read_row_sequence(0, row, TIMING),
+            lambda: seq.refresh_row_sequence(0, row, TIMING),
+            lambda: seq.precharge_all_sequence(TIMING),
+        ):
+            assert violations_of(build()) == 0
+
+    @given(in_spec_rows, st.integers(min_value=1, max_value=4))
+    @settings(deadline=None)
+    def test_every_frac_primitive_is_out_of_spec(self, row, n_frac):
+        assert violations_of(seq.frac_sequence(0, row, n_frac, TIMING)) >= 1
+        assert violations_of(seq.multi_row_sequence(0, 1, 2, TIMING)) >= 1
+        assert violations_of(seq.half_m_sequence(0, 8, 1, TIMING)) >= 1
+        assert violations_of(seq.row_copy_sequence(0, 1, 2, TIMING)) >= 1
+
+    @given(in_spec_rows)
+    @settings(deadline=None, max_examples=10)
+    def test_strict_controller_accepts_normal_traffic(self, row):
+        mc = SoftMC(DramChip("B", geometry=GEOM), strict=True)
+        mc.fill_row(0, row, True)
+        assert mc.read_row(0, row).all()

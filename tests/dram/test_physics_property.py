@@ -1,0 +1,154 @@
+"""Property tests: charge-sharing and leakage monotonicity (hypothesis).
+
+Complements ``tests/property/test_physics_invariants.py`` (conservation
+laws) with ordering properties:
+
+* charge sharing moves every column toward a convex combination of the
+  participants — the equilibrium is bounded by [min, max] of the cell
+  voltage and the precharged bit-line, and is monotone in the starting
+  cell voltage;
+* leakage only ever removes charge, longer waits never leave more, decay
+  composes additively, and raising the temperature accelerates it.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.decoder import DecoderProfile
+from repro.dram.environment import Environment
+from repro.dram.parameters import ElectricalParams, VariationParams
+from repro.dram.rng import NoiseSource
+from repro.dram.subarray import CouplingProfile, SubArray
+
+ENV = Environment()
+N_COLS = 8
+
+#: All stochastic knobs silenced so properties are exact inequalities.
+QUIET = VariationParams(
+    sa_offset_sigma=0.0, read_noise_sigma=0.0,
+    primary_weight_mean=0.0, primary_weight_sigma=0.0,
+    weight_jitter_sigma=0.0, multirow_bias_sigma=0.0,
+    vrt_cell_fraction=0.0, halfm_amp_sigma=0.0, halfm_amp_mean=0.5)
+
+
+def make_subarray(variation: VariationParams = QUIET,
+                  seed: int = 0) -> SubArray:
+    return SubArray(
+        n_rows=16, n_cols=N_COLS,
+        electrical=ElectricalParams(),
+        variation=variation,
+        decoder_profile=DecoderProfile(
+            triple_bit_pairs=frozenset({(0, 1)}),
+            quad_bit_pairs=frozenset({(0, 3)})),
+        coupling=CouplingProfile(),
+        fabrication_rng=np.random.default_rng(seed),
+        noise=NoiseSource(seed, "physics-property"),
+    )
+
+
+voltages = st.lists(st.floats(0.0, 1.0), min_size=N_COLS, max_size=N_COLS)
+durations = st.floats(min_value=0.0, max_value=3600.0)
+
+
+class TestChargeSharingMonotonicity:
+    @given(voltages, st.integers(0, 15))
+    @settings(deadline=None)
+    def test_equilibrium_bounded_by_participants(self, row_v, row):
+        subarray = make_subarray()
+        subarray.cell_v[row] = row_v
+        subarray.activate(row, 0, ENV)  # share only; sense fires later
+        low = np.minimum(row_v, 0.5)
+        high = np.maximum(row_v, 0.5)
+        assert np.all(subarray.bitline_v >= low - 1e-12)
+        assert np.all(subarray.bitline_v <= high + 1e-12)
+        # Cells equilibrate with the bit-line during the share.
+        np.testing.assert_allclose(subarray.cell_v[row], subarray.bitline_v,
+                                   atol=1e-12)
+
+    @given(voltages, voltages, st.integers(0, 15))
+    @settings(deadline=None)
+    def test_equilibrium_monotone_in_cell_voltage(self, a, b, row):
+        lower = np.minimum(a, b)
+        upper = np.maximum(a, b)
+        sub_lower, sub_upper = make_subarray(), make_subarray()
+        sub_lower.cell_v[row] = lower
+        sub_upper.cell_v[row] = upper
+        sub_lower.activate(row, 0, ENV)
+        sub_upper.activate(row, 0, ENV)
+        assert np.all(sub_upper.bitline_v >= sub_lower.bitline_v - 1e-12)
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 15))
+    @settings(deadline=None)
+    def test_quiet_sense_restores_full_level(self, level, row):
+        subarray = make_subarray()
+        subarray.cell_v[row] = level
+        subarray.activate(row, 0, ENV)
+        subarray.settle(10, ENV)
+        decision = bool(subarray.row_buffer()[0])
+        restored = subarray.cell_v[row][0]
+        assert restored in (0.0, 1.0)
+        assert decision == (restored == 1.0)
+        # Shares toward Vdd/2 never flip a quiet full-level cell.
+        if level > 0.5:
+            assert decision is True
+        elif level < 0.5:
+            assert decision is False
+
+
+class TestLeakageMonotonicity:
+    @given(voltages, durations)
+    @settings(deadline=None)
+    def test_leak_never_adds_charge(self, row_v, dt):
+        subarray = make_subarray()
+        subarray.cell_v[3] = row_v
+        before = subarray.cell_v.copy()
+        subarray.leak(dt, ENV)
+        assert np.all(subarray.cell_v <= before + 1e-15)
+        assert np.all(subarray.cell_v >= 0.0)
+
+    @given(voltages, durations, durations)
+    @settings(deadline=None)
+    def test_longer_wait_never_leaves_more(self, row_v, dt_a, dt_b):
+        shorter, longer = sorted((dt_a, dt_b))
+        sub_short, sub_long = make_subarray(), make_subarray()
+        sub_short.cell_v[3] = row_v
+        sub_long.cell_v[3] = row_v
+        sub_short.leak(shorter, ENV)
+        sub_long.leak(longer, ENV)
+        assert np.all(sub_long.cell_v[3] <= sub_short.cell_v[3] + 1e-15)
+
+    @given(voltages, st.floats(0.001, 1800.0), st.floats(0.001, 1800.0))
+    @settings(deadline=None)
+    def test_decay_composes_additively(self, row_v, dt_a, dt_b):
+        split, whole = make_subarray(), make_subarray()
+        split.cell_v[3] = row_v
+        whole.cell_v[3] = row_v
+        split.leak(dt_a, ENV)
+        split.leak(dt_b, ENV)
+        whole.leak(dt_a + dt_b, ENV)
+        np.testing.assert_allclose(split.cell_v[3], whole.cell_v[3],
+                                   rtol=1e-9, atol=1e-12)
+
+    @given(voltages, st.floats(1.0, 3600.0),
+           st.floats(20.0, 85.0), st.floats(20.0, 85.0))
+    @settings(deadline=None)
+    def test_hotter_leaks_at_least_as_fast(self, row_v, dt, t_a, t_b):
+        cool_t, hot_t = sorted((t_a, t_b))
+        cool, hot = make_subarray(), make_subarray()
+        cool.cell_v[3] = row_v
+        hot.cell_v[3] = row_v
+        cool.leak(dt, Environment(temperature_c=cool_t))
+        hot.leak(dt, Environment(temperature_c=hot_t))
+        assert np.all(hot.cell_v[3] <= cool.cell_v[3] + 1e-15)
+
+    @given(voltages, durations)
+    @settings(deadline=None)
+    def test_vrt_cells_still_only_decay(self, row_v, dt):
+        noisy = make_subarray(
+            variation=VariationParams(vrt_cell_fraction=1.0), seed=7)
+        noisy.cell_v[3] = row_v
+        before = noisy.cell_v.copy()
+        noisy.leak(dt, ENV)
+        assert np.all(noisy.cell_v <= before + 1e-15)
+        assert np.all(noisy.cell_v >= 0.0)

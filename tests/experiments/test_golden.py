@@ -1,0 +1,65 @@
+"""Golden-file regression tests for the figure experiments.
+
+Each golden file is the byte-exact ``export_json`` output of one
+experiment at a small fixed-seed configuration (``GOLDEN_CONFIG``).  Any
+change to the physics, RNG derivation, experiment logic, or JSON
+serialization shows up as a diff here — intentional changes regenerate
+the files with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/experiments/test_golden.py
+
+and commit the result (the diff is the review artifact).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import export_json
+from repro.experiments.runner import run_experiment
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Small enough that all three experiments run in seconds; fixed seed so
+#: reruns are byte-identical.
+GOLDEN_CONFIG = ExperimentConfig(
+    master_seed=2022, columns=128, rows_per_subarray=16,
+    subarrays_per_bank=2, n_banks=2, chips_per_group=1)
+
+GOLDEN_EXPERIMENTS = ("fig6", "fig7", "fig8")
+
+REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
+
+
+def rendered(name: str, tmp_path: Path) -> bytes:
+    result = run_experiment(name, GOLDEN_CONFIG)
+    return export_json(result, tmp_path / f"{name}.json").read_bytes()
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+def test_export_matches_golden(name, tmp_path):
+    fresh = rendered(name, tmp_path)
+    golden_path = GOLDEN_DIR / f"{name}.json"
+    if REGEN:
+        golden_path.parent.mkdir(parents=True, exist_ok=True)
+        golden_path.write_bytes(fresh)
+    assert golden_path.exists(), (
+        f"golden file {golden_path} missing; regenerate with "
+        f"REPRO_REGEN_GOLDEN=1")
+    assert fresh == golden_path.read_bytes(), (
+        f"{name} export drifted from {golden_path}; if the change is "
+        f"intentional, regenerate with REPRO_REGEN_GOLDEN=1 and commit "
+        f"the diff")
+
+
+@pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+def test_golden_files_are_canonical_json(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    text = path.read_text()
+    data = json.loads(text)
+    # export_json writes sorted keys, indent=2, trailing newline —
+    # anything else means the file was hand-edited.
+    assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,29 @@
+"""Telemetry test fixtures: never leak an activated registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import Telemetry, activate, active, deactivate
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Every test starts and ends at the null sink.
+
+    The registry is process-global state; a test that activates one and
+    fails before deactivating must not turn telemetry on for the rest of
+    the suite.
+    """
+    deactivate()
+    yield
+    deactivate()
+
+
+@pytest.fixture
+def telemetry():
+    """An activated, tracer-less registry, deactivated on teardown."""
+    instance = activate(Telemetry())
+    yield instance
+    deactivate()
+    assert active() is None

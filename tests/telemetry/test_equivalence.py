@@ -1,0 +1,117 @@
+"""End-to-end telemetry contracts on real experiments.
+
+* serial and N-worker fleet runs report identical deterministic counter
+  snapshots (the fleet merge contract),
+* a traced fig6 run replays exactly: per-command trace events agree with
+  the counters, frac op accounting matches the ACT/PRE pair count, and
+  the whole trace passes repro-trace/1 validation,
+* two serial traced runs of the same seed are byte-identical.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.telemetry import (
+    Telemetry,
+    activate,
+    deactivate,
+    read_trace,
+    session,
+    validate_trace,
+)
+
+CONFIG = ExperimentConfig(columns=128, rows_per_subarray=16,
+                          subarrays_per_bank=2, n_banks=2, chips_per_group=1)
+
+
+def snapshot_of_run(name: str, workers: int) -> dict:
+    telemetry = activate(Telemetry())
+    try:
+        run_experiment(name, CONFIG, workers=workers)
+    finally:
+        deactivate()
+    return telemetry.snapshot(deterministic=True)
+
+
+class TestSerialParallelEquivalence:
+    def test_fig6_serial_snapshot_is_nonempty(self):
+        snapshot = snapshot_of_run("fig6", workers=0)
+        assert snapshot["counters"]["controller.frac_ops"] > 0
+        assert snapshot["counters"]["experiment.runs"] == 1
+
+    @pytest.mark.fleet
+    def test_fig6_serial_vs_two_workers(self):
+        serial = snapshot_of_run("fig6", workers=0)
+        parallel = snapshot_of_run("fig6", workers=2)
+        assert parallel == serial
+
+    @pytest.mark.fleet
+    def test_execution_shape_lands_in_notes_not_counters(self):
+        telemetry = activate(Telemetry())
+        try:
+            run_experiment("fig6", CONFIG, workers=2)
+        finally:
+            deactivate()
+        assert telemetry.notes["fleet.fig6.workers"] == 2
+        assert telemetry.notes["fleet.fig6.units"] > 0
+        assert not any(name.startswith("fleet.")
+                       for name in telemetry.counters)
+        assert telemetry.histograms["fleet.shard_wall_s"].count > 0
+
+
+class TestFig6TraceReplay:
+    """Acceptance: the fig6 trace replays exact command counts."""
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "fig6.jsonl"
+        with session(trace_path=path) as telemetry:
+            run_experiment("fig6", CONFIG)
+            counters = {name: counter.value
+                        for name, counter in telemetry.counters.items()}
+        return read_trace(path), counters
+
+    def test_trace_passes_schema_validation(self, traced_run):
+        events, _ = traced_run
+        by_kind = validate_trace(events)
+        assert by_kind["command"] > 0
+        assert by_kind["sequence"] > 0
+
+    def test_command_events_replay_counters(self, traced_run):
+        events, counters = traced_run
+        commands = [event for event in events if event["kind"] == "command"]
+        assert len(commands) == counters["controller.commands"]
+        for kind in ("ACT", "PRE"):
+            issued = sum(1 for event in commands if event["cmd"] == kind)
+            assert issued == counters[f"controller.{kind.lower()}"]
+
+    def test_frac_ops_match_act_pre_pairs(self, traced_run):
+        events, counters = traced_run
+        frac_commands = 0
+        for event in events:
+            if event["kind"] == "sequence" and event["op"] == "frac":
+                frac_commands += event["n_commands"]
+        # One Frac = one ACT/PRE pair (Section III-A).
+        assert frac_commands // 2 == counters["controller.frac_ops"]
+
+    def test_violations_in_trace_replay_counter(self, traced_run):
+        events, counters = traced_run
+        flagged = sum(len(event["violations"]) for event in events
+                      if event["kind"] == "command")
+        assert flagged == counters.get("controller.jedec_violations", 0)
+
+    def test_sequence_command_budget(self, traced_run):
+        events, counters = traced_run
+        declared = sum(event["n_commands"] for event in events
+                       if event["kind"] == "sequence")
+        assert declared == counters["controller.commands"]
+
+
+class TestTraceByteIdentity:
+    def test_two_serial_runs_identical(self, tmp_path):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        for path in paths:
+            with session(trace_path=path):
+                run_experiment("fig7", CONFIG)
+        assert paths[0].read_bytes() == paths[1].read_bytes()

@@ -1,0 +1,85 @@
+"""Null-sink contract: with no registry active, instrumentation is inert.
+
+The instrumented layers (controller, DRAM model, experiments, fleet)
+must produce identical *results* whether telemetry is on or off, and a
+disabled run must leave no metrics anywhere.
+"""
+
+import numpy as np
+
+from repro import DramChip, GeometryParams, SoftMC
+from repro.experiments.base import stage
+from repro.telemetry import Telemetry, activate, active, deactivate
+
+GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=64)
+
+
+def run_workload(chip: DramChip) -> np.ndarray:
+    mc = SoftMC(chip)
+    mc.fill_row(0, 3, True)
+    mc.frac(0, 3, n_frac=2)
+    mc.multi_row_activate(0, 1, 2)
+    return mc.read_row(0, 3)
+
+
+class TestNullSink:
+    def test_disabled_run_records_nothing(self):
+        assert active() is None
+        run_workload(DramChip("B", geometry=GEOM))
+        assert active() is None  # nothing implicitly activated a registry
+
+    def test_stage_is_noop_when_disabled(self):
+        with stage("experiment.test"):
+            pass
+        assert active() is None
+
+    def test_results_identical_with_and_without_telemetry(self):
+        disabled = run_workload(DramChip("B", geometry=GEOM, master_seed=77))
+        telemetry = activate(Telemetry())
+        try:
+            enabled = run_workload(DramChip("B", geometry=GEOM,
+                                            master_seed=77))
+        finally:
+            deactivate()
+        np.testing.assert_array_equal(disabled, enabled)
+        assert telemetry.counters["controller.sequences"].value > 0
+
+    def test_enabling_after_disabled_run_starts_from_zero(self):
+        run_workload(DramChip("B", geometry=GEOM))
+        telemetry = activate(Telemetry())
+        try:
+            assert telemetry.snapshot(deterministic=True) == {"counters": {}}
+        finally:
+            deactivate()
+
+
+class TestInstrumentedCounters:
+    def test_controller_counters_match_workload(self, telemetry):
+        mc = SoftMC(DramChip("B", geometry=GEOM))
+        mc.frac(0, 3, n_frac=4)
+        assert telemetry.counters["controller.frac_ops"].value == 4
+        assert telemetry.counters["controller.seq.frac"].value == 1
+        # A frac burst is ACT/PRE pairs only.
+        assert telemetry.counters["controller.act"].value == 4
+        assert telemetry.counters["controller.pre"].value == 4
+        assert telemetry.counters["controller.commands"].value == 8
+
+    def test_frac_stream_flagged_as_jedec_violating(self, telemetry):
+        mc = SoftMC(DramChip("B", geometry=GEOM))
+        mc.frac(0, 3, n_frac=1)
+        # PRE 1 cycle after ACT breaks tRAS at minimum.
+        assert telemetry.counters["controller.jedec.tras"].value >= 1
+        assert telemetry.counters["controller.jedec_violations"].value >= 1
+
+    def test_in_spec_traffic_has_no_violations(self, telemetry):
+        mc = SoftMC(DramChip("B", geometry=GEOM))
+        mc.fill_row(0, 3, True)
+        mc.read_row(0, 3)
+        mc.refresh_row(0, 3)
+        assert "controller.jedec_violations" not in telemetry.counters
+
+    def test_dram_counters_appear(self, telemetry):
+        run_workload(DramChip("B", geometry=GEOM))
+        assert telemetry.counters["dram.frac_freeze"].value > 0
+        assert telemetry.counters["dram.sense_fired"].value > 0

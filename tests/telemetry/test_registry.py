@@ -1,0 +1,221 @@
+"""Registry semantics: counters, histograms, phases, snapshots, merging."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKET_BOUNDS,
+    Counter,
+    Histogram,
+    Telemetry,
+    activate,
+    active,
+    deactivate,
+    session,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").add(-1)
+
+    def test_registry_interns_by_name(self):
+        telemetry = Telemetry()
+        assert telemetry.counter("a") is telemetry.counter("a")
+        telemetry.count("a")
+        telemetry.count("a", 2)
+        assert telemetry.counters["a"].value == 3
+
+
+class TestHistogram:
+    def test_bucketing_boundaries_inclusive(self):
+        histogram = Histogram("h", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        # <=1.0 -> bucket 0, <=10.0 -> bucket 1, overflow -> bucket 2.
+        assert histogram.bucket_counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 11.0
+        assert histogram.mean == pytest.approx(27.5 / 5)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 0.5))
+
+    def test_merge_adds_buckets_and_extremes(self):
+        a, b = Histogram("h"), Histogram("h")
+        a.observe(0.5)
+        b.observe(50.0)
+        b.observe(0.0001)
+        a.merge_state(b.state())
+        assert a.count == 3
+        assert a.min == 0.0001
+        assert a.max == 50.0
+        assert sum(a.bucket_counts) == 3
+
+    def test_merge_into_empty(self):
+        a, b = Histogram("h"), Histogram("h")
+        b.observe(2.0)
+        a.merge_state(b.state())
+        assert (a.count, a.min, a.max) == (1, 2.0, 2.0)
+
+    def test_merge_rejects_differing_bounds(self):
+        a = Histogram("h", bounds=(1.0,))
+        b = Histogram("h", bounds=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge_state(b.state())
+
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_BUCKET_BOUNDS) == sorted(DEFAULT_BUCKET_BOUNDS)
+
+
+class TestSnapshot:
+    def test_counters_sorted_by_key(self):
+        telemetry = Telemetry()
+        for name in ("z", "a", "m"):
+            telemetry.count(name)
+        snapshot = telemetry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "m", "z"]
+
+    def test_deterministic_snapshot_is_counters_only(self):
+        telemetry = Telemetry()
+        telemetry.count("work")
+        telemetry.observe("wall_s", 1.5)
+        telemetry.note("workers", 4)
+        with telemetry.phase("stage"):
+            pass
+        snapshot = telemetry.snapshot(deterministic=True)
+        assert snapshot == {"counters": {"work": 1}}
+
+    def test_full_snapshot_sections(self):
+        telemetry = Telemetry()
+        telemetry.count("work", 3)
+        telemetry.observe("wall_s", 0.25)
+        telemetry.note("workers", 2)
+        with telemetry.phase("stage"):
+            pass
+        snapshot = telemetry.snapshot()
+        assert snapshot["counters"] == {"work": 3}
+        assert snapshot["histograms"]["wall_s"]["count"] == 1
+        assert snapshot["phases"]["stage"]["count"] == 1
+        assert snapshot["notes"] == {"workers": 2}
+
+    def test_snapshot_is_picklable(self):
+        telemetry = Telemetry()
+        telemetry.count("work")
+        telemetry.observe("wall_s", 1.0)
+        snapshot = telemetry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        parent, worker = Telemetry(), Telemetry()
+        parent.count("work", 2)
+        worker.count("work", 3)
+        worker.count("extra")
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counters["work"].value == 5
+        assert parent.counters["extra"].value == 1
+
+    def test_histograms_and_phases_accumulate(self):
+        parent, worker = Telemetry(), Telemetry()
+        parent.observe("wall_s", 1.0)
+        worker.observe("wall_s", 3.0)
+        with worker.phase("stage"):
+            pass
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.histograms["wall_s"].count == 2
+        assert parent.phases["stage"].count == 1
+
+    def test_notes_fill_only_where_absent(self):
+        parent, worker = Telemetry(), Telemetry()
+        parent.note("workers", 4)
+        worker.note("workers", 1)
+        worker.note("pid", 123)
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.notes == {"workers": 4, "pid": 123}
+
+    def test_merging_n_workers_equals_one_big_registry(self):
+        reference = Telemetry()
+        parent = Telemetry()
+        workers = [Telemetry() for _ in range(3)]
+        for index, worker in enumerate(workers):
+            for _ in range(index + 1):
+                worker.count("work")
+                reference.count("work")
+            parent.merge_snapshot(worker.snapshot())
+        assert (parent.snapshot(deterministic=True)
+                == reference.snapshot(deterministic=True))
+
+
+class TestFormatSummary:
+    def test_deterministic_summary_has_no_wall_clock(self):
+        telemetry = Telemetry()
+        telemetry.count("b")
+        telemetry.count("a")
+        telemetry.observe("wall_s", 1.0)
+        telemetry.note("workers", 2)
+        summary = telemetry.format_summary(deterministic=True)
+        assert "a = 1" in summary and "b = 1" in summary
+        assert summary.index("a = 1") < summary.index("b = 1")
+        assert "wall_s" not in summary
+        assert "workers" not in summary
+
+    def test_full_summary_mentions_every_section(self):
+        telemetry = Telemetry()
+        telemetry.count("work")
+        telemetry.observe("wall_s", 1.0)
+        telemetry.note("workers", 2)
+        with telemetry.phase("stage"):
+            pass
+        summary = telemetry.format_summary()
+        for token in ("counters", "phases", "histograms", "notes"):
+            assert token in summary
+
+    def test_empty_registry_prints_none(self):
+        assert "(none)" in Telemetry().format_summary()
+
+
+class TestActivation:
+    def test_default_is_null_sink(self):
+        assert active() is None
+
+    def test_activate_and_deactivate(self):
+        telemetry = activate(Telemetry())
+        assert active() is telemetry
+        deactivate()
+        assert active() is None
+
+    def test_session_restores_previous_registry(self):
+        outer = activate(Telemetry())
+        with session() as inner:
+            assert active() is inner
+            assert inner is not outer
+        assert active() is outer
+
+    def test_session_without_trace_has_no_tracer(self):
+        with session() as telemetry:
+            assert telemetry.tracer is None
+            telemetry.emit("sense", {"bank": 0})  # must be a silent no-op
+
+    def test_session_closes_trace_on_exit(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with session(trace_path=path) as telemetry:
+            assert telemetry.tracer is not None
+        lines = path.read_text().splitlines()
+        assert '"kind":"trace_start"' in lines[0]
+        assert '"kind":"trace_end"' in lines[-1]

@@ -1,0 +1,178 @@
+"""Trace writer determinism and repro-trace/1 schema validation."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    TraceSchemaError,
+    TraceWriter,
+    read_trace,
+    validate_event,
+    validate_trace,
+    validate_trace_file,
+)
+from repro.telemetry import schema as schema_mod
+
+
+def write_events(path, events):
+    with TraceWriter(path) as writer:
+        for kind, fields in events:
+            writer.emit(kind, fields)
+    return path
+
+
+class TestTraceWriter:
+    def test_header_footer_and_seq(self, tmp_path):
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"bank": 0, "cycle": 7})])
+        events = read_trace(path)
+        assert events[0] == {"kind": "trace_start",
+                             "schema": SCHEMA_VERSION, "seq": 0}
+        assert events[1]["kind"] == "drop"
+        assert events[-1] == {"kind": "trace_end", "events": 3, "seq": 2}
+        assert [event["seq"] for event in events] == [0, 1, 2]
+
+    def test_encoding_is_sorted_and_compact(self, tmp_path):
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"cycle": 7, "bank": 0})])
+        line = path.read_text().splitlines()[1]
+        assert line == '{"bank":0,"cycle":7,"kind":"drop","seq":1}'
+
+    def test_identical_event_streams_are_byte_identical(self, tmp_path):
+        events = [("drop", {"bank": 0, "cycle": 7}),
+                  ("leak", {"dt_s": 0.5, "time_s": 1.5})]
+        a = write_events(tmp_path / "a.jsonl", events)
+        b = write_events(tmp_path / "b.jsonl", events)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t.jsonl")
+        writer.close()
+        writer.close()  # idempotent
+        with pytest.raises(ValueError):
+            writer.emit("drop", {"bank": 0, "cycle": 0})
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestValidateEvent:
+    def test_unknown_kind(self):
+        with pytest.raises(TraceSchemaError, match="unknown kind"):
+            validate_event({"kind": "nope", "seq": 0}, 0)
+
+    def test_seq_mismatch(self):
+        with pytest.raises(TraceSchemaError, match="seq"):
+            validate_event({"kind": "drop", "bank": 0, "cycle": 1, "seq": 5}, 0)
+
+    def test_missing_required_field(self):
+        with pytest.raises(TraceSchemaError, match="missing required"):
+            validate_event({"kind": "drop", "bank": 0, "seq": 0}, 0)
+
+    def test_unknown_field(self):
+        with pytest.raises(TraceSchemaError, match="unknown fields"):
+            validate_event({"kind": "drop", "bank": 0, "cycle": 1,
+                            "extra": 1, "seq": 0}, 0)
+
+    def test_bool_does_not_pass_as_int(self):
+        with pytest.raises(TraceSchemaError, match="bool"):
+            validate_event({"kind": "drop", "bank": True, "cycle": 1,
+                            "seq": 0}, 0)
+
+    def test_command_enum_enforced(self):
+        event = {"kind": "command", "cmd": "NOP", "bank": 0, "row": 1,
+                 "cycle": 0, "violations": [], "seq": 0}
+        with pytest.raises(TraceSchemaError, match="cmd"):
+            validate_event(event, 0)
+
+    def test_violation_record_shape(self):
+        event = {"kind": "command", "cmd": "ACT", "bank": 0, "row": 1,
+                 "cycle": 0, "seq": 0,
+                 "violations": [{"constraint": "tXX",
+                                 "required_cycles": 5, "actual_cycles": 1}]}
+        with pytest.raises(TraceSchemaError, match="constraint"):
+            validate_event(event, 0)
+
+    def test_int_list_fields_reject_non_ints(self):
+        event = {"kind": "sense", "bank": 0, "subarray": 0,
+                 "rows": [1, "two"], "ones": 3, "flips": 0, "seq": 0}
+        with pytest.raises(TraceSchemaError, match="integers"):
+            validate_event(event, 0)
+
+    def test_valid_command_event_passes(self):
+        event = {"kind": "command", "cmd": "PRE", "bank": 0, "row": None,
+                 "cycle": 12, "seq": 3,
+                 "violations": [{"constraint": "tRAS",
+                                 "required_cycles": 15, "actual_cycles": 1}]}
+        assert validate_event(event, 3) == "command"
+
+
+class TestValidateTrace:
+    def test_empty_trace(self):
+        with pytest.raises(TraceSchemaError, match="empty"):
+            validate_trace([])
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace_start", "schema": "repro-trace/0",
+                        "seq": 0}) + "\n"
+            + json.dumps({"kind": "trace_end", "events": 2, "seq": 1}) + "\n")
+        with pytest.raises(TraceSchemaError, match="schema version"):
+            validate_trace_file(path)
+
+    def test_truncated_trace_detected(self, tmp_path):
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"bank": 0, "cycle": 1})])
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        with pytest.raises(TraceSchemaError, match="trace_end"):
+            validate_trace_file(path)
+
+    def test_footer_count_mismatch(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            json.dumps({"kind": "trace_start", "schema": SCHEMA_VERSION,
+                        "seq": 0}) + "\n"
+            + json.dumps({"kind": "trace_end", "events": 99, "seq": 1}) + "\n")
+        with pytest.raises(TraceSchemaError, match="99"):
+            validate_trace_file(path)
+
+    def test_counts_by_kind(self, tmp_path):
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"bank": 0, "cycle": 1}),
+                             ("drop", {"bank": 1, "cycle": 2}),
+                             ("leak", {"dt_s": 0.5, "time_s": 1.0})])
+        by_kind = validate_trace_file(path)
+        assert by_kind == {"trace_start": 1, "drop": 2, "leak": 1,
+                           "trace_end": 1}
+
+
+class TestSchemaCli:
+    def test_ok_exit_code(self, tmp_path, capsys):
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"bank": 0, "cycle": 1})])
+        assert schema_mod.main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_invalid_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        assert schema_mod.main([str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert schema_mod.main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_module_cli_alias(self, tmp_path):
+        from repro.__main__ import main as repro_main
+
+        path = write_events(tmp_path / "t.jsonl",
+                            [("drop", {"bank": 0, "cycle": 1})])
+        assert repro_main(["validate-trace", str(path)]) == 0

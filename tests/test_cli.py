@@ -47,3 +47,40 @@ class TestCli:
         assert main(["report", "--output", str(tmp_path),
                      "--only", "latency", "--columns", "128"]) == 0
         assert (tmp_path / "RESULTS.md").exists()
+
+
+class TestTelemetryCli:
+    def test_experiments_telemetry_summary(self, capsys):
+        assert main(["experiments", "--only", "latency",
+                     "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "counters:" in out
+
+    def test_trace_out_validates_end_to_end(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["experiments", "--only", "table1", "--columns", "64",
+                     "--no-cache", "--trace-out", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert main(["validate-trace", str(trace)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_report_telemetry_section(self, tmp_path, capsys):
+        assert main(["report", "--output", str(tmp_path),
+                     "--only", "latency", "--columns", "128",
+                     "--telemetry"]) == 0
+        results = (tmp_path / "RESULTS.md").read_text()
+        assert "## Telemetry" in results
+        assert "experiment.runs" in results
+
+    def test_report_without_telemetry_has_no_section(self, tmp_path):
+        assert main(["report", "--output", str(tmp_path),
+                     "--only", "latency", "--columns", "128"]) == 0
+        assert "## Telemetry" not in (tmp_path / "RESULTS.md").read_text()
+
+    def test_validate_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind":"nope","seq":0}\n')
+        assert main(["validate-trace", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
