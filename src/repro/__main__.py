@@ -34,6 +34,8 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
     forwarded.extend(["--columns", str(arguments.columns)])
     if arguments.workers is not None:
         forwarded.extend(["--workers", str(arguments.workers)])
+    if arguments.batch is not None:
+        forwarded.extend(["--batch", str(arguments.batch)])
     if arguments.no_cache:
         forwarded.append("--no-cache")
     if arguments.cache_dir:
@@ -54,7 +56,8 @@ def _cmd_report(arguments: argparse.Namespace) -> int:
     from .telemetry import session as telemetry_session
 
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
-                                   columns=arguments.columns)
+                                   columns=arguments.columns,
+                                   batch=arguments.batch)
     workers = resolve_workers(arguments.workers)
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
     use_telemetry = arguments.telemetry or arguments.trace_out is not None
@@ -150,6 +153,9 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--workers", type=int, default=None,
                              help="worker processes for fleet-capable "
                                   "experiments (0 = serial)")
+    experiments.add_argument("--batch", type=int, default=None,
+                             help="trial-batch width (default auto; "
+                                  "1 = scalar; results byte-identical)")
     experiments.add_argument("--no-cache", action="store_true",
                              help="recompute results even if cached")
     experiments.add_argument("--cache-dir", default=None)
@@ -169,6 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--workers", type=int, default=None,
                         help="worker processes for fleet-capable "
                              "experiments (0 = serial)")
+    report.add_argument("--batch", type=int, default=None,
+                        help="trial-batch width (default auto; "
+                             "1 = scalar; results byte-identical)")
     report.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     report.add_argument("--cache-dir", default=None)

@@ -30,12 +30,14 @@ from typing import Sequence
 
 import numpy as np
 
+from ..core.batched_ops import BatchedFracDram
 from ..core.ops import FracDram
 
 __all__ = [
     "RETENTION_PROBE_TIMES_S",
     "RETENTION_BUCKET_LABELS",
     "N_BUCKETS",
+    "BatchedRetentionProfiler",
     "CellCategory",
     "RetentionProfile",
     "RetentionProfiler",
@@ -156,3 +158,99 @@ class RetentionProfiler:
         profiles = [self.profile_row(bank, row, n_fracs) for bank, row in targets]
         pooled = np.concatenate([p.buckets for p in profiles], axis=1)
         return RetentionProfile(tuple(n_fracs), pooled)
+
+
+class BatchedRetentionProfiler:
+    """The bracketing procedure across all lanes of a batched device.
+
+    Lane ``i`` of the batch produces bit-for-bit the profile the scalar
+    :class:`RetentionProfiler` produces on lane ``i``'s donor chip: the
+    per-probe early exit (stop probing a row once every column has
+    resolved) is tracked per lane, so a lane that resolves early simply
+    drops out of the remaining probe passes — exactly the commands (and
+    noise draws) its scalar run would have skipped.
+    """
+
+    def __init__(self, bfd: BatchedFracDram, *,
+                 probe_times_s: Sequence[float] = RETENTION_PROBE_TIMES_S) -> None:
+        if list(probe_times_s) != sorted(probe_times_s):
+            raise ValueError("probe times must be ascending")
+        self.bfd = bfd
+        self.probe_times_s = tuple(probe_times_s)
+
+    def _alive_after(self, bank: int, sub_rows: Sequence[int], n_frac: int,
+                     wait_s: float, lanes: Sequence[int]) -> np.ndarray:
+        """One pass over ``lanes``; returns ``(len(lanes), C)`` bools."""
+        self.bfd.fill_row(bank, sub_rows, True, lanes)
+        if n_frac > 0:
+            self.bfd.frac(bank, sub_rows, n_frac, lanes)
+        if wait_s > 0:
+            # Chips with command-spacing checks drop the Frac PRECHARGEs
+            # and leave the row open; close everything before leaking.
+            self.bfd.precharge_all(lanes)
+            self.bfd.advance_time(wait_s, lanes)
+        return self.bfd.read_row(bank, sub_rows, lanes).astype(bool)
+
+    def bucket_row(self, bank: int, rows: Sequence[int], n_frac: int,
+                   lanes: Sequence[int]) -> np.ndarray:
+        """Bucket index per (lane, column); ``rows`` is indexed by lane id.
+
+        Lanes outside ``lanes`` keep the default (> 12 h) bucket.
+        """
+        n_cols = self.bfd.columns
+        bucket = np.full((self.bfd.n_lanes, n_cols), N_BUCKETS - 1, dtype=int)
+        resolved = np.zeros((self.bfd.n_lanes, n_cols), dtype=bool)
+        active = list(lanes)
+        for probe_index, wait_s in enumerate(self.probe_times_s):
+            sub_rows = [rows[lane] for lane in active]
+            alive = self._alive_after(bank, sub_rows, n_frac, wait_s, active)
+            active_arr = np.asarray(active, dtype=np.intp)
+            newly_dead = ~alive & ~resolved[active_arr]
+            bucket[active_arr] = np.where(
+                newly_dead, probe_index, bucket[active_arr])
+            resolved[active_arr] |= newly_dead
+            active = [lane for lane in active if not resolved[lane].all()]
+            if not active:
+                break
+        return bucket
+
+    def profile_row(self, bank: int, rows: Sequence[int],
+                    n_fracs: Sequence[int], lanes: Sequence[int]) -> np.ndarray:
+        """``(len(n_fracs), n_lanes, C)`` buckets for one target per lane."""
+        return np.stack(
+            [self.bucket_row(bank, rows, n, lanes) for n in n_fracs])
+
+    def profile_rows(self, per_lane_targets: Sequence[Sequence[tuple[int, int]]],
+                     n_fracs: Sequence[int] = (0, 1, 2, 3, 4, 5),
+                     lanes: Sequence[int] | None = None,
+                     ) -> list[RetentionProfile]:
+        """Profile one target list per lane; pool columns per lane.
+
+        ``per_lane_targets[i]`` is the (bank, row) list for ``lanes[i]``;
+        all lists must have the same length and target ``j`` must name the
+        same bank on every lane (rows may differ — target sampling is
+        bank-major and lane-uniform in counts, so this always holds for
+        the experiment harnesses).
+        """
+        if lanes is None:
+            lanes = list(range(self.bfd.n_lanes))
+        n_targets = len(per_lane_targets[0])
+        if any(len(targets) != n_targets for targets in per_lane_targets):
+            raise ValueError("per-lane target lists must have equal length")
+        per_target: list[np.ndarray] = []
+        for j in range(n_targets):
+            banks = {targets[j][0] for targets in per_lane_targets}
+            if len(banks) != 1:
+                raise ValueError(
+                    f"target {j} names multiple banks {sorted(banks)}")
+            rows = [0] * self.bfd.n_lanes
+            for position, lane in enumerate(lanes):
+                rows[lane] = per_lane_targets[position][j][1]
+            per_target.append(
+                self.profile_row(banks.pop(), rows, n_fracs, lanes))
+        return [
+            RetentionProfile(
+                tuple(n_fracs),
+                np.concatenate([pt[:, lane, :] for pt in per_target], axis=1))
+            for lane in lanes
+        ]

@@ -1,0 +1,120 @@
+"""Compiled command-sequence plans: JEDEC observations resolved once.
+
+Every trial of an experiment replays the same handful of timed sequences
+(write-row, frac, read-row, ...), yet :meth:`SoftMC.run` used to rebuild
+a fresh :class:`JedecChecker` and re-derive the identical violation
+records for every single issue.  A :class:`CompiledPlan` hoists that work
+out of the per-trial path: the violation tuple of each command — and the
+ready-to-trace event dictionaries — are computed once per *distinct*
+sequence shape and memoized in a process-local LRU cache.
+
+The plan key captures exactly the inputs the checker consumes:
+
+* the :class:`~repro.dram.parameters.TimingParams` (frozen, hashable),
+* per command: its sequence-relative cycle, command kind, and bank.
+
+Row addresses and write data are deliberately excluded — the DDR3
+constraints tracked by the checker (tRP/tRC/tRAS/tRCD, one-row-per-bank,
+row-open) never depend on them — so sequences that differ only in target
+row share one plan.  This is also what makes a plan valid for *every
+lane* of a trial batch (see :mod:`repro.controller.batched`): lanes vary
+rows and data, never cycles or banks, so the violations are emitted once
+per compiled plan and counter increments are simply multiplied by the
+lane count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from .commands import CommandSequence
+from .softmc import JedecChecker, JedecViolation
+from ..dram.parameters import TimingParams
+
+__all__ = ["CompiledPlan", "compile_plan", "plan_for", "plan_key",
+           "plan_cache_info", "clear_plan_cache", "PLAN_CACHE_CAPACITY"]
+
+#: Upper bound on memoized plans; far above the distinct sequence shapes
+#: any experiment issues (tens), small enough to never matter in memory.
+PLAN_CACHE_CAPACITY: int = 512
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """Immutable per-sequence JEDEC annotation, shared across trials.
+
+    ``violations[i]`` is the (possibly empty) violation tuple of command
+    ``i``; ``violation_events[i]`` is the same data pre-rendered in the
+    ``repro-trace/1`` event shape.  The event lists are shared between
+    every trace event built from this plan — they are never mutated, only
+    serialized.
+    """
+
+    key: tuple
+    n_commands: int
+    violations: tuple[tuple[JedecViolation, ...], ...]
+    violation_events: tuple[tuple[dict, ...], ...]
+    total_violations: int
+
+    @property
+    def has_violations(self) -> bool:
+        return self.total_violations > 0
+
+
+def plan_key(timing: TimingParams, sequence: CommandSequence) -> tuple:
+    """Cache key: everything the JEDEC state machine can observe."""
+    return (timing, tuple(
+        (timed.cycle, timed.command.KIND, getattr(timed.command, "bank", None))
+        for timed in sequence))
+
+
+def compile_plan(timing: TimingParams, sequence: CommandSequence) -> CompiledPlan:
+    """Run a fresh checker over ``sequence`` and freeze its observations."""
+    checker = JedecChecker(timing)
+    violations = tuple(checker.observe(timed.cycle, timed.command)
+                       for timed in sequence)
+    events = tuple(tuple(violation.to_event() for violation in per_command)
+                   for per_command in violations)
+    return CompiledPlan(
+        key=plan_key(timing, sequence),
+        n_commands=len(sequence),
+        violations=violations,
+        violation_events=events,
+        total_violations=sum(len(per_command) for per_command in violations))
+
+
+_cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+_hits: int = 0
+_misses: int = 0
+
+
+def plan_for(timing: TimingParams, sequence: CommandSequence) -> CompiledPlan:
+    """Memoized :func:`compile_plan` (process-local LRU)."""
+    global _hits, _misses
+    key = plan_key(timing, sequence)
+    plan = _cache.get(key)
+    if plan is not None:
+        _hits += 1
+        _cache.move_to_end(key)
+        return plan
+    _misses += 1
+    plan = compile_plan(timing, sequence)
+    _cache[key] = plan
+    if len(_cache) > PLAN_CACHE_CAPACITY:
+        _cache.popitem(last=False)
+    return plan
+
+
+def plan_cache_info() -> dict:
+    """Cache statistics (for tests and the performance docs)."""
+    return {"size": len(_cache), "capacity": PLAN_CACHE_CAPACITY,
+            "hits": _hits, "misses": _misses}
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans and reset the hit/miss counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0

@@ -200,21 +200,29 @@ class SoftMC:
         than aborted; strict mode still raises on the first violation).
         """
         telemetry = _telemetry_active()
-        checker = (JedecChecker(self.timing)
-                   if (self.strict or telemetry is not None) else None)
+        plan = None
+        if self.strict or telemetry is not None:
+            from .plan import plan_for
+
+            # JEDEC observations are a pure function of (timing, cycles,
+            # kinds, banks), so identical sequence shapes across trials
+            # share one compiled, LRU-cached plan instead of re-running
+            # the checker per issue.
+            plan = plan_for(self.timing, sequence)
         if telemetry is not None:
             self._record_sequence(telemetry, sequence)
         reads: list[np.ndarray] = []
         base = self.cycle
-        for timed in sequence:
+        for index, timed in enumerate(sequence):
             cycle = base + timed.cycle
             command = timed.command
-            if checker is not None:
-                violations = checker.observe(timed.cycle, command)
+            if plan is not None:
+                violations = plan.violations[index]
                 if violations and self.strict:
                     raise violations[0].to_error()
                 if telemetry is not None:
-                    self._record_command(telemetry, command, cycle, violations)
+                    self._record_command(telemetry, command, cycle, violations,
+                                         plan.violation_events[index])
             if isinstance(command, Activate):
                 self.device.activate(command.bank, command.row, cycle)
             elif isinstance(command, Precharge):
@@ -251,7 +259,9 @@ class SoftMC:
         })
 
     def _record_command(self, telemetry, command, cycle: int,
-                        violations: tuple[JedecViolation, ...]) -> None:
+                        violations: tuple[JedecViolation, ...],
+                        violation_events: tuple[dict, ...] | None = None,
+                        ) -> None:
         """Count and trace one issued command (telemetry active only)."""
         telemetry.count("controller.commands")
         telemetry.count(f"controller.{command.KIND.lower()}")
@@ -260,12 +270,15 @@ class SoftMC:
             for violation in violations:
                 telemetry.count(
                     f"controller.jedec.{violation.constraint.lower()}")
+        if violation_events is None:
+            violation_events = tuple(violation.to_event()
+                                     for violation in violations)
         telemetry.emit("command", {
             "cmd": command.KIND,
             "bank": getattr(command, "bank", None),
             "row": getattr(command, "row", None),
             "cycle": cycle,
-            "violations": [violation.to_event() for violation in violations],
+            "violations": list(violation_events),
         })
 
     def idle(self, cycles: int) -> None:

@@ -1,0 +1,146 @@
+"""Batched FracDRAM facade: paper operations across trial lanes.
+
+:class:`BatchedFracDram` mirrors :class:`~repro.core.ops.FracDram` over a
+:class:`~repro.dram.batched.BatchedChip`: every operation takes per-lane
+row vectors (and ``(L, C)`` operand planes) and issues one batched
+command sequence instead of L scalar ones.
+
+Multi-row operations take a pre-resolved
+:class:`~repro.core.ops.MultiRowPlan`.  Plans depend only on the vendor
+decoder profile, the row map and the geometry, so experiments resolve
+them once on a scalar :class:`FracDram` donor and share them across all
+lanes of a batch — which also keeps the (deliberately fiddly) glitch
+planning logic in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..controller.batched import BatchedSoftMC
+from ..dram.batched import BatchedChip
+from ..errors import ConfigurationError
+from .ops import FMajConfig, MultiRowPlan
+
+__all__ = ["BatchedFracDram"]
+
+
+class BatchedFracDram:
+    """High-level FracDRAM operations over a batched device."""
+
+    def __init__(self, device: BatchedChip) -> None:
+        self.device = device
+        self.mc = BatchedSoftMC(device,
+                                electrical=device.groups[0].electrical)
+
+    @property
+    def n_lanes(self) -> int:
+        return self.device.n_lanes
+
+    def all_lanes(self) -> list[int]:
+        return list(range(self.device.n_lanes))
+
+    @property
+    def columns(self) -> int:
+        return int(self.device.columns)
+
+    def _uniform(self, row: int, lanes: Sequence[int]) -> list[int]:
+        return [int(row)] * len(lanes)
+
+    # ------------------------------------------------------------------
+    # basic data path
+    # ------------------------------------------------------------------
+
+    def write_row(self, bank: int, rows: Sequence[int], bits: np.ndarray,
+                  lanes: Sequence[int]) -> None:
+        self.mc.write_row(bank, rows, bits, lanes)
+
+    def fill_row(self, bank: int, rows: Sequence[int], value: bool,
+                 lanes: Sequence[int]) -> None:
+        self.mc.fill_row(bank, rows, value, lanes)
+
+    def read_row(self, bank: int, rows: Sequence[int],
+                 lanes: Sequence[int]) -> np.ndarray:
+        return self.mc.read_row(bank, rows, lanes)
+
+    def refresh_row(self, bank: int, rows: Sequence[int],
+                    lanes: Sequence[int]) -> None:
+        self.mc.refresh_row(bank, rows, lanes)
+
+    def precharge_all(self, lanes: Sequence[int]) -> None:
+        self.mc.precharge_all(lanes)
+
+    def advance_time(self, seconds: float, lanes: Sequence[int]) -> None:
+        self.device.advance_time(seconds, lanes)
+
+    # ------------------------------------------------------------------
+    # FracDRAM primitives
+    # ------------------------------------------------------------------
+
+    def frac(self, bank: int, rows: Sequence[int], n_frac: int,
+             lanes: Sequence[int]) -> None:
+        self.mc.frac(bank, rows, n_frac, lanes)
+
+    def row_copy(self, bank: int, srcs: Sequence[int], dsts: Sequence[int],
+                 lanes: Sequence[int]) -> None:
+        self.mc.row_copy(bank, srcs, dsts, lanes)
+
+    def multi_row_activate(self, plan: MultiRowPlan,
+                           lanes: Sequence[int]) -> None:
+        r1, r2 = plan.act_pair
+        self.mc.multi_row_activate(plan.bank, self._uniform(r1, lanes),
+                                   self._uniform(r2, lanes), lanes)
+
+    def half_m_activate(self, plan: MultiRowPlan,
+                        lanes: Sequence[int]) -> None:
+        r1, r2 = plan.act_pair
+        self.mc.half_m(plan.bank, self._uniform(r1, lanes),
+                       self._uniform(r2, lanes), lanes)
+
+    # ------------------------------------------------------------------
+    # in-memory majority (plan shared, operands per lane)
+    # ------------------------------------------------------------------
+
+    def maj3(self, plan: MultiRowPlan, operands: np.ndarray,
+             lanes: Sequence[int]) -> np.ndarray:
+        """Majority-of-three; ``operands`` is ``(L, 3, C)`` lane-major."""
+        self._store_operands(plan, operands, None, lanes)
+        self.multi_row_activate(plan, lanes)
+        return self.read_row(plan.bank, self._uniform(plan.opened[0], lanes),
+                             lanes)
+
+    def f_maj(self, plan: MultiRowPlan, operands: np.ndarray,
+              config: FMajConfig, lanes: Sequence[int]) -> np.ndarray:
+        """F-MAJ via four-row activation; ``operands`` is ``(L, 3, C)``."""
+        if not 0 <= config.frac_position < plan.n_rows:
+            raise ConfigurationError(
+                f"frac_position {config.frac_position} outside opened set")
+        frac_row = plan.opened[config.frac_position]
+        self.fill_row(plan.bank, self._uniform(frac_row, lanes),
+                      config.init_ones, lanes)
+        if config.n_frac > 0:
+            self.frac(plan.bank, self._uniform(frac_row, lanes),
+                      config.n_frac, lanes)
+        self._store_operands(plan, operands, config.frac_position, lanes)
+        self.multi_row_activate(plan, lanes)
+        result_position = 0 if config.frac_position != 0 else 1
+        return self.read_row(
+            plan.bank, self._uniform(plan.opened[result_position], lanes),
+            lanes)
+
+    def _store_operands(self, plan: MultiRowPlan, operands: np.ndarray,
+                        skip_position: int | None,
+                        lanes: Sequence[int]) -> None:
+        operands = np.asarray(operands, dtype=bool)
+        target_positions = [index for index in range(plan.n_rows)
+                            if index != skip_position]
+        expected = (len(lanes), len(target_positions), self.columns)
+        if operands.shape != expected:
+            raise ConfigurationError(
+                f"operand shape {operands.shape} != {expected}")
+        for slot, position in enumerate(target_positions):
+            self.write_row(plan.bank,
+                           self._uniform(plan.opened[position], lanes),
+                           operands[:, slot], lanes)

@@ -123,3 +123,7 @@ class Bank:
     def leak(self, dt_s: float, env: Environment) -> None:
         for subarray in self.subarrays:
             subarray.leak(dt_s, env)
+
+    def reset_dynamic(self) -> None:
+        for subarray in self.subarrays:
+            subarray.reset_dynamic()

@@ -1,0 +1,925 @@
+"""Trial-batched sub-array physics: one vector op across B lanes.
+
+:class:`BatchedSubArray` executes the exact electrical model of
+:class:`~repro.dram.subarray.SubArray` for ``B`` independent *lanes* at
+once.  A lane is one scalar trial: its cell-voltage plane is one slice of
+a ``(B, n_rows, n_cols)`` tensor, its manufacturing variation one slice
+of stacked (or broadcast) fabrication arrays, and its measurement noise a
+private :class:`~repro.dram.rng.NoiseSource` — the *same* source a scalar
+trial would own.  Charge sharing, partial amplification, sense, leakage
+and the decoder-glitch resolution then run as whole-batch NumPy
+expressions instead of B separate passes.
+
+Byte-identity contract
+----------------------
+
+The batched engine must produce bit-for-bit the floats the scalar engine
+produces, lane by lane.  Three rules make that hold:
+
+* **RNG draws are never merged across lanes.**  Each lane draws from its
+  own generator, in the same order and with the same shapes as its scalar
+  counterpart; draws are stacked, arithmetic is vectorized.
+
+* **Expressions mirror scalar associativity.**  Every kernel is a
+  transliteration of the scalar method with a leading lane axis; gathered
+  operations (``a[mask] * b[mask]``) are used only where they are bitwise
+  equal to the scalar gather-after-compute form.
+
+* **Structurally divergent lanes are partitioned, not masked.**  Open-row
+  tuples, pending precharges and sense flags are per-lane Python state;
+  each operation groups the active lanes by structural signature (open
+  count, glitch shape, amplify steps) and runs one vector kernel per
+  group.
+
+Environments are captured per lane at construction; batched lanes do not
+support mid-run :meth:`~repro.dram.chip.DramChip.set_environment`.
+
+:class:`BatchedChip` assembles a grid of batched sub-arrays with the
+bank/row routing, polarity and command-spacing semantics of
+:class:`~repro.dram.chip.DramChip`, again per lane.  Construct one with
+:meth:`BatchedChip.from_chips` (one donor chip per lane, e.g. a serial
+sweep) or :meth:`BatchedChip.from_subarray_views` (one donor *sub-array*
+per lane from a single chip, e.g. the PUF experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AddressError, CommandSequenceError, ConfigurationError
+from ..telemetry.registry import active as _telemetry_active
+from .chip import MIN_COMMAND_SPACING_CYCLES, DramChip
+from .decoder import resolve_glitch
+from .environment import Environment
+from .parameters import GeometryParams
+from .pcg_jump import JumpGroup, UniformBlockJump
+from .polarity import is_anti_row
+from .subarray import (
+    _AMP_DIFFERENTIAL_SCALE,
+    CLOSE_ABORT_WINDOW,
+    INTERRUPTED_SHARE_FRACTION,
+    SubArray,
+)
+
+__all__ = ["BatchedSubArray", "BatchedChip"]
+
+#: Entries kept in the per-sub-array leak decay cache (distinct dt values
+#: recur across retention passes; each entry is a (B, R, C) float plane).
+_LEAK_CACHE_CAPACITY: int = 8
+
+
+def _stack_fab(donors: Sequence[SubArray], attr: str) -> np.ndarray:
+    """Stack a fabrication array across lanes.
+
+    When every lane shares one donor (trial batching over a single chip)
+    the array is broadcast instead of copied — fabrication data is
+    read-only, so the zero-copy view is safe.
+    """
+    first = getattr(donors[0], attr)
+    if all(donor is donors[0] for donor in donors):
+        return np.broadcast_to(first, (len(donors),) + first.shape)
+    return np.stack([getattr(donor, attr) for donor in donors])
+
+
+class BatchedSubArray:
+    """``B`` scalar sub-arrays executing in lock-step vector form."""
+
+    def __init__(
+        self,
+        *,
+        donors: Sequence[SubArray],
+        noises: Sequence,
+        environments: Sequence[Environment],
+        origins: Sequence[tuple[int, int]],
+    ) -> None:
+        if not donors:
+            raise ConfigurationError("batched sub-array needs at least one lane")
+        if not (len(donors) == len(noises) == len(environments) == len(origins)):
+            raise ConfigurationError("per-lane inputs must have equal length")
+        first = donors[0]
+        for donor in donors:
+            if (donor.n_rows, donor.n_cols) != (first.n_rows, first.n_cols):
+                raise ConfigurationError("all lanes must share sub-array shape")
+        self.n_lanes = len(donors)
+        self.n_rows = first.n_rows
+        self.n_cols = first.n_cols
+        self.origins = [(int(b), int(s)) for b, s in origins]
+        self._noises = list(noises)
+
+        # --- fabrication variation, stacked lane-major ---
+        self.sa_offset = _stack_fab(donors, "sa_offset")            # (B, C)
+        self.primary_boost = _stack_fab(donors, "primary_boost")    # (B, C)
+        self.multirow_bias = _stack_fab(donors, "multirow_bias")    # (B, C)
+        self.amp_alpha = _stack_fab(donors, "amp_alpha")            # (B, C)
+        self.tau_s = _stack_fab(donors, "tau_s")                    # (B, R, C)
+        self.vrt_mask = _stack_fab(donors, "vrt_mask")              # (B, R, C)
+        self.interrupt_coupling = _stack_fab(donors, "interrupt_coupling")
+
+        # --- per-lane parameters (vendor profile x environment) ---
+        self._couplings = [donor.coupling for donor in donors]
+        self._decoders = [donor.decoder_profile for donor in donors]
+        self._sense_enable = [donor.electrical.sense_enable_cycles
+                              for donor in donors]
+        self._restore = np.array([donor.electrical.restore_level
+                                  for donor in donors])
+        self._cb = np.array([donor.electrical.bitline_to_cell_ratio
+                             for donor in donors])
+        self._jitter_sigma = [donor.variation.weight_jitter_sigma
+                              for donor in donors]
+        self._vrt_span = [donor.variation.vrt_tau_span for donor in donors]
+        self._vrt_any = [bool(donor.vrt_mask.any()) for donor in donors]
+        # Static per-lane VRT cell coordinates and their tau values, so
+        # the leak path never re-scans the (sparse) mask.
+        self._vrt_idx = [np.nonzero(donor.vrt_mask) for donor in donors]
+        self._vrt_tau = [self.tau_s[lane][idx]
+                         for lane, idx in enumerate(self._vrt_idx)]
+        # Leak jump tables: the scalar engine draws a full (R, C) uniform
+        # block per leak event but only reads the VRT positions, so each
+        # lane gets a PCG64 jump that predicts exactly those positions
+        # and skips the stream past the block (bit-identical either way).
+        block = self.n_rows * self.n_cols
+        self._vrt_jump = [
+            UniformBlockJump(
+                np.ravel_multi_index(idx, (self.n_rows, self.n_cols)), block)
+            if self._vrt_any[lane] else None
+            for lane, idx in enumerate(self._vrt_idx)]
+        self._leak_ctx_cache: dict[tuple[int, ...], tuple] = {}
+        self._noise_sigma = [
+            env.read_noise_scale(donor.variation.read_noise_sigma,
+                                 donor.variation.read_noise_temp_coeff)
+            for donor, env in zip(donors, environments)]
+        self._offset_shift = np.array([env.effective_offset_shift()
+                                       for env in environments])
+        self._leak_acc = np.array([env.leakage_acceleration
+                                   for env in environments])
+        self._leak_cache: dict[float, np.ndarray] = {}
+
+        # --- dynamic state: tensors for voltages, lists for structure ---
+        self.cell_v = np.zeros((self.n_lanes, self.n_rows, self.n_cols))
+        # Rows that have ever been opened (the only way cells get written).
+        # Never-written rows hold exact +0.0, so the leak decay multiply
+        # can skip them: 0.0 * decay == +0.0 bit-for-bit.
+        self._written = np.zeros((self.n_lanes, self.n_rows), dtype=bool)
+        self.bitline_v = np.full((self.n_lanes, self.n_cols), 0.5)
+        self._open_rows: list[tuple[int, ...]] = [()] * self.n_lanes
+        self._sense_fired: list[bool] = [False] * self.n_lanes
+        self._row_buffer: list[np.ndarray | None] = [None] * self.n_lanes
+        self._last_act: list[int] = [-(10 ** 9)] * self.n_lanes
+        self._pre_started: list[int | None] = [None] * self.n_lanes
+        self._preshare_snapshot: list[np.ndarray | None] = [None] * self.n_lanes
+        self._preshare_rows: list[tuple[int, ...]] = [()] * self.n_lanes
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def lane_is_idle(self, lane: int) -> bool:
+        return not self._open_rows[lane] and self._pre_started[lane] is None
+
+    def open_rows(self, lane: int) -> tuple[int, ...]:
+        return self._open_rows[lane]
+
+    # ------------------------------------------------------------------
+    # command interface (lanes: lane ids; cycles: (B,) absolute stamps)
+    # ------------------------------------------------------------------
+
+    def activate(self, lanes: Sequence[int], rows: Sequence[int],
+                 cycles: np.ndarray) -> None:
+        abort_lanes: list[int] = []
+        abort_rows: list[int] = []
+        advance: list[int] = []
+        advance_rows: list[int] = []
+        for lane, row in zip(lanes, rows):
+            row = int(row)
+            if not 0 <= row < self.n_rows:
+                raise CommandSequenceError(f"row {row} outside sub-array")
+            pre = self._pre_started[lane]
+            if pre is not None and cycles[lane] - pre < CLOSE_ABORT_WINDOW:
+                abort_lanes.append(lane)
+                abort_rows.append(row)
+            else:
+                advance.append(lane)
+                advance_rows.append(row)
+        if abort_lanes:
+            self._abort_close_and_glitch(abort_lanes, abort_rows, cycles)
+        if not advance:
+            return
+        commit = [lane for lane in advance if self._pre_started[lane] is not None]
+        if commit:
+            self._commit_close(commit)
+        self.settle(advance, cycles)
+        groups: dict[int, tuple[list[int], list[tuple[int, ...]]]] = {}
+        for lane, row in zip(advance, advance_rows):
+            current = self._open_rows[lane]
+            if current:
+                # Out-of-spec ACT-ACT: physically just raises another word-line.
+                if row in current:
+                    continue
+                new_rows = (*current, row)
+            else:
+                new_rows = (row,)
+            group = groups.setdefault(len(new_rows), ([], []))
+            group[0].append(lane)
+            group[1].append(new_rows)
+        for group_lanes, row_tuples in groups.values():
+            self._open_group(group_lanes, row_tuples, cycles)
+
+    def precharge(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        commit = [lane for lane in lanes if self._pre_started[lane] is not None]
+        if commit:
+            self._commit_close(commit)
+        self.settle(lanes, cycles)
+        idle = [lane for lane in lanes if not self._open_rows[lane]]
+        if idle:
+            self.bitline_v[np.asarray(idle, dtype=np.intp)] = 0.5
+        open_lanes = [lane for lane in lanes if self._open_rows[lane]]
+        amp_groups: dict[tuple[int, int], list[int]] = {}
+        for lane in open_lanes:
+            if not self._sense_fired[lane]:
+                amplify_steps = int(cycles[lane]) - self._last_act[lane] - 1
+                if amplify_steps >= 1:
+                    key = (min(amplify_steps, 3), len(self._open_rows[lane]))
+                    amp_groups.setdefault(key, []).append(lane)
+        for (steps, _), group_lanes in amp_groups.items():
+            self._partial_amplify(group_lanes, steps)
+        for lane in open_lanes:
+            self._pre_started[lane] = int(cycles[lane])
+
+    def settle(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        commit: list[int] = []
+        fire: dict[int, list[int]] = {}
+        for lane in lanes:
+            pre = self._pre_started[lane]
+            if pre is not None:
+                if cycles[lane] - pre >= CLOSE_ABORT_WINDOW:
+                    commit.append(lane)
+                continue  # interrupted activation: sense amps can no longer fire
+            if (self._open_rows[lane] and not self._sense_fired[lane]
+                    and cycles[lane] - self._last_act[lane]
+                    >= self._sense_enable[lane]):
+                fire.setdefault(len(self._open_rows[lane]), []).append(lane)
+        if commit:
+            self._commit_close(commit)
+        for group_lanes in fire.values():
+            self._fire_sense_amps(group_lanes)
+
+    def finish(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        self.settle(lanes, cycles)
+        commit = [lane for lane in lanes if self._pre_started[lane] is not None]
+        if commit:
+            self._commit_close(commit)
+
+    def row_buffer(self, lanes: Sequence[int]) -> np.ndarray:
+        """Sensed bits (physical polarity), lane-major ``(len(lanes), C)``."""
+        out = np.empty((len(lanes), self.n_cols), dtype=bool)
+        for index, lane in enumerate(lanes):
+            buffer = self._row_buffer[lane]
+            if not self._sense_fired[lane] or buffer is None:
+                raise CommandSequenceError(
+                    "row buffer read before sense amplifiers fired")
+            out[index] = buffer
+        return out
+
+    def write_open_row(self, lanes: Sequence[int],
+                       physical_bits: np.ndarray) -> None:
+        bits = np.asarray(physical_bits, dtype=bool)
+        if bits.shape != (len(lanes), self.n_cols):
+            raise CommandSequenceError(
+                f"write data has shape {bits.shape}, expected "
+                f"({len(lanes)}, {self.n_cols})")
+        for lane in lanes:
+            if not self._sense_fired[lane]:
+                raise CommandSequenceError(
+                    "WRITE issued before sense amplifiers fired")
+        groups: dict[int, tuple[list[int], list[int]]] = {}
+        for index, lane in enumerate(lanes):
+            group = groups.setdefault(len(self._open_rows[lane]), ([], []))
+            group[0].append(lane)
+            group[1].append(index)
+        for group_lanes, indices in groups.values():
+            lane_arr = np.asarray(group_lanes, dtype=np.intp)
+            rows_mat = np.asarray([self._open_rows[lane]
+                                   for lane in group_lanes], dtype=np.intp)
+            group_bits = bits[indices]
+            level = np.where(group_bits, self._restore[lane_arr][:, None], 0.0)
+            self.bitline_v[lane_arr] = level
+            self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+            for offset, lane in enumerate(group_lanes):
+                self._row_buffer[lane] = group_bits[offset].copy()
+
+    # ------------------------------------------------------------------
+    # retention / leakage
+    # ------------------------------------------------------------------
+
+    def leak(self, lanes: Sequence[int], dt_s: float) -> None:
+        for lane in lanes:
+            if not self.lane_is_idle(lane):
+                raise CommandSequenceError("cannot advance time with rows open")
+        if dt_s < 0:
+            raise ValueError("dt_s must be non-negative")
+        if dt_s == 0:
+            return
+        base = self._leak_base(dt_s)
+        # Per-lane VRT draws, same shape/order as the scalar engine; the
+        # expensive transcendental (one exp over every VRT cell of every
+        # lane) runs once, concatenated — gather -> elementwise ->
+        # scatter is bitwise identical to the scalar full-array version
+        # because the non-VRT factor there is an exact ``tau * 1.0``.
+        vrt_lanes = [lane for lane in lanes if self._vrt_any[lane]]
+        corrected = None
+        flat_cells = self.cell_v.reshape(-1)
+        if vrt_lanes:
+            group, tau_cat, span_cat, acc_cat, flat_idx = (
+                self._leak_ctx(tuple(vrt_lanes)))
+            picked = group.values_flat(
+                [self._noises[lane].rng.bit_generator for lane in vrt_lanes])
+            if picked is None:  # non-PCG64 stream: fall back to real draws
+                picked = np.concatenate([
+                    self._noises[lane].rng.uniform(
+                        -1.0, 1.0, size=(self.n_rows, self.n_cols)
+                    )[self._vrt_idx[lane]]
+                    for lane in vrt_lanes])
+            tau = tau_cat * span_cat ** picked
+            corrected = flat_cells[flat_idx] * np.exp(((-dt_s) * acc_cat) / tau)
+        if len(lanes) == self.n_lanes:
+            written = self._written
+        else:
+            selected = np.zeros(self.n_lanes, dtype=bool)
+            selected[np.asarray(lanes, dtype=np.intp)] = True
+            written = self._written & selected[:, None]
+        # Decay only rows that were ever written: the rest are exact +0.0
+        # and 0.0 * decay == +0.0, so skipping them is bitwise identical
+        # while touching a fraction of the (B, R, C) tensor.
+        dirty = np.nonzero(written.reshape(-1))[0]
+        if dirty.size:
+            cells_2d = self.cell_v.reshape(-1, self.n_cols)
+            cells_2d[dirty] *= base.reshape(-1, self.n_cols)[dirty]
+        if vrt_lanes:
+            flat_cells[flat_idx] = corrected
+
+    def _leak_ctx(self, key: tuple[int, ...]):
+        """Cached per-lane-set leak context: jump group + flattened params.
+
+        Concatenating the per-lane VRT tau / span / acceleration vectors
+        once per lane set turns the per-leak work into a handful of flat
+        array ops instead of a Python loop over lanes.
+        """
+        ctx = self._leak_ctx_cache.get(key)
+        if ctx is None:
+            counts = [self._vrt_tau[lane].size for lane in key]
+            block = self.n_rows * self.n_cols
+            ctx = (
+                JumpGroup([self._vrt_jump[lane] for lane in key]),
+                np.concatenate([self._vrt_tau[lane] for lane in key]),
+                np.repeat(np.array([self._vrt_span[lane] for lane in key]),
+                          counts),
+                np.repeat(np.array([float(self._leak_acc[lane])
+                                    for lane in key]), counts),
+                np.concatenate([
+                    lane * block + np.ravel_multi_index(
+                        self._vrt_idx[lane], (self.n_rows, self.n_cols))
+                    for lane in key]),
+            )
+            if len(self._leak_ctx_cache) >= _LEAK_CACHE_CAPACITY:
+                self._leak_ctx_cache.pop(next(iter(self._leak_ctx_cache)))
+            self._leak_ctx_cache[key] = ctx
+        return ctx
+
+    def _leak_base(self, dt_s: float) -> np.ndarray:
+        """``exp(-dt * acceleration / tau)`` for every lane, cached per dt."""
+        key = float(dt_s)
+        base = self._leak_cache.get(key)
+        if base is None:
+            num = (-dt_s) * self._leak_acc
+            # In-place exp: one fresh (B, R, C) allocation per miss, not
+            # two — misses are dominated by page faults on these buffers.
+            base = num[:, None, None] / self.tau_s
+            np.exp(base, out=base)
+            if len(self._leak_cache) >= _LEAK_CACHE_CAPACITY:
+                self._leak_cache.pop(next(iter(self._leak_cache)))
+            self._leak_cache[key] = base
+        return base
+
+    # ------------------------------------------------------------------
+    # internals (vector kernels over structurally uniform lane groups)
+    # ------------------------------------------------------------------
+
+    def _open_group(self, lanes: Sequence[int],
+                    row_tuples: Sequence[tuple[int, ...]],
+                    cycles: np.ndarray) -> None:
+        lane_arr = np.asarray(lanes, dtype=np.intp)
+        rows_mat = np.asarray(row_tuples, dtype=np.intp)
+        self._written[lane_arr[:, None], rows_mat] = True
+        snapshots = self.cell_v[lane_arr[:, None], rows_mat]
+        for index, lane in enumerate(lanes):
+            self._preshare_rows[lane] = row_tuples[index]
+            self._preshare_snapshot[lane] = snapshots[index]
+            self._open_rows[lane] = row_tuples[index]
+            self._last_act[lane] = int(cycles[lane])
+            self._sense_fired[lane] = False
+            self._row_buffer[lane] = None
+        self._charge_share(lanes, lane_arr, rows_mat)
+
+    def _abort_close_and_glitch(self, lanes: Sequence[int],
+                                rows: Sequence[int],
+                                cycles: np.ndarray) -> None:
+        for lane in lanes:
+            self._pre_started[lane] = None
+        fresh: list[int] = []
+        fresh_rows: list[tuple[int, ...]] = []
+        sensed_groups: dict[int, tuple[list[int], list[tuple[int, ...]]]] = {}
+        unsensed: list[int] = []
+        unsensed_rows: list[tuple[int, ...]] = []
+        for lane, row in zip(lanes, rows):
+            previous = self._open_rows[lane]
+            if not previous:
+                fresh.append(lane)
+                fresh_rows.append((row,))
+                continue
+            glitch_rows = resolve_glitch(
+                self._decoders[lane], previous[0], row, self.n_rows)
+            if self._sense_fired[lane]:
+                opened = tuple(dict.fromkeys((*previous, *glitch_rows)))
+                self._record_glitch(lane, previous, row, opened, overwrite=True)
+                group = sensed_groups.setdefault(len(opened), ([], []))
+                group[0].append(lane)
+                group[1].append(opened)
+            else:
+                self._record_glitch(lane, previous, row, glitch_rows,
+                                    overwrite=False)
+                unsensed.append(lane)
+                unsensed_rows.append(glitch_rows)
+        if fresh:
+            self.bitline_v[np.asarray(fresh, dtype=np.intp)] = 0.5
+            self._open_group(fresh, fresh_rows, cycles)
+        for group_lanes, opened_list in sensed_groups.values():
+            # Bit-lines still driven: every opened row takes the sensed
+            # value (the in-DRAM row-copy mechanism).
+            lane_arr = np.asarray(group_lanes, dtype=np.intp)
+            rows_mat = np.asarray(opened_list, dtype=np.intp)
+            self._written[lane_arr[:, None], rows_mat] = True
+            level = self.bitline_v[lane_arr]
+            self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+            for index, lane in enumerate(group_lanes):
+                self._open_rows[lane] = opened_list[index]
+                self._last_act[lane] = int(cycles[lane])
+        if unsensed:
+            self._rollback_partial_share(unsensed)
+            self.bitline_v[np.asarray(unsensed, dtype=np.intp)] = 0.5
+            glitch_groups: dict[int, tuple[list[int], list[tuple[int, ...]]]] = {}
+            for lane, glitch_rows in zip(unsensed, unsensed_rows):
+                group = glitch_groups.setdefault(len(glitch_rows), ([], []))
+                group[0].append(lane)
+                group[1].append(glitch_rows)
+            for group_lanes, rows_list in glitch_groups.values():
+                self._open_group(group_lanes, rows_list, cycles)
+
+    def _record_glitch(self, lane: int, previous: tuple[int, ...],
+                       requested: int, opened: tuple[int, ...],
+                       *, overwrite: bool) -> None:
+        telemetry = _telemetry_active()
+        if telemetry is None:
+            return
+        telemetry.count("dram.glitch_overwrite" if overwrite
+                        else "dram.glitch_abort")
+        telemetry.emit("glitch", {
+            "bank": self.origins[lane][0], "subarray": self.origins[lane][1],
+            "previous": [int(r) for r in previous],
+            "requested": int(requested),
+            "opened": [int(r) for r in opened],
+            "overwrite": overwrite,
+        })
+
+    def _rollback_partial_share(self, lanes: Sequence[int]) -> None:
+        groups: dict[int, list[int]] = {}
+        for lane in lanes:
+            if self._preshare_snapshot[lane] is None:
+                continue
+            groups.setdefault(len(self._preshare_rows[lane]), []).append(lane)
+        for group_lanes in groups.values():
+            lane_arr = np.asarray(group_lanes, dtype=np.intp)
+            rows_mat = np.asarray([self._preshare_rows[lane]
+                                   for lane in group_lanes], dtype=np.intp)
+            full = self.cell_v[lane_arr[:, None], rows_mat]
+            original = np.stack([self._preshare_snapshot[lane]
+                                 for lane in group_lanes])
+            partial = original + INTERRUPTED_SHARE_FRACTION * (full - original)
+            self.cell_v[lane_arr[:, None], rows_mat] = partial
+
+    def _commit_close(self, lanes: Sequence[int]) -> None:
+        freeze: dict[int, list[int]] = {}
+        for lane in lanes:
+            if (not self._sense_fired[lane]
+                    and self._preshare_snapshot[lane] is not None
+                    and self._preshare_rows[lane]):
+                freeze.setdefault(len(self._preshare_rows[lane]), []).append(lane)
+        telemetry = _telemetry_active()
+        for group_lanes in freeze.values():
+            lane_arr = np.asarray(group_lanes, dtype=np.intp)
+            rows_mat = np.asarray([self._preshare_rows[lane]
+                                   for lane in group_lanes], dtype=np.intp)
+            coupling = self.interrupt_coupling[lane_arr[:, None], rows_mat]
+            shared = self.cell_v[lane_arr[:, None], rows_mat]
+            snapshot = np.stack([self._preshare_snapshot[lane]
+                                 for lane in group_lanes])
+            self.cell_v[lane_arr[:, None], rows_mat] = (
+                snapshot + coupling * (shared - snapshot))
+            if telemetry is not None:
+                for lane in group_lanes:
+                    telemetry.count("dram.frac_freeze")
+                    telemetry.emit("frac_freeze", {
+                        "bank": self.origins[lane][0],
+                        "subarray": self.origins[lane][1],
+                        "rows": [int(r) for r in self._preshare_rows[lane]],
+                    })
+        for lane in lanes:
+            self._pre_started[lane] = None
+            self._open_rows[lane] = ()
+            self._preshare_rows[lane] = ()
+            self._preshare_snapshot[lane] = None
+            self._sense_fired[lane] = False
+            self._row_buffer[lane] = None
+        self.bitline_v[np.asarray(lanes, dtype=np.intp)] = 0.5
+
+    def _coupling_weights(self, lanes: Sequence[int], lane_arr: np.ndarray,
+                          k: int) -> np.ndarray:
+        weights = np.ones((len(lanes), k, self.n_cols))
+        for index, lane in enumerate(lanes):
+            primary = self._couplings[lane].primary_position(k)
+            if primary is not None and primary < k:
+                weights[index, primary] += self.primary_boost[lane]
+        draws = np.empty_like(weights)
+        for index, lane in enumerate(lanes):
+            # Zero-sigma lanes draw nothing (NoiseSource returns zeros
+            # without consuming); 1.0 + 0.0 multiplies are bitwise no-ops
+            # and the 0.05 clip never binds for weights >= 1.
+            draws[index] = self._noises[lane].normal(
+                self._jitter_sigma[lane], (k, self.n_cols))
+        weights *= 1.0 + draws
+        np.clip(weights, 0.05, None, out=weights)
+        return weights
+
+    def _charge_share(self, lanes: Sequence[int], lane_arr: np.ndarray,
+                      rows_mat: np.ndarray) -> None:
+        k = rows_mat.shape[1]
+        if k == 0:
+            return
+        weights = self._coupling_weights(lanes, lane_arr, k)
+        cell_block = self.cell_v[lane_arr[:, None], rows_mat]
+        cb = self._cb[lane_arr][:, None]
+        numerator = cb * self.bitline_v[lane_arr] + np.sum(
+            weights * cell_block, axis=1)
+        denominator = cb + np.sum(weights, axis=1)
+        equilibrium = numerator / denominator
+        self.bitline_v[lane_arr] = equilibrium
+        self.cell_v[lane_arr[:, None], rows_mat] = equilibrium[:, None, :]
+
+    def _partial_amplify(self, lanes: Sequence[int], steps: int) -> None:
+        lane_arr = np.asarray(lanes, dtype=np.intp)
+        rows_mat = np.asarray([self._open_rows[lane] for lane in lanes],
+                              dtype=np.intp)
+        k = rows_mat.shape[1]
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            for lane in lanes:
+                telemetry.count("dram.partial_amplify")
+                telemetry.emit("partial_amplify", {
+                    "bank": self.origins[lane][0],
+                    "subarray": self.origins[lane][1],
+                    "rows": [int(r) for r in self._open_rows[lane]],
+                    "steps": int(steps),
+                })
+        draws = np.empty((len(lanes), self.n_cols))
+        for index, lane in enumerate(lanes):
+            draws[index] = self._noises[lane].normal(
+                self._noise_sigma[lane], self.n_cols)
+        sensed = self.bitline_v[lane_arr] + draws
+        threshold = (0.5 + self.sa_offset[lane_arr]
+                     ) + self._offset_shift[lane_arr][:, None]
+        if k >= 3:
+            threshold = threshold + self.multirow_bias[lane_arr]
+        rail = np.where(sensed > threshold,
+                        self._restore[lane_arr][:, None], 0.0)
+        differential = np.abs(sensed - threshold)
+        residual = (1.0 - self.amp_alpha[lane_arr]) * np.exp(
+            -differential / _AMP_DIFFERENTIAL_SCALE)
+        pull = 1.0 - residual ** steps
+        bitline = self.bitline_v[lane_arr]
+        bitline += pull * (rail - bitline)
+        self.bitline_v[lane_arr] = bitline
+        cell_block = self.cell_v[lane_arr[:, None], rows_mat]
+        cell_block += pull[:, None, :] * (rail[:, None, :] - cell_block)
+        self.cell_v[lane_arr[:, None], rows_mat] = cell_block
+
+    def _fire_sense_amps(self, lanes: Sequence[int]) -> None:
+        lane_arr = np.asarray(lanes, dtype=np.intp)
+        rows_mat = np.asarray([self._open_rows[lane] for lane in lanes],
+                              dtype=np.intp)
+        k = rows_mat.shape[1]
+        draws = np.empty((len(lanes), self.n_cols))
+        for index, lane in enumerate(lanes):
+            draws[index] = self._noises[lane].normal(
+                self._noise_sigma[lane], self.n_cols)
+        sensed = self.bitline_v[lane_arr] + draws
+        threshold = (0.5 + self.sa_offset[lane_arr]
+                     ) + self._offset_shift[lane_arr][:, None]
+        if k >= 3:
+            threshold = threshold + self.multirow_bias[lane_arr]
+        decision = sensed > threshold
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            for index, lane in enumerate(lanes):
+                flips = 0
+                if self._preshare_snapshot[lane] is not None:
+                    flips = int(np.sum(
+                        (self._preshare_snapshot[lane] > 0.5) != decision[index]))
+                telemetry.count("dram.sense_fired")
+                telemetry.count("dram.sense_flips", flips)
+                telemetry.emit("sense", {
+                    "bank": self.origins[lane][0],
+                    "subarray": self.origins[lane][1],
+                    "rows": [int(r) for r in self._open_rows[lane]],
+                    "ones": int(np.sum(decision[index])),
+                    "flips": flips,
+                })
+        level = np.where(decision, self._restore[lane_arr][:, None], 0.0)
+        self.bitline_v[lane_arr] = level
+        self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+        for index, lane in enumerate(lanes):
+            self._row_buffer[lane] = decision[index].copy()
+            self._sense_fired[lane] = True
+
+
+class BatchedChip:
+    """Per-lane bank routing, polarity and command spacing over a grid of
+    :class:`BatchedSubArray` cells."""
+
+    def __init__(
+        self,
+        *,
+        geometry: GeometryParams,
+        cells: list[list[BatchedSubArray]],
+        groups: Sequence,
+        row_maps: Sequence,
+        polarity_schemes: Sequence[str],
+    ) -> None:
+        self.geometry = geometry
+        self.cells = cells
+        self.n_lanes = cells[0][0].n_lanes
+        self.groups = list(groups)
+        self._row_maps = list(row_maps)
+        self._polarity = list(polarity_schemes)
+        self._enforce = [group.decoder.enforces_command_spacing
+                         for group in self.groups]
+        self._last_cmd: list[dict[int, int]] = [
+            {} for _ in range(self.n_lanes)]
+        self.dropped_commands = [0] * self.n_lanes
+        self.time_s = np.zeros(self.n_lanes)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_chips(cls, chips: Sequence[DramChip],
+                   epochs: Sequence[int] | None = None) -> "BatchedChip":
+        """One lane per donor chip.
+
+        With ``epochs`` given, each lane's sub-array noise sources are
+        freshly spawned children reseeded to that epoch — exactly the tree
+        :meth:`DramChip.reseed_noise` builds — so a single donor chip can
+        be broadcast across trial lanes.  Without ``epochs`` the donors'
+        live noise sources are adopted (and must no longer be used through
+        the scalar chips).
+        """
+        if not chips:
+            raise ConfigurationError("batched chip needs at least one lane")
+        first = chips[0]
+        for chip in chips:
+            if chip.geometry != first.geometry:
+                raise ConfigurationError("all lanes must share chip geometry")
+        cells: list[list[BatchedSubArray]] = []
+        for bank in range(first.geometry.n_banks):
+            bank_cells = []
+            for sub in range(first.geometry.subarrays_per_bank):
+                donors = [chip.banks[bank].subarrays[sub] for chip in chips]
+                if epochs is None:
+                    noises = [donor._noise for donor in donors]
+                else:
+                    noises = []
+                    for chip, epoch in zip(chips, epochs):
+                        child = chip.noise.spawn("bank", bank, "subarray", sub)
+                        child.reseed(int(epoch))
+                        noises.append(child)
+                bank_cells.append(BatchedSubArray(
+                    donors=donors, noises=noises,
+                    environments=[chip.environment for chip in chips],
+                    origins=[(bank, sub)] * len(chips)))
+            cells.append(bank_cells)
+        return cls(
+            geometry=first.geometry,
+            cells=cells,
+            groups=[chip.group for chip in chips],
+            row_maps=[chip.row_map for chip in chips],
+            polarity_schemes=[chip.polarity_scheme for chip in chips])
+
+    @classmethod
+    def from_subarray_views(
+        cls, chip: DramChip, sites: Sequence[tuple[int, int]],
+        epochs: Sequence[int] | None = None,
+    ) -> "BatchedChip":
+        """One lane per (bank, sub-array) site of a single donor chip.
+
+        The batched device is a virtual 1-bank x 1-sub-array chip whose
+        lane ``i`` *is* ``chip.banks[sites[i][0]].subarrays[sites[i][1]]``;
+        rows are sub-array-local.  Used when an experiment iterates
+        independent units that each touch one sub-array (the PUF reads).
+        """
+        donors = [chip.banks[bank].subarrays[sub] for bank, sub in sites]
+        if epochs is None:
+            noises = [donor._noise for donor in donors]
+        else:
+            noises = []
+            for (bank, sub), epoch in zip(sites, epochs):
+                child = chip.noise.spawn("bank", bank, "subarray", sub)
+                child.reseed(int(epoch))
+                noises.append(child)
+        geometry = GeometryParams(
+            n_banks=1, subarrays_per_bank=1,
+            rows_per_subarray=chip.geometry.rows_per_subarray,
+            columns=chip.geometry.columns)
+        cell = BatchedSubArray(
+            donors=donors, noises=noises,
+            environments=[chip.environment] * len(donors),
+            origins=list(sites))
+        return cls(
+            geometry=geometry,
+            cells=[[cell]],
+            groups=[chip.group] * len(donors),
+            row_maps=[chip.row_map] * len(donors),
+            polarity_schemes=[chip.polarity_scheme] * len(donors))
+
+    # ------------------------------------------------------------------
+    # identity / bookkeeping
+    # ------------------------------------------------------------------
+
+    @property
+    def n_banks(self) -> int:
+        return self.geometry.n_banks
+
+    @property
+    def columns(self) -> int:
+        return self.geometry.columns
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.geometry.rows_per_bank
+
+    def lane_is_idle(self, lane: int) -> bool:
+        return all(cell.lane_is_idle(lane)
+                   for bank_cells in self.cells for cell in bank_cells)
+
+    def _check_bank(self, bank: int) -> None:
+        if not 0 <= bank < self.geometry.n_banks:
+            raise AddressError(f"bank {bank} out of range")
+
+    def _is_anti(self, lane: int, row: int) -> bool:
+        local_logical = row % self.geometry.rows_per_subarray
+        physical = self._row_maps[lane].to_physical(local_logical)
+        return is_anti_row(self._polarity[lane], physical)
+
+    # ------------------------------------------------------------------
+    # command interface
+    # ------------------------------------------------------------------
+
+    def _spacing_filter(self, bank: int, lanes: Sequence[int],
+                        cycles: np.ndarray) -> list[int]:
+        allowed: list[int] = []
+        telemetry = _telemetry_active()
+        for lane in lanes:
+            cycle = int(cycles[lane])
+            if not self._enforce[lane]:
+                self._last_cmd[lane][bank] = cycle
+                allowed.append(lane)
+                continue
+            last = self._last_cmd[lane].get(bank)
+            if last is not None and cycle - last < MIN_COMMAND_SPACING_CYCLES:
+                self.dropped_commands[lane] += 1
+                if telemetry is not None:
+                    telemetry.count("dram.dropped_commands")
+                    telemetry.emit("drop", {"bank": bank, "cycle": cycle})
+                continue
+            self._last_cmd[lane][bank] = cycle
+            allowed.append(lane)
+        return allowed
+
+    def activate(self, bank: int, rows: Sequence[int],
+                 lanes: Sequence[int], cycles: np.ndarray) -> None:
+        self._check_bank(bank)
+        rows_by_lane = dict(zip(lanes, rows))
+        allowed = self._spacing_filter(bank, lanes, cycles)
+        if not allowed:
+            return
+        rps = self.geometry.rows_per_subarray
+        by_sub: dict[int, tuple[list[int], list[int]]] = {}
+        for lane in allowed:
+            row = int(rows_by_lane[lane])
+            if not 0 <= row < self.geometry.rows_per_bank:
+                raise AddressError(
+                    f"row {row} out of range for bank with "
+                    f"{self.geometry.rows_per_bank} rows")
+            sub, local_logical = divmod(row, rps)
+            group = by_sub.setdefault(sub, ([], []))
+            group[0].append(lane)
+            group[1].append(self._row_maps[lane].to_physical(local_logical))
+        for sub, (sub_lanes, local_rows) in by_sub.items():
+            self.cells[bank][sub].activate(sub_lanes, local_rows, cycles)
+
+    def precharge(self, bank: int, lanes: Sequence[int],
+                  cycles: np.ndarray) -> None:
+        self._check_bank(bank)
+        allowed = self._spacing_filter(bank, lanes, cycles)
+        if not allowed:
+            return
+        for cell in self.cells[bank]:
+            cell.precharge(allowed, cycles)
+
+    def precharge_all(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        for bank in range(self.geometry.n_banks):
+            self.precharge(bank, lanes, cycles)
+
+    def settle(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        for bank_cells in self.cells:
+            for cell in bank_cells:
+                cell.settle(lanes, cycles)
+
+    def finish(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        for bank_cells in self.cells:
+            for cell in bank_cells:
+                cell.finish(lanes, cycles)
+
+    # ------------------------------------------------------------------
+    # data path
+    # ------------------------------------------------------------------
+
+    def row_buffer_logical(self, bank: int, rows: Sequence[int],
+                           lanes: Sequence[int]) -> np.ndarray:
+        """Logical bits per lane, ``(len(lanes), columns)`` in lane order."""
+        self._check_bank(bank)
+        out = np.empty((len(lanes), self.geometry.columns), dtype=bool)
+        rps = self.geometry.rows_per_subarray
+        by_sub: dict[int, tuple[list[int], list[int]]] = {}
+        for index, lane in enumerate(lanes):
+            group = by_sub.setdefault(int(rows[index]) // rps, ([], []))
+            group[0].append(lane)
+            group[1].append(index)
+        for sub, (sub_lanes, indices) in by_sub.items():
+            physical = self.cells[bank][sub].row_buffer(sub_lanes)
+            for offset, (lane, index) in enumerate(zip(sub_lanes, indices)):
+                bits = physical[offset]
+                if self._is_anti(lane, int(rows[index])):
+                    bits = ~bits
+                out[index] = bits
+        return out
+
+    def write_open(self, bank: int, rows: Sequence[int],
+                   lanes: Sequence[int], logical_bits: np.ndarray) -> None:
+        self._check_bank(bank)
+        bits = np.asarray(logical_bits, dtype=bool)
+        if bits.ndim == 1:
+            bits = np.broadcast_to(bits, (len(lanes), bits.shape[0]))
+        physical = bits.copy()
+        for index, lane in enumerate(lanes):
+            if self._is_anti(lane, int(rows[index])):
+                physical[index] = ~bits[index]
+        rps = self.geometry.rows_per_subarray
+        by_sub: dict[int, tuple[list[int], list[int]]] = {}
+        for index, lane in enumerate(lanes):
+            group = by_sub.setdefault(int(rows[index]) // rps, ([], []))
+            group[0].append(lane)
+            group[1].append(index)
+        for sub, (sub_lanes, indices) in by_sub.items():
+            self.cells[bank][sub].write_open_row(sub_lanes, physical[indices])
+
+    # ------------------------------------------------------------------
+    # time / retention
+    # ------------------------------------------------------------------
+
+    def advance_time(self, dt_s: float, lanes: Sequence[int]) -> None:
+        for lane in lanes:
+            if not self.lane_is_idle(lane):
+                raise CommandSequenceError(
+                    "advance_time requires all banks idle (precharge first)")
+        for bank_cells in self.cells:
+            for cell in bank_cells:
+                cell.leak(lanes, dt_s)
+        self.time_s[np.asarray(lanes, dtype=np.intp)] += dt_s
+        telemetry = _telemetry_active()
+        if telemetry is not None:
+            for lane in lanes:
+                telemetry.count("dram.leak_events")
+                telemetry.observe("dram.leak_dt_s", dt_s)
+                telemetry.emit("leak", {"dt_s": float(dt_s),
+                                        "time_s": float(self.time_s[lane])})

@@ -135,6 +135,19 @@ class DramChip:
                 subarray._noise = self.noise.spawn(
                     "bank", bank.bank_index, "subarray", index)
 
+    def reset_dynamic(self) -> None:
+        """Power-cycle the chip: discharge all cells, clear command history.
+
+        Fabrication variation is preserved (same silicon) and the noise
+        stream position is untouched; pair with :meth:`reseed_noise` to
+        start a fully independent measurement trial.  The cumulative
+        ``dropped_commands`` diagnostic is deliberately kept.
+        """
+        for bank in self.banks:
+            bank.reset_dynamic()
+        self.time_s = 0.0
+        self._last_command_cycle.clear()
+
     # ------------------------------------------------------------------
     # command interface
     # ------------------------------------------------------------------

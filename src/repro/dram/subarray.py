@@ -154,6 +154,24 @@ class SubArray:
         self._preshare_snapshot: np.ndarray | None = None
         self._preshare_rows: tuple[int, ...] = ()
 
+    def reset_dynamic(self) -> None:
+        """Return all dynamic state to power-on: discharged cells, precharged
+        bit-lines, no open rows.
+
+        Manufacturing variation and the noise stream are untouched — this
+        models a power cycle of the same physical silicon, which is what
+        per-trial independence in the stability experiments needs.
+        """
+        self.cell_v[:] = 0.0
+        self.bitline_v[:] = 0.5
+        self._open_rows = ()
+        self._sense_fired = False
+        self._row_buffer = None
+        self._last_act_cycle = -(10 ** 9)
+        self._pre_started_cycle = None
+        self._preshare_snapshot = None
+        self._preshare_rows = ()
+
     # ------------------------------------------------------------------
     # introspection ("oscilloscope" access — not available on real DRAM)
     # ------------------------------------------------------------------

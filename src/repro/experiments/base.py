@@ -25,7 +25,7 @@ from ..dram.vendor import GroupProfile, get_group
 from ..telemetry.registry import active as _telemetry_active
 
 __all__ = ["ExperimentConfig", "make_chip", "make_fd", "make_module",
-           "markdown_table", "percent", "stage"]
+           "markdown_table", "percent", "resolve_batch", "stage"]
 
 
 @contextmanager
@@ -60,6 +60,12 @@ class ExperimentConfig:
     subarrays_per_bank: int = 2
     n_banks: int = 2
     chips_per_group: int = 2
+    #: Trial-batch width for experiments with a batched engine: ``None``
+    #: picks the experiment's natural width automatically, ``0``/``1``
+    #: forces the scalar path, ``N > 1`` caps cohorts at N lanes.  Results
+    #: are byte-identical at every setting (the batched engine mirrors the
+    #: scalar RNG stream per lane); this knob only trades memory for speed.
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.rows_per_subarray < 10:
@@ -87,6 +93,21 @@ class ExperimentConfig:
 
 
 DEFAULT_CONFIG = ExperimentConfig()
+
+
+def resolve_batch(config: ExperimentConfig, auto: int) -> int:
+    """Effective trial-batch width for one batched stage.
+
+    ``auto`` is the experiment's natural lane count for the stage (all
+    units of a shard, all serials of a group, ...).  The config's
+    ``batch`` knob caps it (or disables batching entirely with 0/1); the
+    returned width is always at least 1.
+    """
+    if auto < 1:
+        return 1
+    if config.batch is None:
+        return auto
+    return max(1, min(int(config.batch), auto))
 
 
 def make_chip(group: str | GroupProfile, config: ExperimentConfig,

@@ -24,15 +24,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.batched_ops import BatchedFracDram
 from ..core.ops import FMajConfig, FracDram
+from ..dram.batched import BatchedChip
 from ..dram.rng import derive_rng
 from .base import (
     DEFAULT_CONFIG,
     ExperimentConfig,
     input_combos,
+    make_chip,
     make_fd,
     markdown_table,
     percent,
+    resolve_batch,
     subarray_targets,
 )
 
@@ -154,28 +158,68 @@ class Fig10Result:
 def _combo_success_at(config: ExperimentConfig, group_id: str,
                       fmaj_config_base: FMajConfig, n_frac: int,
                       ) -> tuple[dict[tuple[int, int, int], float], float]:
-    """Per-combination success rates at one Frac count (one work unit)."""
+    """Per-combination success rates at one Frac count (one work unit).
+
+    Chip serials are the trial-batch lanes: each lane's chip consumes
+    exactly the command stream of the scalar serial loop (sub-array
+    targets outer, input combinations inner), and the per-(serial,
+    target) means are re-accumulated in scalar serial-major order, so
+    the averages are byte-identical at any batch width.
+    """
     combos = input_combos(config.columns)
     targets = subarray_targets(config)
     fmaj_config = FMajConfig(fmaj_config_base.frac_position,
                              fmaj_config_base.init_ones, n_frac)
+    serials = list(range(config.chips_per_group))
+    batch = resolve_batch(config, len(serials))
     sums = {pattern: 0.0 for pattern, _ in combos}
     all_correct_sum = 0.0
-    samples = 0
-    for serial in range(config.chips_per_group):
-        fd = make_fd(group_id, config, serial)
-        for bank, subarray in targets:
-            correct_all = np.ones(fd.columns, dtype=bool)
+    if batch <= 1:
+        samples = 0
+        for serial in serials:
+            fd = make_fd(group_id, config, serial)
+            for bank, subarray in targets:
+                correct_all = np.ones(fd.columns, dtype=bool)
+                for pattern, operands in combos:
+                    expected = sum(pattern) >= 2
+                    result = fd.f_maj(bank, operands, fmaj_config, subarray)
+                    matches = result == expected
+                    sums[pattern] += float(np.mean(matches))
+                    correct_all &= matches
+                all_correct_sum += float(np.mean(correct_all))
+                samples += 1
+        return ({pattern: sums[pattern] / samples for pattern, _ in combos},
+                all_correct_sum / samples)
+    donor = make_fd(group_id, config, 0)
+    per_combo = {pattern: np.zeros((len(serials), len(targets)))
+                 for pattern, _ in combos}
+    all_matrix = np.zeros((len(serials), len(targets)))
+    for start in range(0, len(serials), batch):
+        cohort = serials[start:start + batch]
+        chips = [make_chip(group_id, config, serial) for serial in cohort]
+        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        lanes = bfd.all_lanes()
+        rows = slice(start, start + len(cohort))
+        for t_index, (bank, subarray) in enumerate(targets):
+            plan = donor.quad_plan(bank, subarray)
+            correct_all = np.ones((len(cohort), bfd.columns), dtype=bool)
             for pattern, operands in combos:
                 expected = sum(pattern) >= 2
-                result = fd.f_maj(bank, operands, fmaj_config, subarray)
-                matches = result == expected
-                sums[pattern] += float(np.mean(matches))
+                ops = np.broadcast_to(
+                    np.stack(operands), (len(cohort), 3, bfd.columns))
+                matches = bfd.f_maj(plan, ops, fmaj_config, lanes) == expected
+                per_combo[pattern][rows, t_index] = matches.mean(axis=1)
                 correct_all &= matches
-            all_correct_sum += float(np.mean(correct_all))
-            samples += 1
-    return ({pattern: sums[pattern] / samples for pattern, _ in combos},
-            all_correct_sum / samples)
+            all_matrix[rows, t_index] = correct_all.mean(axis=1)
+    samples = len(serials) * len(targets)
+    for s_index in range(len(serials)):
+        for t_index in range(len(targets)):
+            for pattern, _ in combos:
+                sums[pattern] += per_combo[pattern][s_index, t_index]
+            all_correct_sum += all_matrix[s_index, t_index]
+    return ({pattern: float(sums[pattern] / samples)
+             for pattern, _ in combos},
+            float(all_correct_sum / samples))
 
 
 def _stability(fd: FracDram, operation: str, trials: int,
@@ -192,6 +236,54 @@ def _stability(fd: FracDram, operation: str, trials: int,
             result = fd.f_maj(bank, operands, fmaj_config, subarray)
         successes += result == expected
     return successes / trials
+
+
+def _stability_rates(config: ExperimentConfig, group_id: str,
+                     operation: str, serials: list[int],
+                     trials: int) -> dict[int, np.ndarray]:
+    """Per-serial stability rates for one (group, operation) campaign.
+
+    Serials are the trial-batch lanes: every lane replays the same
+    command stream while drawing its operands from the serial's own
+    ``(master_seed, "fig10", group, operation, serial)`` stream — the
+    same derivation the scalar path uses — so rates are byte-identical
+    at any batch width and under any shard slicing.
+    """
+    batch = resolve_batch(config, len(serials))
+    rates: dict[int, np.ndarray] = {}
+    if batch <= 1:
+        for serial in serials:
+            rng = derive_rng(config.master_seed, "fig10", group_id,
+                             operation, serial)
+            fd = make_fd(group_id, config, serial)
+            rates[serial] = _stability(fd, operation, trials, rng)
+        return rates
+    donor = make_fd(group_id, config, 0)
+    fmaj_config = donor.group.preferred_fmaj
+    bank = subarray = 0
+    plan = (donor.triple_plan(bank, subarray) if operation == "maj3"
+            else donor.quad_plan(bank, subarray))
+    for start in range(0, len(serials), batch):
+        cohort = serials[start:start + batch]
+        rngs = [derive_rng(config.master_seed, "fig10", group_id,
+                           operation, serial) for serial in cohort]
+        chips = [make_chip(group_id, config, serial) for serial in cohort]
+        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        lanes = bfd.all_lanes()
+        successes = np.zeros((len(cohort), bfd.columns))
+        for _ in range(trials):
+            operands = np.stack([
+                np.stack([rng.random(bfd.columns) < 0.5 for _ in range(3)])
+                for rng in rngs])
+            expected = operands.sum(axis=1) >= 2
+            if operation == "maj3":
+                result = bfd.maj3(plan, operands, lanes)
+            else:
+                result = bfd.f_maj(plan, operands, fmaj_config, lanes)
+            successes += result == expected
+        for lane, serial in enumerate(cohort):
+            rates[serial] = successes[lane] / trials
+    return rates
 
 
 # ----------------------------------------------------------------------
@@ -221,7 +313,23 @@ def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
 
 def run_shard(config: ExperimentConfig, units, trials: int = 500,
               **_kwargs) -> list:
-    """Execute part-(a) and stability units; one payload per unit."""
+    """Execute part-(a) and stability units; one payload per unit.
+
+    Stability units sharing a (group, operation) campaign are gathered
+    into trial-batch cohorts (``config.batch`` caps the width); each
+    unit's rates depend only on (config, unit key), so the payloads are
+    identical under any shard slicing or batch width.
+    """
+    units = list(units)
+    by_campaign: dict[tuple[str, str], list[int]] = {}
+    for unit in units:
+        if unit[0] == "stability":
+            _, group_id, operation, serial = unit
+            by_campaign.setdefault((group_id, operation), []).append(serial)
+    campaign_rates = {
+        (group_id, operation): _stability_rates(config, group_id, operation,
+                                                serials, trials)
+        for (group_id, operation), serials in by_campaign.items()}
     payloads = []
     for unit in units:
         if unit[0] == "a":
@@ -231,10 +339,7 @@ def run_shard(config: ExperimentConfig, units, trials: int = 500,
             payloads.append(("a", n_frac, values, all_correct))
         else:
             _, group_id, operation, serial = unit
-            rng = derive_rng(config.master_seed, "fig10", group_id,
-                             operation, serial)
-            fd = make_fd(group_id, config, serial)
-            rates = _stability(fd, operation, trials, rng)
+            rates = campaign_rates[(group_id, operation)][serial]
             payloads.append(("stability",
                              StabilityModule(group_id, serial, operation,
                                              rates)))

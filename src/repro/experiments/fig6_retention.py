@@ -21,13 +21,24 @@ import numpy as np
 from ..analysis.retention import (
     N_BUCKETS,
     RETENTION_BUCKET_LABELS,
+    BatchedRetentionProfiler,
     CellCategory,
     RetentionProfile,
     RetentionProfiler,
 )
+from ..core.batched_ops import BatchedFracDram
+from ..dram.batched import BatchedChip
 from ..dram.rng import derive_rng
 from ..dram.vendor import GROUPS
-from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table, percent
+from .base import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    make_chip,
+    make_fd,
+    markdown_table,
+    percent,
+    resolve_batch,
+)
 
 __all__ = ["Fig6GroupResult", "Fig6Result", "run", "shard_units",
            "run_shard", "merge"]
@@ -114,6 +125,28 @@ def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
     return tuple(GROUPS)
 
 
+def _classify(group_id: str, retention: RetentionProfile):
+    """Payload for one profiled group (shared by both execution paths)."""
+    if not GROUPS[group_id].frac_capable:
+        # Sanity check the paper's omission: Frac must have no effect
+        # (up to VRT-cell noise on repeated measurements).
+        baseline = retention.buckets[0]
+        changed = max(
+            float(np.mean(retention.buckets[i] != baseline))
+            for i in range(len(FRAC_COUNTS)))
+        kind = "unaffected" if changed < 0.02 else "irregular"
+        return (kind, group_id, None)
+    return ("capable", group_id, retention)
+
+
+def _unit_targets(config: ExperimentConfig, group_id: str,
+                  rows_per_bank_sample: int) -> list[tuple[int, int]]:
+    geometry = config.geometry()
+    rng = derive_rng(config.master_seed, "fig6", group_id)
+    return _sample_rows(config, rows_per_bank_sample, rng,
+                        geometry.rows_per_bank, geometry.n_banks)
+
+
 def run_shard(config: ExperimentConfig, units,
               rows_per_bank_sample: int = 2, **_kwargs) -> list:
     """Profile the groups in ``units``; one payload per unit.
@@ -122,28 +155,34 @@ def run_shard(config: ExperimentConfig, units,
     ``"capable"`` (profile attached), ``"unaffected"`` (Frac provably
     has no effect) or ``"irregular"`` (non-capable group that failed
     the flat-profile sanity check).
+
+    Groups are profiled as lanes of one trial batch (one lane per unit,
+    ``config.batch`` caps the cohort width); lane ``i`` consumes exactly
+    the command stream and noise draws of a scalar run on group ``i``,
+    so payloads are byte-identical at any batch width.
     """
+    units = list(units)
+    batch = resolve_batch(config, len(units))
+    if batch <= 1:
+        payloads = []
+        for group_id in units:
+            fd = make_fd(group_id, config, serial=0)
+            targets = _unit_targets(config, group_id, rows_per_bank_sample)
+            retention = RetentionProfiler(fd).profile_rows(targets, FRAC_COUNTS)
+            payloads.append(_classify(group_id, retention))
+        return payloads
     payloads = []
-    geometry = config.geometry()
-    for group_id in units:
-        profile = GROUPS[group_id]
-        rng = derive_rng(config.master_seed, "fig6", group_id)
-        fd = make_fd(group_id, config, serial=0)
-        targets = _sample_rows(config, rows_per_bank_sample, rng,
-                               geometry.rows_per_bank, geometry.n_banks)
-        profiler = RetentionProfiler(fd)
-        retention = profiler.profile_rows(targets, FRAC_COUNTS)
-        if not profile.frac_capable:
-            # Sanity check the paper's omission: Frac must have no effect
-            # (up to VRT-cell noise on repeated measurements).
-            baseline = retention.buckets[0]
-            changed = max(
-                float(np.mean(retention.buckets[i] != baseline))
-                for i in range(len(FRAC_COUNTS)))
-            kind = "unaffected" if changed < 0.02 else "irregular"
-            payloads.append((kind, group_id, None))
-        else:
-            payloads.append(("capable", group_id, retention))
+    for start in range(0, len(units), batch):
+        cohort = units[start:start + batch]
+        chips = [make_chip(group_id, config, serial=0) for group_id in cohort]
+        per_lane_targets = [
+            _unit_targets(config, group_id, rows_per_bank_sample)
+            for group_id in cohort]
+        profiler = BatchedRetentionProfiler(
+            BatchedFracDram(BatchedChip.from_chips(chips)))
+        retentions = profiler.profile_rows(per_lane_targets, FRAC_COUNTS)
+        payloads.extend(_classify(group_id, retention)
+                        for group_id, retention in zip(cohort, retentions))
     return payloads
 
 

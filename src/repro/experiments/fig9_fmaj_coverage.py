@@ -20,18 +20,23 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..analysis.stats import mean_confidence_interval
-from ..core.ops import FMajConfig, FracDram
+from ..core.batched_ops import BatchedFracDram
+from ..core.ops import FMajConfig, FracDram, MultiRowPlan
+from ..dram.batched import BatchedChip
 from .base import (
     DEFAULT_CONFIG,
     ExperimentConfig,
     input_combos,
+    make_chip,
     make_fd,
     markdown_table,
     percent,
+    resolve_batch,
     subarray_targets,
 )
 
-__all__ = ["Fig9Curve", "Fig9Result", "run", "coverage_maj3", "coverage_fmaj"]
+__all__ = ["Fig9Curve", "Fig9Result", "run", "coverage_maj3", "coverage_fmaj",
+           "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 9: non-zero F-MAJ coverage on every four-row group; best "
@@ -123,20 +128,46 @@ class Fig9Result:
         return "\n".join(lines)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        frac_counts: tuple[int, ...] = FRAC_COUNTS) -> Fig9Result:
-    curves: dict[str, tuple[Fig9Curve, ...]] = {}
-    maj3_values: list[float] = []
+def _lanes_coverage(bfd: BatchedFracDram, plan: MultiRowPlan,
+                    fmaj_config: FMajConfig | None,
+                    lanes: list[int]) -> np.ndarray:
+    """Per-lane coverage fraction for one (plan, config) on all lanes."""
+    correct = np.ones((len(lanes), bfd.columns), dtype=bool)
+    for pattern, operands in input_combos(bfd.columns):
+        expected = sum(pattern) >= 2
+        ops = np.broadcast_to(
+            np.stack(operands), (len(lanes), 3, bfd.columns))
+        if fmaj_config is None:
+            result = bfd.maj3(plan, ops, lanes)
+        else:
+            result = bfd.f_maj(plan, ops, fmaj_config, lanes)
+        correct &= result == expected
+    # Mean over a row of bools is an exact integer sum / C: identical to
+    # the scalar per-device ``np.mean`` regardless of reduction order.
+    return correct.mean(axis=1)
+
+
+def _group_payload(config: ExperimentConfig, group_id: str,
+                   frac_counts: tuple[int, ...]):
+    """One unit's data: (group_id, curves, maj3 values or None).
+
+    Chip serials are the trial-batch lanes: each serial's chip consumes
+    exactly the command stream of the scalar sweep (MAJ3 baseline first
+    for group B, then the configuration sweep in frac-position / init /
+    #Frac order, sub-array targets innermost), so the per-serial coverage
+    values are byte-identical at any batch width.
+    """
     targets = subarray_targets(config)
-    for group_id in GROUPS_WITH_FOUR_ROW:
-        group_curves = []
-        devices = [make_fd(group_id, config, serial)
-                   for serial in range(config.chips_per_group)]
+    serials = list(range(config.chips_per_group))
+    batch = resolve_batch(config, len(serials))
+    if batch <= 1:
+        devices = [make_fd(group_id, config, serial) for serial in serials]
+        maj3_values = None
         if group_id == "B":
-            for fd in devices:
-                maj3_values.extend(
-                    coverage_maj3(fd, bank, subarray)
-                    for bank, subarray in targets)
+            maj3_values = [
+                coverage_maj3(fd, bank, subarray)
+                for fd in devices for bank, subarray in targets]
+        group_curves = []
         for frac_position in range(4):
             for init_ones in (True, False):
                 points = []
@@ -150,5 +181,86 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
                     points.append(mean_confidence_interval(values))
                 group_curves.append(Fig9Curve(
                     group_id, frac_position, init_ones, tuple(points)))
+        return (group_id, tuple(group_curves), maj3_values)
+    # Plans depend only on (group, row map, geometry) — shared by every
+    # serial — so resolve them once on a scalar donor.
+    donor = make_fd(group_id, config, 0)
+    maj3_matrix = (np.zeros((len(serials), len(targets)))
+                   if group_id == "B" else None)
+    coverage: dict[tuple[int, bool, int], np.ndarray] = {
+        (fp, init, n): np.zeros((len(serials), len(targets)))
+        for fp in range(4) for init in (True, False) for n in frac_counts}
+    for start in range(0, len(serials), batch):
+        cohort = serials[start:start + batch]
+        chips = [make_chip(group_id, config, serial) for serial in cohort]
+        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        lanes = bfd.all_lanes()
+        rows = slice(start, start + len(cohort))
+        if maj3_matrix is not None:
+            for t_index, (bank, subarray) in enumerate(targets):
+                plan = donor.triple_plan(bank, subarray)
+                maj3_matrix[rows, t_index] = _lanes_coverage(
+                    bfd, plan, None, lanes)
+        for frac_position in range(4):
+            for init_ones in (True, False):
+                for n_frac in frac_counts:
+                    fmaj_config = FMajConfig(frac_position, init_ones, n_frac)
+                    for t_index, (bank, subarray) in enumerate(targets):
+                        plan = donor.quad_plan(bank, subarray)
+                        coverage[(frac_position, init_ones, n_frac)][
+                            rows, t_index] = _lanes_coverage(
+                                bfd, plan, fmaj_config, lanes)
+    group_curves = []
+    for frac_position in range(4):
+        for init_ones in (True, False):
+            points = []
+            for n_frac in frac_counts:
+                matrix = coverage[(frac_position, init_ones, n_frac)]
+                values = [float(v) for v in matrix.reshape(-1)]
+                points.append(mean_confidence_interval(values))
+            group_curves.append(Fig9Curve(
+                group_id, frac_position, init_ones, tuple(points)))
+    maj3_values = ([float(v) for v in maj3_matrix.reshape(-1)]
+                   if maj3_matrix is not None else None)
+    return (group_id, tuple(group_curves), maj3_values)
+
+
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# four-row-capable group; a unit's chips are fabricated from
+# (master_seed, group, serial) alone, so its payload is independent of
+# shard boundaries and batch width.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[str, ...]:
+    """One work unit per four-row-capable group."""
+    return GROUPS_WITH_FOUR_ROW
+
+
+def run_shard(config: ExperimentConfig, units,
+              frac_counts: tuple[int, ...] = FRAC_COUNTS, **_kwargs) -> list:
+    """Sweep the groups in ``units``; one payload per unit."""
+    return [_group_payload(config, group_id, tuple(frac_counts))
+            for group_id in units]
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Fig9Result:
+    """Assemble per-group payloads (any order) into a :class:`Fig9Result`."""
+    by_group = {payload[0]: payload for payload in payloads}
+    curves: dict[str, tuple[Fig9Curve, ...]] = {}
+    maj3_values: list[float] = []
+    for group_id in GROUPS_WITH_FOUR_ROW:  # canonical order
+        if group_id not in by_group:
+            continue
+        _, group_curves, group_maj3 = by_group[group_id]
         curves[group_id] = tuple(group_curves)
+        if group_maj3:
+            maj3_values.extend(group_maj3)
     return Fig9Result(curves, float(np.mean(maj3_values)))
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        frac_counts: tuple[int, ...] = FRAC_COUNTS) -> Fig9Result:
+    return merge(config, run_shard(config, shard_units(config),
+                                   frac_counts=frac_counts))

@@ -22,12 +22,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.batched_ops import BatchedFracDram
+from ..dram.batched import BatchedChip
 from ..dram.parameters import GeometryParams
 from ..dram.chip import DramChip
 from ..puf.extractor import von_neumann_extract
-from ..puf.frac_puf import Challenge, FracPuf
+from ..puf.frac_puf import PUF_N_FRAC, Challenge, FracPuf
 from ..puf.nist import SuiteResult, run_all
-from .base import DEFAULT_CONFIG, ExperimentConfig
+from .base import DEFAULT_CONFIG, ExperimentConfig, resolve_batch
 
 __all__ = ["NistExperimentResult", "run", "shard_units", "run_shard",
            "merge"]
@@ -96,21 +98,57 @@ def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
     return tuple(units)
 
 
+#: Natural trial-batch width for the challenge sweep: each lane is one
+#: sub-array view of the same chip, so wide cohorts trade cache locality
+#: for dispatch savings; 16 is the sweet spot on the default geometry.
+_NIST_AUTO_BATCH = 16
+
+
 def run_shard(config: ExperimentConfig, units, group_id: str = "B",
               paper_scale: bool = False, **_kwargs) -> list:
-    """Evaluate the challenges in ``units`` on a locally rebuilt chip."""
+    """Evaluate the challenges in ``units`` on a locally rebuilt chip.
+
+    Challenges are evaluated as lanes of one trial batch: lane ``i`` is
+    the challenge's own sub-array (a :meth:`BatchedChip.from_subarray_views`
+    view of the shared chip) with its noise reseeded to the challenge
+    index — the exact epoch tree the scalar ``reseed_noise`` builds — so
+    responses are byte-identical at any batch width.
+    """
     geometry = _nist_geometry(paper_scale)
     chip = DramChip(group_id, geometry=geometry,
                     master_seed=config.master_seed, serial=99)
-    puf = FracPuf(chip)
+    units = list(units)
+    batch = resolve_batch(config, _NIST_AUTO_BATCH)
+    if batch <= 1:
+        puf = FracPuf(chip)
+        payloads = []
+        for index, bank, subarray in units:
+            # One challenge per sub-array: its sense-amp stripe is the
+            # entropy source; row 0 is as good as any non-reserved row.
+            chip.reseed_noise(index)
+            response = puf.evaluate(
+                Challenge(bank, subarray * geometry.rows_per_subarray))
+            payloads.append((index, response))
+        return payloads
     payloads = []
-    for index, bank, subarray in units:
-        # One challenge per sub-array: its sense-amp stripe is the
-        # entropy source; row 0 is as good as any non-reserved row.
-        chip.reseed_noise(index)
-        response = puf.evaluate(
-            Challenge(bank, subarray * geometry.rows_per_subarray))
-        payloads.append((index, response))
+    rows_per_subarray = geometry.rows_per_subarray
+    reserved = rows_per_subarray - 1
+    for start in range(0, len(units), batch):
+        cohort = units[start:start + batch]
+        sites = [(bank, subarray) for _, bank, subarray in cohort]
+        epochs = [index for index, _, _ in cohort]
+        bfd = BatchedFracDram(
+            BatchedChip.from_subarray_views(chip, sites, epochs=epochs))
+        lanes = bfd.all_lanes()
+        # The scalar evaluation, replayed per lane in the virtual
+        # 1-sub-array address space: fill the reserved all-ones row,
+        # copy it onto the challenge row, Frac it to ~Vdd/2, read.
+        bfd.fill_row(0, [reserved] * len(lanes), True, lanes)
+        bfd.row_copy(0, [reserved] * len(lanes), [0] * len(lanes), lanes)
+        bfd.frac(0, [0] * len(lanes), PUF_N_FRAC, lanes)
+        responses = bfd.read_row(0, [0] * len(lanes), lanes)
+        payloads.extend((index, responses[lane].copy())
+                        for lane, (index, _, _) in enumerate(cohort))
     return payloads
 
 

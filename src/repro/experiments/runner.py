@@ -7,12 +7,15 @@ Usage::
     python -m repro.experiments.runner --only fig6 fig11 --workers 4
     python -m repro.experiments.runner --list
 
-The heavy experiments (fig6, fig10, fig11, nist) are fleet-capable:
+The heavy experiments (fig6, fig9, fig10, fig11, nist) are fleet-capable:
 ``--workers N`` fans their work units out over N worker processes (see
 :mod:`repro.fleet`); ``--workers 0`` — the default, also settable via
-``$REPRO_FLEET_WORKERS`` — runs serially.  Results are memoized in a
-content-addressed on-disk cache keyed by (experiment, config, package
-version); disable with ``--no-cache``.
+``$REPRO_FLEET_WORKERS`` — runs serially.  ``--batch N`` caps the
+trial-batch width of the batched execution engine (default: auto; 1 =
+scalar); every setting produces byte-identical results, so the result
+cache is keyed with the batch knob normalized out.  Results are memoized
+in a content-addressed on-disk cache keyed by (experiment, config,
+package version); disable with ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -73,13 +76,15 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
                    workers: int = 0, cache=None):
     """Run one experiment by name and return its result object.
 
-    ``workers > 0`` routes fleet-capable experiments (fig6, fig10,
-    fig11, nist) through :class:`repro.fleet.FleetExecutor`; other
-    experiments always run in-process.  Passing a
+    ``workers > 0`` routes fleet-capable experiments (fig6, fig9,
+    fig10, fig11, nist) through :class:`repro.fleet.FleetExecutor`;
+    other experiments always run in-process.  Passing a
     :class:`repro.fleet.ResultCache` as ``cache`` memoizes the result on
     disk — its ``hits``/``stores`` counters tell the caller whether the
-    result was recomputed.  Serial, parallel, and cached runs of the
-    same (experiment, config, version) are all byte-identical.
+    result was recomputed.  Serial, parallel, batched, and cached runs
+    of the same (experiment, config, version) are all byte-identical;
+    the cache key therefore normalizes ``config.batch`` out, so a
+    batched run can serve a later scalar request and vice versa.
     """
     try:
         _, runner = EXPERIMENTS[name]
@@ -96,7 +101,11 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
     if cache is not None:
         from ..fleet import cache_key
 
-        key = cache_key(name, config)
+        # Batch width never changes results (byte-identity contract),
+        # so it must not change the cache address either.
+        keyed_config = (config.scaled(batch=None)
+                        if hasattr(config, "batch") else config)
+        key = cache_key(name, keyed_config)
         hit, result = cache.fetch(key)
         if hit:
             if telemetry is not None:
@@ -135,6 +144,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="worker processes for fleet-capable experiments "
                              "(0 = serial; -1 = one per CPU; default "
                              "$REPRO_FLEET_WORKERS or 0)")
+    parser.add_argument("--batch", type=int, default=None, metavar="B",
+                        help="trial-batch width for the batched execution "
+                             "engine (default: auto; 1 = scalar); results "
+                             "are byte-identical at every setting")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -162,7 +175,8 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
 
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
-                                   columns=arguments.columns)
+                                   columns=arguments.columns,
+                                   batch=arguments.batch)
     names = arguments.only or list(EXPERIMENTS)
     use_telemetry = arguments.telemetry or arguments.trace_out is not None
     context = (telemetry_session(trace_path=arguments.trace_out)

@@ -36,6 +36,7 @@ __all__ = ["SHARDABLE_EXPERIMENTS", "UnshardableExperimentError",
 #: their shard touches.
 SHARDABLE_EXPERIMENTS: dict[str, str] = {
     "fig6": "repro.experiments.fig6_retention",
+    "fig9": "repro.experiments.fig9_fmaj_coverage",
     "fig10": "repro.experiments.fig10_fmaj_stability",
     "fig11": "repro.experiments.fig11_puf_hd",
     "nist": "repro.experiments.nist_randomness",

@@ -8,18 +8,23 @@ laws) with ordering properties:
   voltage and the precharged bit-line, and is monotone in the starting
   cell voltage;
 * leakage only ever removes charge, longer waits never leave more, decay
-  composes additively, and raising the temperature accelerates it.
+  composes additively, and raising the temperature accelerates it;
+* the trial-batched kernels (:class:`repro.dram.batched.BatchedSubArray`)
+  are bit-for-bit equal to a loop of scalar kernels for random lane
+  counts, shapes and seeds — the byte-identity contract of the batched
+  execution engine, checked at the physics layer.
 """
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.dram.batched import BatchedSubArray
 from repro.dram.decoder import DecoderProfile
 from repro.dram.environment import Environment
 from repro.dram.parameters import ElectricalParams, VariationParams
 from repro.dram.rng import NoiseSource
-from repro.dram.subarray import CouplingProfile, SubArray
+from repro.dram.subarray import CLOSE_ABORT_WINDOW, CouplingProfile, SubArray
 
 ENV = Environment()
 N_COLS = 8
@@ -152,3 +157,153 @@ class TestLeakageMonotonicity:
         noisy.leak(dt, ENV)
         assert np.all(noisy.cell_v <= before + 1e-15)
         assert np.all(noisy.cell_v >= 0.0)
+
+
+# ----------------------------------------------------------------------
+# Batched-engine equality: every kernel must produce bit-for-bit the
+# floats of a loop of scalar kernels (the byte-identity contract).
+# ----------------------------------------------------------------------
+
+def _build_subarray(n_rows: int, n_cols: int, seed: int,
+                    variation: VariationParams) -> SubArray:
+    return SubArray(
+        n_rows=n_rows, n_cols=n_cols,
+        electrical=ElectricalParams(),
+        variation=variation,
+        decoder_profile=DecoderProfile(
+            triple_bit_pairs=frozenset({(0, 1)}),
+            quad_bit_pairs=frozenset({(0, 3)})),
+        coupling=CouplingProfile(),
+        fabrication_rng=np.random.default_rng(seed),
+        noise=NoiseSource(seed, "physics-property-batched"),
+    )
+
+
+def _make_pair(n_rows: int, n_cols: int, seeds: list[int],
+               variation: VariationParams,
+               ) -> tuple[list[SubArray], BatchedSubArray]:
+    """Scalar sub-arrays and their batched twin, identically fabricated.
+
+    Both sides are constructed from the same (seed, tag) streams, so the
+    scalar loop and the batched kernels start from the same silicon and
+    the same noise stream positions.
+    """
+    scalars = [_build_subarray(n_rows, n_cols, seed, variation)
+               for seed in seeds]
+    donors = [_build_subarray(n_rows, n_cols, seed, variation)
+              for seed in seeds]
+    batched = BatchedSubArray(
+        donors=donors, noises=[donor._noise for donor in donors],
+        environments=[ENV] * len(seeds), origins=[(0, 0)] * len(seeds))
+    return scalars, batched
+
+
+@st.composite
+def batch_cases(draw):
+    n_lanes = draw(st.integers(1, 5))
+    n_rows = draw(st.integers(4, 12))
+    n_cols = draw(st.integers(2, 8))
+    seeds = draw(st.lists(st.integers(0, 2 ** 16), min_size=n_lanes,
+                          max_size=n_lanes, unique=True))
+    rows = draw(st.lists(st.integers(0, n_rows - 1), min_size=n_lanes,
+                         max_size=n_lanes))
+    volts = draw(st.lists(
+        st.lists(st.floats(0.0, 1.0), min_size=n_cols, max_size=n_cols),
+        min_size=n_lanes, max_size=n_lanes))
+    return n_rows, n_cols, seeds, rows, volts
+
+
+def _cycles(batched: BatchedSubArray, cycle: int) -> np.ndarray:
+    return np.full(batched.n_lanes, cycle, dtype=np.int64)
+
+
+class TestBatchedKernelEquality:
+    @given(batch_cases())
+    @settings(deadline=None, max_examples=25)
+    def test_charge_share_matches_scalar_loop(self, case):
+        n_rows, n_cols, seeds, rows, volts = case
+        scalars, batched = _make_pair(n_rows, n_cols, seeds,
+                                      VariationParams())
+        lanes = list(range(len(seeds)))
+        for lane, scalar in enumerate(scalars):
+            scalar.cell_v[rows[lane]] = volts[lane]
+            batched.cell_v[lane, rows[lane]] = volts[lane]
+        for lane, scalar in enumerate(scalars):
+            scalar.activate(rows[lane], 0, ENV)
+        batched.activate(lanes, rows, _cycles(batched, 0))
+        for lane, scalar in enumerate(scalars):
+            assert np.array_equal(scalar.bitline_v, batched.bitline_v[lane])
+            assert np.array_equal(scalar.cell_v, batched.cell_v[lane])
+
+    @given(batch_cases(), st.integers(2, 6))
+    @settings(deadline=None, max_examples=25)
+    def test_partial_amplify_matches_scalar_loop(self, case, pre_cycle):
+        n_rows, n_cols, seeds, rows, volts = case
+        scalars, batched = _make_pair(n_rows, n_cols, seeds,
+                                      VariationParams())
+        lanes = list(range(len(seeds)))
+        for lane, scalar in enumerate(scalars):
+            scalar.cell_v[rows[lane]] = volts[lane]
+            batched.cell_v[lane, rows[lane]] = volts[lane]
+        done = pre_cycle + CLOSE_ABORT_WINDOW
+        for lane, scalar in enumerate(scalars):
+            scalar.activate(rows[lane], 0, ENV)
+            scalar.precharge(pre_cycle, ENV)
+            scalar.finish(done, ENV)
+        batched.activate(lanes, rows, _cycles(batched, 0))
+        batched.precharge(lanes, _cycles(batched, pre_cycle))
+        batched.finish(lanes, _cycles(batched, done))
+        for lane, scalar in enumerate(scalars):
+            assert np.array_equal(scalar.cell_v, batched.cell_v[lane])
+            assert np.array_equal(scalar.bitline_v, batched.bitline_v[lane])
+
+    @given(batch_cases())
+    @settings(deadline=None, max_examples=25)
+    def test_sense_matches_scalar_loop(self, case):
+        n_rows, n_cols, seeds, rows, volts = case
+        scalars, batched = _make_pair(n_rows, n_cols, seeds,
+                                      VariationParams())
+        lanes = list(range(len(seeds)))
+        for lane, scalar in enumerate(scalars):
+            scalar.cell_v[rows[lane]] = volts[lane]
+            batched.cell_v[lane, rows[lane]] = volts[lane]
+        for lane, scalar in enumerate(scalars):
+            scalar.activate(rows[lane], 0, ENV)
+            scalar.settle(20, ENV)
+        batched.activate(lanes, rows, _cycles(batched, 0))
+        batched.settle(lanes, _cycles(batched, 20))
+        buffers = batched.row_buffer(lanes)
+        for lane, scalar in enumerate(scalars):
+            assert scalar.sense_fired
+            assert np.array_equal(scalar.row_buffer(), buffers[lane])
+            assert np.array_equal(scalar.cell_v, batched.cell_v[lane])
+
+    @given(batch_cases(), st.floats(0.001, 3600.0),
+           st.floats(0.0, 1.0).flatmap(
+               lambda fraction: st.just(round(fraction, 3))))
+    @settings(deadline=None, max_examples=25)
+    def test_leak_matches_scalar_loop(self, case, dt, vrt_fraction):
+        n_rows, n_cols, seeds, rows, volts = case
+        variation = VariationParams(vrt_cell_fraction=vrt_fraction)
+        scalars, batched = _make_pair(n_rows, n_cols, seeds, variation)
+        lanes = list(range(len(seeds)))
+        bits = np.stack([np.asarray(lane_volts) >= 0.5
+                         for lane_volts in volts])
+        # Charge the cells through the command path (activate + sense +
+        # write + precharge): leak's dirty-row tracking relies on the
+        # engine invariant that cells only gain charge via open rows.
+        for lane, scalar in enumerate(scalars):
+            scalar.activate(rows[lane], 0, ENV)
+            scalar.settle(20, ENV)
+            scalar.write_open_row(bits[lane])
+            scalar.precharge(21, ENV)
+            scalar.finish(21 + CLOSE_ABORT_WINDOW, ENV)
+            scalar.leak(dt, ENV)
+        batched.activate(lanes, rows, _cycles(batched, 0))
+        batched.settle(lanes, _cycles(batched, 20))
+        batched.write_open_row(lanes, bits)
+        batched.precharge(lanes, _cycles(batched, 21))
+        batched.finish(lanes, _cycles(batched, 21 + CLOSE_ABORT_WINDOW))
+        batched.leak(lanes, dt)
+        for lane, scalar in enumerate(scalars):
+            assert np.array_equal(scalar.cell_v, batched.cell_v[lane])

@@ -1,0 +1,59 @@
+"""Batched-vs-scalar byte-identity for the trial-batched experiments.
+
+The batching contract is absolute: ``--batch N`` (any N), ``--batch N
+--workers W`` (any W), and the scalar path must all produce the same
+result, byte for byte, because per-lane RNG streams are derived exactly
+as the scalar path derives per-trial streams.  These tests pin that
+contract at a small configuration for every retrofitted experiment —
+fig6, fig9, fig10, and nist — by comparing canonical JSON renderings of
+the result objects.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.report import result_to_dict
+from repro.experiments.runner import run_experiment
+
+#: Two chips per group so fig9/fig10 genuinely batch over serial lanes;
+#: small geometry keeps each run to a couple of seconds.
+CONFIG = ExperimentConfig(
+    master_seed=2022, columns=128, rows_per_subarray=16,
+    subarrays_per_bank=2, n_banks=2, chips_per_group=2)
+
+BATCHED_EXPERIMENTS = ("fig6", "fig9", "fig10", "nist")
+
+
+def canonical(result) -> str:
+    return json.dumps(result_to_dict(result), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def scalar_renderings():
+    return {name: canonical(run_experiment(name, CONFIG.scaled(batch=1)))
+            for name in BATCHED_EXPERIMENTS}
+
+
+@pytest.mark.parametrize("name", BATCHED_EXPERIMENTS)
+def test_auto_batch_matches_scalar(name, scalar_renderings):
+    batched = canonical(run_experiment(name, CONFIG))
+    assert batched == scalar_renderings[name], (
+        f"{name}: auto-batched result differs from scalar")
+
+
+@pytest.mark.parametrize("name", BATCHED_EXPERIMENTS)
+def test_explicit_batch_matches_scalar(name, scalar_renderings):
+    batched = canonical(run_experiment(name, CONFIG.scaled(batch=3)))
+    assert batched == scalar_renderings[name], (
+        f"{name}: --batch 3 result differs from scalar")
+
+
+@pytest.mark.fleet
+@pytest.mark.parametrize("name", BATCHED_EXPERIMENTS)
+def test_batch_composes_with_workers(name, scalar_renderings):
+    sharded = canonical(run_experiment(name, CONFIG.scaled(batch=2),
+                                       workers=2))
+    assert sharded == scalar_renderings[name], (
+        f"{name}: --batch 2 --workers 2 result differs from scalar")

@@ -2,6 +2,9 @@
 
 * serial and N-worker fleet runs report identical deterministic counter
   snapshots (the fleet merge contract),
+* scalar and trial-batched runs report identical deterministic counter
+  snapshots (the batching contract: compiled-plan violation accounting
+  multiplies by lane count instead of re-observing per lane),
 * a traced fig6 run replays exactly: per-command trace events agree with
   the counters, frac op accounting matches the ACT/PRE pair count, and
   the whole trace passes repro-trace/1 validation,
@@ -25,10 +28,11 @@ CONFIG = ExperimentConfig(columns=128, rows_per_subarray=16,
                           subarrays_per_bank=2, n_banks=2, chips_per_group=1)
 
 
-def snapshot_of_run(name: str, workers: int) -> dict:
+def snapshot_of_run(name: str, workers: int,
+                    config: ExperimentConfig = CONFIG) -> dict:
     telemetry = activate(Telemetry())
     try:
-        run_experiment(name, CONFIG, workers=workers)
+        run_experiment(name, config, workers=workers)
     finally:
         deactivate()
     return telemetry.snapshot(deterministic=True)
@@ -58,6 +62,25 @@ class TestSerialParallelEquivalence:
         assert not any(name.startswith("fleet.")
                        for name in telemetry.counters)
         assert telemetry.histograms["fleet.shard_wall_s"].count > 0
+
+
+class TestBatchedScalarEquivalence:
+    """The batched engine must be telemetry-invisible: same counters."""
+
+    def test_fig6_batched_counters_match_scalar(self):
+        scalar = snapshot_of_run("fig6", workers=0,
+                                 config=CONFIG.scaled(batch=1))
+        batched = snapshot_of_run("fig6", workers=0,
+                                  config=CONFIG.scaled(batch=16))
+        assert batched == scalar
+        assert scalar["counters"]["controller.jedec_violations"] > 0
+
+    def test_nist_batched_counters_match_scalar(self):
+        scalar = snapshot_of_run("nist", workers=0,
+                                 config=CONFIG.scaled(batch=1))
+        batched = snapshot_of_run("nist", workers=0,
+                                  config=CONFIG.scaled(batch=4))
+        assert batched == scalar
 
 
 class TestFig6TraceReplay:
