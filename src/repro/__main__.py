@@ -151,11 +151,12 @@ def main(argv: list[str] | None = None) -> int:
     experiments.add_argument("--seed", type=int, default=2022)
     experiments.add_argument("--columns", type=int, default=1024)
     experiments.add_argument("--workers", type=int, default=None,
-                             help="worker processes for fleet-capable "
-                                  "experiments (0 = serial)")
+                             help="worker processes to shard experiments "
+                                  "over (0 = serial)")
     experiments.add_argument("--batch", type=int, default=None,
-                             help="trial-batch width (default auto; "
-                                  "1 = scalar; results byte-identical)")
+                             help="batched-engine lane width (trials or "
+                                  "modules; default auto; 1 = scalar; "
+                                  "results byte-identical)")
     experiments.add_argument("--no-cache", action="store_true",
                              help="recompute results even if cached")
     experiments.add_argument("--cache-dir", default=None)
@@ -173,11 +174,12 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument("--seed", type=int, default=2022)
     report.add_argument("--columns", type=int, default=1024)
     report.add_argument("--workers", type=int, default=None,
-                        help="worker processes for fleet-capable "
-                             "experiments (0 = serial)")
+                        help="worker processes to shard experiments "
+                             "over (0 = serial)")
     report.add_argument("--batch", type=int, default=None,
-                        help="trial-batch width (default auto; "
-                             "1 = scalar; results byte-identical)")
+                        help="batched-engine lane width (trials or "
+                             "modules; default auto; 1 = scalar; "
+                             "results byte-identical)")
     report.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     report.add_argument("--cache-dir", default=None)

@@ -32,6 +32,7 @@ __all__ = [
     "estimate_sense_thresholds",
     "estimate_share_factor",
     "probe_opened_rows",
+    "batched_probe_opened_rows",
     "discover_multi_row_pairs",
 ]
 
@@ -183,6 +184,42 @@ def probe_opened_rows(fd: FracDram, bank: int, r1: int, r2: int,
     extras = tuple(row for row, fraction in changed_fraction.items()
                    if fraction > changed_threshold)
     return (r1, r2, *extras)
+
+
+def batched_probe_opened_rows(bfd, bank: int, r1: int, r2: int,
+                              rngs, lanes, *,
+                              changed_threshold: float = 0.15,
+                              repeats: int = 2) -> list[tuple[int, ...]]:
+    """:func:`probe_opened_rows` across the lanes of a device batch.
+
+    ``bfd`` is a :class:`~repro.core.batched_ops.BatchedFracDram`;
+    ``rngs`` holds one pattern generator per entry of ``lanes``, each
+    consuming draws in exactly the scalar order (shared pattern first,
+    then one per non-R1/R2 row in row order, per repeat), so a lane's
+    result is byte-identical to the scalar probe on its chip.
+    """
+    rows_per_subarray = int(bfd.device.geometry.rows_per_subarray)
+    base = (r1 // rows_per_subarray) * rows_per_subarray
+    local_rows = range(base, base + rows_per_subarray)
+    other = [row for row in local_rows if row not in (r1, r2)]
+    n = len(lanes)
+    changed = {row: np.zeros(n) for row in other}
+    for _ in range(repeats):
+        shared = np.stack([rng.random(bfd.columns) < 0.5 for rng in rngs])
+        contents: dict[int, np.ndarray] = {}
+        for row in local_rows:
+            contents[row] = (shared if row in (r1, r2) else np.stack(
+                [rng.random(bfd.columns) < 0.5 for rng in rngs]))
+            bfd.write_row(bank, [row] * n, contents[row], lanes)
+        bfd.mc.multi_row_activate(bank, [r1] * n, [r2] * n, lanes)
+        for row in other:
+            readback = bfd.read_row(bank, [row] * n, lanes)
+            changed[row] += np.mean(readback != contents[row],
+                                    axis=1) / repeats
+    return [
+        (r1, r2, *(row for row in other
+                   if changed[row][index] > changed_threshold))
+        for index in range(n)]
 
 
 def discover_multi_row_pairs(fd: FracDram, *, bank: int = 0,

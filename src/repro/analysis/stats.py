@@ -50,16 +50,24 @@ def hamming_weight(bits: Sequence[bool]) -> float:
 
 
 def pairwise_hamming_distances(responses: Sequence[Sequence[bool]]) -> np.ndarray:
-    """All pairwise normalized HDs among a set of equal-length responses."""
-    stacked = np.asarray([_as_bits(r) for r in responses], dtype=bool)
+    """All pairwise normalized HDs among a set of equal-length responses.
+
+    Each response may also be a 2-D (challenges x bits) matrix; the HD is
+    then taken per challenge and the result ordered pair-major,
+    challenge-minor — the convention of the PUF inter-HD studies.  The
+    pair enumeration is the upper triangle in row-major order, computed
+    as one broadcast XOR instead of a Python pair loop.
+    """
+    arrays = [np.asarray(r, dtype=bool) for r in responses]
+    if any(array.ndim not in (1, 2) for array in arrays):
+        shape = next(a.shape for a in arrays if a.ndim not in (1, 2))
+        raise ValueError(f"expected a 1-D bit vector, got shape {shape}")
+    stacked = np.asarray(arrays)
     count = stacked.shape[0]
     if count < 2:
         raise InsufficientDataError("need at least two responses for pairwise HD")
-    distances = []
-    for i in range(count):
-        diffs = stacked[i + 1:] ^ stacked[i]
-        distances.extend(np.mean(diffs, axis=1).tolist())
-    return np.asarray(distances)
+    i, j = np.triu_indices(count, k=1)
+    return np.mean(stacked[i] ^ stacked[j], axis=-1).reshape(-1)
 
 
 def empirical_cdf(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:

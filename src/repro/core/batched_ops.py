@@ -32,8 +32,17 @@ class BatchedFracDram:
 
     def __init__(self, device: BatchedChip) -> None:
         self.device = device
-        self.mc = BatchedSoftMC(device,
-                                electrical=device.groups[0].electrical)
+        # Command templates are shared across lanes, so every lane must
+        # agree on electrical timing (a fleet batch may mix vendor groups
+        # otherwise — decoders, couplings and polarity stay per lane).
+        electrical = device.groups[0].electrical
+        for group in device.groups[1:]:
+            if group.electrical != electrical:
+                raise ConfigurationError(
+                    "all lanes of a batch must share electrical timing "
+                    f"(lane group {group.group_id!r} differs from "
+                    f"{device.groups[0].group_id!r})")
+        self.mc = BatchedSoftMC(device, electrical=electrical)
 
     @property
     def n_lanes(self) -> int:

@@ -24,7 +24,8 @@ import numpy as np
 from ..errors import ConfigurationError
 from .ops import FracDram, MultiRowPlan
 
-__all__ = ["MajVerifyResult", "verify_frac_by_maj3", "COMBO_LABELS"]
+__all__ = ["MajVerifyResult", "verify_frac_by_maj3",
+           "batched_verify_frac_by_maj3", "COMBO_LABELS"]
 
 #: The four possible (X1, X2) outcomes, in reporting order.
 COMBO_LABELS: tuple[str, ...] = ("X1=1,X2=1", "X1=0,X2=0", "X1=1,X2=0", "X1=0,X2=1")
@@ -105,3 +106,55 @@ def verify_frac_by_maj3(
     x2 = fd.read_row(bank, plan.opened[0])
 
     return MajVerifyResult(x1=x1.astype(bool), x2=x2.astype(bool))
+
+
+def batched_verify_frac_by_maj3(
+    bfd,
+    plan: MultiRowPlan,
+    *,
+    frac_rows: FracRowSpec = "R1R2",
+    init_ones: bool = True,
+    n_frac: int = 1,
+) -> list[MajVerifyResult]:
+    """Run :func:`verify_frac_by_maj3` on every lane of a batch at once.
+
+    ``bfd`` is a :class:`~repro.core.batched_ops.BatchedFracDram`; the
+    plan is shared across lanes (it depends only on decoder/row-map/
+    geometry, uniform within a group cohort).  Lane ``i`` of the result
+    list is byte-identical to the scalar procedure on chip ``i``.
+    """
+    r1, r2, r3 = plan.opened
+    if frac_rows == "R1R2":
+        fractional, carrier = (r1, r2), r3
+    elif frac_rows == "R1R3":
+        fractional, carrier = (r1, r3), r2
+    else:
+        raise ConfigurationError(
+            f"frac_rows must be 'R1R2' or 'R1R3', got {frac_rows!r}")
+
+    lanes = bfd.all_lanes()
+    bank = plan.bank
+    ones = np.ones(bfd.columns, dtype=bool)
+
+    def uniform(row: int) -> list[int]:
+        return [int(row)] * len(lanes)
+
+    def prepare() -> None:
+        for row in fractional:
+            bfd.fill_row(bank, uniform(row), init_ones, lanes)
+            if n_frac > 0:
+                bfd.frac(bank, uniform(row), n_frac, lanes)
+
+    prepare()
+    bfd.write_row(bank, uniform(carrier), ones, lanes)
+    bfd.multi_row_activate(plan, lanes)
+    x1 = bfd.read_row(bank, uniform(plan.opened[0]), lanes)
+
+    prepare()
+    bfd.write_row(bank, uniform(carrier), ~ones, lanes)
+    bfd.multi_row_activate(plan, lanes)
+    x2 = bfd.read_row(bank, uniform(plan.opened[0]), lanes)
+
+    return [MajVerifyResult(x1=x1[lane].astype(bool),
+                            x2=x2[lane].astype(bool))
+            for lane in range(len(lanes))]

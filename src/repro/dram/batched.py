@@ -38,8 +38,16 @@ support mid-run :meth:`~repro.dram.chip.DramChip.set_environment`.
 bank/row routing, polarity and command-spacing semantics of
 :class:`~repro.dram.chip.DramChip`, again per lane.  Construct one with
 :meth:`BatchedChip.from_chips` (one donor chip per lane, e.g. a serial
-sweep) or :meth:`BatchedChip.from_subarray_views` (one donor *sub-array*
-per lane from a single chip, e.g. the PUF experiments).
+sweep), :meth:`BatchedChip.from_fleet` (one freshly fabricated chip per
+``(group_id, serial)`` spec — the device axis), or
+:meth:`BatchedChip.from_subarray_views` (one donor *sub-array* per lane
+from a single chip, e.g. the PUF experiments).
+
+Lanes carry *heterogeneous fabrication state*: every per-lane array —
+sense-amp offsets, leak taus, VRT population, coupling weights, decoder
+profile, polarity, row map — is stacked from its donor, so a batch may
+mix vendor groups and serials freely as long as geometry (and, for the
+controller's shared command templates, electrical timing) agree.
 """
 
 from __future__ import annotations
@@ -128,6 +136,8 @@ class BatchedSubArray:
                              for donor in donors])
         self._jitter_sigma = [donor.variation.weight_jitter_sigma
                               for donor in donors]
+        self._jitter_any = any(sigma > 0 for sigma in self._jitter_sigma)
+        self._primary_cache: dict[int, list[int | None]] = {}
         self._vrt_span = [donor.variation.vrt_tau_span for donor in donors]
         self._vrt_any = [bool(donor.vrt_mask.any()) for donor in donors]
         # Static per-lane VRT cell coordinates and their tau values, so
@@ -139,12 +149,9 @@ class BatchedSubArray:
         # block per leak event but only reads the VRT positions, so each
         # lane gets a PCG64 jump that predicts exactly those positions
         # and skips the stream past the block (bit-identical either way).
-        block = self.n_rows * self.n_cols
-        self._vrt_jump = [
-            UniformBlockJump(
-                np.ravel_multi_index(idx, (self.n_rows, self.n_cols)), block)
-            if self._vrt_any[lane] else None
-            for lane, idx in enumerate(self._vrt_idx)]
+        # Built lazily on the first leak — experiments that never advance
+        # retention time (e.g. the PUF sweeps) skip the setup entirely.
+        self._vrt_jump: list[UniformBlockJump | None] = [None] * self.n_lanes
         self._leak_ctx_cache: dict[tuple[int, ...], tuple] = {}
         self._noise_sigma = [
             env.read_noise_scale(donor.variation.read_noise_sigma,
@@ -164,6 +171,11 @@ class BatchedSubArray:
         self._written = np.zeros((self.n_lanes, self.n_rows), dtype=bool)
         self.bitline_v = np.full((self.n_lanes, self.n_cols), 0.5)
         self._open_rows: list[tuple[int, ...]] = [()] * self.n_lanes
+        # Exact counts of lanes with open rows / a pending precharge.
+        # They let the hot no-op cases (settle/precharge hitting a
+        # sub-array no lane is using) return before any per-lane scan.
+        self._n_open = 0
+        self._n_pre = 0
         self._sense_fired: list[bool] = [False] * self.n_lanes
         self._row_buffer: list[np.ndarray | None] = [None] * self.n_lanes
         self._last_act: list[int] = [-(10 ** 9)] * self.n_lanes
@@ -180,6 +192,17 @@ class BatchedSubArray:
 
     def open_rows(self, lane: int) -> tuple[int, ...]:
         return self._open_rows[lane]
+
+    def reseed_noise(self, epoch: int) -> None:
+        """Reseed every lane's noise source to ``epoch``.
+
+        A reseeded child derives the same stream as a freshly spawned
+        child reseeded to that epoch (see :class:`~repro.dram.rng
+        .NoiseSource`), so this matches the tree the scalar
+        :meth:`~repro.dram.chip.DramChip.reseed_noise` rebuilds.
+        """
+        for noise in self._noises:
+            noise.reseed(int(epoch))
 
     # ------------------------------------------------------------------
     # command interface (lanes: lane ids; cycles: (B,) absolute stamps)
@@ -206,9 +229,11 @@ class BatchedSubArray:
             self._abort_close_and_glitch(abort_lanes, abort_rows, cycles)
         if not advance:
             return
-        commit = [lane for lane in advance if self._pre_started[lane] is not None]
-        if commit:
-            self._commit_close(commit)
+        if self._n_pre:
+            commit = [lane for lane in advance
+                      if self._pre_started[lane] is not None]
+            if commit:
+                self._commit_close(commit)
         self.settle(advance, cycles)
         groups: dict[int, tuple[list[int], list[tuple[int, ...]]]] = {}
         for lane, row in zip(advance, advance_rows):
@@ -227,9 +252,17 @@ class BatchedSubArray:
             self._open_group(group_lanes, row_tuples, cycles)
 
     def precharge(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
-        commit = [lane for lane in lanes if self._pre_started[lane] is not None]
-        if commit:
-            self._commit_close(commit)
+        if not self._n_pre and not self._n_open:
+            # Nothing open, nothing closing: the command only re-asserts
+            # the idle bit-line level (exactly what the general path
+            # would do for every lane).
+            self.bitline_v[np.asarray(lanes, dtype=np.intp)] = 0.5
+            return
+        if self._n_pre:
+            commit = [lane for lane in lanes
+                      if self._pre_started[lane] is not None]
+            if commit:
+                self._commit_close(commit)
         self.settle(lanes, cycles)
         idle = [lane for lane in lanes if not self._open_rows[lane]]
         if idle:
@@ -246,8 +279,11 @@ class BatchedSubArray:
             self._partial_amplify(group_lanes, steps)
         for lane in open_lanes:
             self._pre_started[lane] = int(cycles[lane])
+        self._n_pre += len(open_lanes)
 
     def settle(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
+        if not self._n_pre and not self._n_open:
+            return
         commit: list[int] = []
         fire: dict[int, list[int]] = {}
         for lane in lanes:
@@ -267,9 +303,11 @@ class BatchedSubArray:
 
     def finish(self, lanes: Sequence[int], cycles: np.ndarray) -> None:
         self.settle(lanes, cycles)
-        commit = [lane for lane in lanes if self._pre_started[lane] is not None]
-        if commit:
-            self._commit_close(commit)
+        if self._n_pre:
+            commit = [lane for lane in lanes
+                      if self._pre_started[lane] is not None]
+            if commit:
+                self._commit_close(commit)
 
     def row_buffer(self, lanes: Sequence[int]) -> np.ndarray:
         """Sensed bits (physical polarity), lane-major ``(len(lanes), C)``."""
@@ -359,6 +397,17 @@ class BatchedSubArray:
         if vrt_lanes:
             flat_cells[flat_idx] = corrected
 
+    def _lane_jump(self, lane: int) -> UniformBlockJump | None:
+        """The lane's (lazily built) VRT leak jump table."""
+        jump = self._vrt_jump[lane]
+        if jump is None and self._vrt_any[lane]:
+            jump = UniformBlockJump(
+                np.ravel_multi_index(self._vrt_idx[lane],
+                                     (self.n_rows, self.n_cols)),
+                self.n_rows * self.n_cols)
+            self._vrt_jump[lane] = jump
+        return jump
+
     def _leak_ctx(self, key: tuple[int, ...]):
         """Cached per-lane-set leak context: jump group + flattened params.
 
@@ -371,7 +420,7 @@ class BatchedSubArray:
             counts = [self._vrt_tau[lane].size for lane in key]
             block = self.n_rows * self.n_cols
             ctx = (
-                JumpGroup([self._vrt_jump[lane] for lane in key]),
+                JumpGroup([self._lane_jump(lane) for lane in key]),
                 np.concatenate([self._vrt_tau[lane] for lane in key]),
                 np.repeat(np.array([self._vrt_span[lane] for lane in key]),
                           counts),
@@ -416,6 +465,8 @@ class BatchedSubArray:
         for index, lane in enumerate(lanes):
             self._preshare_rows[lane] = row_tuples[index]
             self._preshare_snapshot[lane] = snapshots[index]
+            if not self._open_rows[lane]:
+                self._n_open += 1
             self._open_rows[lane] = row_tuples[index]
             self._last_act[lane] = int(cycles[lane])
             self._sense_fired[lane] = False
@@ -426,6 +477,8 @@ class BatchedSubArray:
                                 rows: Sequence[int],
                                 cycles: np.ndarray) -> None:
         for lane in lanes:
+            if self._pre_started[lane] is not None:
+                self._n_pre -= 1
             self._pre_started[lane] = None
         fresh: list[int] = []
         fresh_rows: list[tuple[int, ...]] = []
@@ -534,22 +587,48 @@ class BatchedSubArray:
                         "subarray": self.origins[lane][1],
                         "rows": [int(r) for r in self._preshare_rows[lane]],
                     })
+        closed_open = 0
         for lane in lanes:
             self._pre_started[lane] = None
-            self._open_rows[lane] = ()
+            if self._open_rows[lane]:
+                closed_open += 1
+                self._open_rows[lane] = ()
             self._preshare_rows[lane] = ()
             self._preshare_snapshot[lane] = None
             self._sense_fired[lane] = False
             self._row_buffer[lane] = None
+        # Every caller filters on a pending precharge, so the whole group
+        # leaves the pending set at once.
+        self._n_pre -= len(lanes)
+        self._n_open -= closed_open
         self.bitline_v[np.asarray(lanes, dtype=np.intp)] = 0.5
+
+    def _primary_positions(self, k: int) -> list[int | None]:
+        """Per-lane primary coupling position for ``k`` open rows, cached.
+
+        ``CouplingProfile.primary_position`` is pure in ``(profile, k)``,
+        so one lookup pass per distinct ``k`` serves every charge share.
+        """
+        cached = self._primary_cache.get(k)
+        if cached is None:
+            cached = [coupling.primary_position(k)
+                      for coupling in self._couplings]
+            self._primary_cache[k] = cached
+        return cached
 
     def _coupling_weights(self, lanes: Sequence[int], lane_arr: np.ndarray,
                           k: int) -> np.ndarray:
         weights = np.ones((len(lanes), k, self.n_cols))
+        primaries = self._primary_positions(k)
         for index, lane in enumerate(lanes):
-            primary = self._couplings[lane].primary_position(k)
+            primary = primaries[lane]
             if primary is not None and primary < k:
                 weights[index, primary] += self.primary_boost[lane]
+        if not self._jitter_any:
+            # No lane jitters: the scalar engine skips the multiply and
+            # the clip outright (and draws nothing), so skipping here is
+            # exact, not merely close.
+            return weights
         draws = np.empty_like(weights)
         for index, lane in enumerate(lanes):
             # Zero-sigma lanes draw nothing (NoiseSource returns zeros
@@ -569,9 +648,16 @@ class BatchedSubArray:
         weights = self._coupling_weights(lanes, lane_arr, k)
         cell_block = self.cell_v[lane_arr[:, None], rows_mat]
         cb = self._cb[lane_arr][:, None]
-        numerator = cb * self.bitline_v[lane_arr] + np.sum(
-            weights * cell_block, axis=1)
-        denominator = cb + np.sum(weights, axis=1)
+        if k == 1:
+            # A one-element reduction returns its element bit-for-bit, so
+            # the single-row case (every plain ACT) drops the axis sums.
+            numerator = cb * self.bitline_v[lane_arr] + (
+                weights[:, 0] * cell_block[:, 0])
+            denominator = cb + weights[:, 0]
+        else:
+            numerator = cb * self.bitline_v[lane_arr] + np.sum(
+                weights * cell_block, axis=1)
+            denominator = cb + np.sum(weights, axis=1)
         equilibrium = numerator / denominator
         self.bitline_v[lane_arr] = equilibrium
         self.cell_v[lane_arr[:, None], rows_mat] = equilibrium[:, None, :]
@@ -671,8 +757,19 @@ class BatchedChip:
         self.groups = list(groups)
         self._row_maps = list(row_maps)
         self._polarity = list(polarity_schemes)
+        # Per-lane logical->physical and anti-cell tables: the row map and
+        # polarity scheme are frozen at construction, so every ACT's
+        # per-lane lookups collapse to plain list indexing.
+        rps = geometry.rows_per_subarray
+        self._phys_rows = [
+            [row_map.to_physical(row) for row in range(rps)]
+            for row_map in self._row_maps]
+        self._anti_rows = [
+            [is_anti_row(scheme, physical) for physical in lane_rows]
+            for scheme, lane_rows in zip(self._polarity, self._phys_rows)]
         self._enforce = [group.decoder.enforces_command_spacing
                          for group in self.groups]
+        self._any_enforce = any(self._enforce)
         self._last_cmd: list[dict[int, int]] = [
             {} for _ in range(self.n_lanes)]
         self.dropped_commands = [0] * self.n_lanes
@@ -724,6 +821,35 @@ class BatchedChip:
             groups=[chip.group for chip in chips],
             row_maps=[chip.row_map for chip in chips],
             polarity_schemes=[chip.polarity_scheme for chip in chips])
+
+    @classmethod
+    def from_fleet(
+        cls,
+        specs: Sequence[tuple[str, int]],
+        *,
+        geometry: GeometryParams,
+        master_seed: int = 0,
+        environment: Environment | None = None,
+        epochs: Sequence[int] | None = None,
+    ) -> "BatchedChip":
+        """One lane per ``(group_id, serial)`` module spec — the device axis.
+
+        Each lane is fabricated exactly as ``make_chip`` fabricates a
+        scalar module: a fresh :class:`DramChip` seeded from
+        ``(master_seed, group_id, serial)``, so fabrication arrays are
+        bit-identical to the scalar fleet member.  Specs may mix vendor
+        groups; the per-lane parameter planes keep their distinct
+        decoders, couplings, polarity and variation.  ``epochs`` reseeds
+        each lane's noise tree exactly as ``DramChip.reseed_noise`` would
+        (default: every lane at epoch 0, i.e. the fresh-chip stream).
+        """
+        if not specs:
+            raise ConfigurationError("fleet batch needs at least one module")
+        chips = [
+            DramChip(group_id, geometry=geometry, serial=int(serial),
+                     master_seed=master_seed, environment=environment)
+            for group_id, serial in specs]
+        return cls.from_chips(chips, epochs=epochs)
 
     @classmethod
     def from_subarray_views(
@@ -781,29 +907,42 @@ class BatchedChip:
         return all(cell.lane_is_idle(lane)
                    for bank_cells in self.cells for cell in bank_cells)
 
+    def reseed_noise(self, epoch: int) -> None:
+        """Start a new measurement-noise epoch on every lane.
+
+        Equivalent to calling :meth:`DramChip.reseed_noise` on each
+        lane's scalar chip: the per-sub-array child sources re-derive
+        their streams from the new epoch.
+        """
+        for bank_cells in self.cells:
+            for cell in bank_cells:
+                cell.reseed_noise(epoch)
+
     def _check_bank(self, bank: int) -> None:
         if not 0 <= bank < self.geometry.n_banks:
             raise AddressError(f"bank {bank} out of range")
 
     def _is_anti(self, lane: int, row: int) -> bool:
-        local_logical = row % self.geometry.rows_per_subarray
-        physical = self._row_maps[lane].to_physical(local_logical)
-        return is_anti_row(self._polarity[lane], physical)
+        return self._anti_rows[lane][row % self.geometry.rows_per_subarray]
 
     # ------------------------------------------------------------------
     # command interface
     # ------------------------------------------------------------------
 
     def _spacing_filter(self, bank: int, lanes: Sequence[int],
-                        cycles: np.ndarray) -> list[int]:
+                        cycles: np.ndarray) -> Sequence[int]:
+        if not self._any_enforce:
+            # No lane's decoder gates command spacing, and the spacing
+            # history is only ever read for enforcing lanes — skip the
+            # per-lane bookkeeping outright.
+            return lanes
         allowed: list[int] = []
         telemetry = _telemetry_active()
         for lane in lanes:
-            cycle = int(cycles[lane])
             if not self._enforce[lane]:
-                self._last_cmd[lane][bank] = cycle
                 allowed.append(lane)
                 continue
+            cycle = int(cycles[lane])
             last = self._last_cmd[lane].get(bank)
             if last is not None and cycle - last < MIN_COMMAND_SPACING_CYCLES:
                 self.dropped_commands[lane] += 1
@@ -818,14 +957,18 @@ class BatchedChip:
     def activate(self, bank: int, rows: Sequence[int],
                  lanes: Sequence[int], cycles: np.ndarray) -> None:
         self._check_bank(bank)
-        rows_by_lane = dict(zip(lanes, rows))
         allowed = self._spacing_filter(bank, lanes, cycles)
         if not allowed:
             return
+        if allowed is lanes or len(allowed) == len(lanes):
+            allowed_rows: Sequence[int] = rows
+        else:
+            rows_by_lane = dict(zip(lanes, rows))
+            allowed_rows = [rows_by_lane[lane] for lane in allowed]
         rps = self.geometry.rows_per_subarray
         by_sub: dict[int, tuple[list[int], list[int]]] = {}
-        for lane in allowed:
-            row = int(rows_by_lane[lane])
+        for lane, row in zip(allowed, allowed_rows):
+            row = int(row)
             if not 0 <= row < self.geometry.rows_per_bank:
                 raise AddressError(
                     f"row {row} out of range for bank with "
@@ -833,7 +976,7 @@ class BatchedChip:
             sub, local_logical = divmod(row, rps)
             group = by_sub.setdefault(sub, ([], []))
             group[0].append(lane)
-            group[1].append(self._row_maps[lane].to_physical(local_logical))
+            group[1].append(self._phys_rows[lane][local_logical])
         for sub, (sub_lanes, local_rows) in by_sub.items():
             self.cells[bank][sub].activate(sub_lanes, local_rows, cycles)
 

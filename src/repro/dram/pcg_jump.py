@@ -28,6 +28,7 @@ reports itself as not predictable and callers fall back to a real draw.
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -44,11 +45,16 @@ _U32 = np.uint64(32)
 _DOUBLE_SCALE = 1.0 / 9007199254740992.0
 
 
+@functools.lru_cache(maxsize=65536)
 def skip_coefficients(steps: int) -> tuple[int, int]:
     """Affine coefficients ``(A, G)`` of ``steps`` PCG64 state steps.
 
     ``state_after = (A * state + G * inc) mod 2**128``.  Standard
     square-and-multiply over the affine composition, O(log steps).
+    The coefficients depend only on the step count — never on a stream's
+    state or increment — so they are memoized: trial batches build one
+    jump table per lane over the *same* VRT offsets, and every lane
+    after the first hits the cache.
     """
     if steps < 0:
         raise ValueError("steps must be non-negative")

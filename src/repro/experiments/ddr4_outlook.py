@@ -28,7 +28,8 @@ from ..trng import QuacTrng
 from .base import DEFAULT_CONFIG, ExperimentConfig, markdown_table, percent
 from .fig9_fmaj_coverage import coverage_fmaj
 
-__all__ = ["Ddr4GroupOutlook", "Ddr4OutlookResult", "run"]
+__all__ = ["Ddr4GroupOutlook", "Ddr4OutlookResult", "run", "shard_units",
+           "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Section VII: DDR4 modules open four rows (QUAC-TRNG), so F-MAJ and "
@@ -74,10 +75,25 @@ class Ddr4OutlookResult:
         return "\n".join(lines)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        trng_bits: int = 4000) -> Ddr4OutlookResult:
-    groups = []
-    for group_id, profile in DDR4_GROUPS.items():
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# hypothetical DDR4 group; each unit fabricates its own chips, so units
+# never share state.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[str, ...]:
+    """One work unit per DDR4 profile."""
+    return tuple(DDR4_GROUPS)
+
+
+def run_shard(config: ExperimentConfig, units,
+              trng_bits: int = 4000, **_kwargs) -> list:
+    """Run the outlook checks for each group in ``units``; payloads are
+    the per-group :class:`Ddr4GroupOutlook` rows."""
+    payloads = []
+    for group_id in units:
+        profile = DDR4_GROUPS[group_id]
         chip = DramChip(profile, geometry=config.geometry(),
                         master_seed=config.master_seed)
         fd = FracDram(chip)
@@ -89,7 +105,7 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
                                  master_seed=config.master_seed, serial=1))
         bits, stats = trng.generate(trng_bits)
         random_ok = frequency_test(bits).passed() and runs_test(bits).passed()
-        groups.append(Ddr4GroupOutlook(
+        payloads.append(Ddr4GroupOutlook(
             group_id=group_id,
             vendor=profile.vendor,
             three_row=fd.can_three_row,
@@ -98,4 +114,17 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG,
             trng_throughput_mbps=stats.throughput_mbps,
             trng_random=random_ok,
         ))
-    return Ddr4OutlookResult(tuple(groups))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Ddr4OutlookResult:
+    """Assemble the outlook rows in DDR4 profile order."""
+    by_group = {group.group_id: group for group in payloads}
+    return Ddr4OutlookResult(
+        tuple(by_group[group_id] for group_id in DDR4_GROUPS))
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        trng_bits: int = 4000) -> Ddr4OutlookResult:
+    units = shard_units(config)
+    return merge(config, run_shard(config, units, trng_bits=trng_bits))

@@ -21,10 +21,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..dram.batched import BatchedChip
+from ..puf.batched_puf import BatchedFracPuf
 from ..puf.frac_puf import Challenge, FracPuf
 from ..puf.metrics import inter_hd_distances, intra_hd_distances, response_weights
 from ..dram.vendor import GROUPS
-from .base import DEFAULT_CONFIG, ExperimentConfig, make_chip, markdown_table
+from .base import (DEFAULT_CONFIG, ExperimentConfig, make_chip,
+                   markdown_table, resolve_batch)
 
 __all__ = ["Fig11Group", "Fig11Result", "run", "default_challenges",
            "shard_units", "run_shard", "merge"]
@@ -137,17 +140,41 @@ def run_shard(config: ExperimentConfig, units, n_challenges: int = 24,
 
     Payloads are ``(group_id, serial, [epoch0, epoch1])`` with each
     epoch a stacked ``(n_challenges, columns)`` response array.
+
+    Modules are evaluated as lanes of a device batch
+    (:meth:`BatchedChip.from_fleet`): one cohort fabricates every module
+    from its ``(group_id, serial)`` seed, evaluates the challenge set at
+    noise epoch 0, reseeds all lanes to epoch 1 and evaluates again —
+    byte-identical to the scalar per-module loop at any batch width.
     """
     challenges = default_challenges(config, n_challenges)
+    units = list(units)
+    batch = resolve_batch(config, len(units))
+    if batch <= 1:
+        payloads = []
+        for group_id, serial in units:
+            chip = make_chip(group_id, config, serial)
+            puf = FracPuf(chip)
+            trials = []
+            for epoch in range(2):
+                chip.reseed_noise(epoch)
+                trials.append(puf.evaluate_many(challenges))
+            payloads.append((group_id, serial, trials))
+        return payloads
     payloads = []
-    for group_id, serial in units:
-        chip = make_chip(group_id, config, serial)
-        puf = FracPuf(chip)
-        trials = []
-        for epoch in range(2):
-            chip.reseed_noise(epoch)
-            trials.append(puf.evaluate_many(challenges))
-        payloads.append((group_id, serial, trials))
+    geometry = config.geometry()
+    for start in range(0, len(units), batch):
+        cohort = units[start:start + batch]
+        device = BatchedChip.from_fleet(cohort, geometry=geometry,
+                                        master_seed=config.master_seed,
+                                        epochs=[0] * len(cohort))
+        puf = BatchedFracPuf(device)
+        epoch0 = puf.evaluate_many(challenges)
+        puf.reseed_noise(1)
+        epoch1 = puf.evaluate_many(challenges)
+        payloads.extend(
+            (group_id, serial, [epoch0[lane].copy(), epoch1[lane].copy()])
+            for lane, (group_id, serial) in enumerate(cohort))
     return payloads
 
 

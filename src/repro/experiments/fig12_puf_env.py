@@ -20,13 +20,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..dram.batched import BatchedChip
 from ..dram.environment import Environment
-from ..puf.frac_puf import Challenge, FracPuf
+from ..puf.batched_puf import BatchedFracPuf
+from ..puf.frac_puf import FracPuf
 from ..puf.metrics import inter_hd_distances
-from .base import DEFAULT_CONFIG, ExperimentConfig, make_chip, markdown_table
+from .base import (DEFAULT_CONFIG, ExperimentConfig, make_chip,
+                   markdown_table, resolve_batch)
 from .fig11_puf_hd import default_challenges
 
-__all__ = ["EnvCondition", "Fig12Result", "run"]
+__all__ = ["EnvCondition", "Fig12Result", "run", "shard_units", "run_shard",
+           "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 12: max intra-HD 0.07 at Vdd=1.4V with min inter-HD 0.30; "
@@ -84,19 +88,6 @@ class Fig12Result:
         return "\n".join(lines)
 
 
-def _collect(config: ExperimentConfig, challenges: list[Challenge],
-             environment: Environment, epoch: int,
-             modules_per_group: int) -> dict[tuple[str, int], np.ndarray]:
-    responses = {}
-    for group_id in GROUPS_TESTED:
-        for serial in range(modules_per_group):
-            chip = make_chip(group_id, config, serial, environment=environment)
-            chip.reseed_noise(epoch)
-            puf = FracPuf(chip)
-            responses[(group_id, serial)] = puf.evaluate_many(challenges)
-    return responses
-
-
 def _condition(label: str,
                enrollment: dict[tuple[str, int], np.ndarray],
                probe: dict[tuple[str, int], np.ndarray]) -> EnvCondition:
@@ -113,24 +104,102 @@ def _condition(label: str,
     )
 
 
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# module under one environmental condition, ``(condition, group_id,
+# serial)``: each collection fabricates a fresh chip under that
+# environment and reseeds its noise to the condition's epoch, so units
+# never share state.  Condition 0 is the nominal enrollment, 1 the
+# 1.4 V supply, 2+i temperature ``TEMPERATURES_C[i]``.
+# ----------------------------------------------------------------------
+
+def _environment(condition: int) -> Environment:
+    nominal = Environment()
+    if condition == 0:
+        return nominal
+    if condition == 1:
+        return nominal.with_vdd(1.4)
+    return nominal.with_temperature(TEMPERATURES_C[condition - 2])
+
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                modules_per_group: int = 2,
+                **_kwargs) -> tuple[tuple[int, str, int], ...]:
+    """One work unit per (condition, group, module serial)."""
+    return tuple((condition, group_id, serial)
+                 for condition in range(2 + len(TEMPERATURES_C))
+                 for group_id in GROUPS_TESTED
+                 for serial in range(modules_per_group))
+
+
+def run_shard(config: ExperimentConfig, units, n_challenges: int = 16,
+              **_kwargs) -> list:
+    """Collect the response stack for each (condition, module) unit.
+
+    Units of one condition share an environment and noise epoch, so they
+    batch as lanes of one :meth:`BatchedChip.from_fleet` device cohort;
+    payloads are ``((condition, group_id, serial), responses)`` with
+    ``responses`` a ``(n_challenges, columns)`` array, byte-identical to
+    the scalar per-module collection at any batch width.
+    """
+    challenges = default_challenges(config, n_challenges)
+    units = list(units)
+    batch = resolve_batch(config, len(units))
+    if batch <= 1:
+        payloads = []
+        for condition, group_id, serial in units:
+            chip = make_chip(group_id, config, serial,
+                             environment=_environment(condition))
+            chip.reseed_noise(condition)
+            puf = FracPuf(chip)
+            payloads.append(((condition, group_id, serial),
+                             puf.evaluate_many(challenges)))
+        return payloads
+    by_condition: dict[int, list[tuple[int, str, int]]] = {}
+    for unit in units:
+        by_condition.setdefault(unit[0], []).append(unit)
+    payloads = []
+    geometry = config.geometry()
+    for condition, condition_units in by_condition.items():
+        environment = _environment(condition)
+        for start in range(0, len(condition_units), batch):
+            cohort = condition_units[start:start + batch]
+            device = BatchedChip.from_fleet(
+                [(group_id, serial) for _, group_id, serial in cohort],
+                geometry=geometry, master_seed=config.master_seed,
+                environment=environment, epochs=[condition] * len(cohort))
+            stacks = BatchedFracPuf(device).evaluate_many(challenges)
+            payloads.extend((unit, stacks[lane].copy())
+                            for lane, unit in enumerate(cohort))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads,
+          **_kwargs) -> Fig12Result:
+    """Pool per-condition collections into the paper's HD statistics.
+
+    Response dictionaries are rebuilt in the scalar collection order
+    (group-major, serial ascending) so every float accumulation in
+    :func:`_condition` replays the scalar run exactly.
+    """
+    by_unit = {unit: responses for unit, responses in payloads}
+    serials = sorted({serial for (_, _, serial) in by_unit})
+
+    def collection(condition: int) -> dict[tuple[str, int], np.ndarray]:
+        return {(group_id, serial): by_unit[(condition, group_id, serial)]
+                for group_id in GROUPS_TESTED
+                for serial in serials}
+
+    enrollment = collection(0)
+    voltage_condition = _condition("Vdd 1.5V -> 1.4V", enrollment,
+                                   collection(1))
+    temperature_conditions = tuple(
+        _condition(f"{temperature:.0f} C", enrollment, collection(2 + index))
+        for index, temperature in enumerate(TEMPERATURES_C))
+    return Fig12Result(voltage_condition, temperature_conditions)
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG,
         n_challenges: int = 16, modules_per_group: int = 2) -> Fig12Result:
-    challenges = default_challenges(config, n_challenges)
-    nominal = Environment()
-    enrollment = _collect(config, challenges, nominal, epoch=0,
-                          modules_per_group=modules_per_group)
-
-    low_vdd = _collect(config, challenges, nominal.with_vdd(1.4), epoch=1,
-                       modules_per_group=modules_per_group)
-    voltage_condition = _condition("Vdd 1.5V -> 1.4V", enrollment, low_vdd)
-
-    temperature_conditions = []
-    for index, temperature in enumerate(TEMPERATURES_C):
-        probe = _collect(config, challenges,
-                         nominal.with_temperature(temperature),
-                         epoch=2 + index,
-                         modules_per_group=modules_per_group)
-        temperature_conditions.append(
-            _condition(f"{temperature:.0f} C", enrollment, probe))
-
-    return Fig12Result(voltage_condition, tuple(temperature_conditions))
+    units = shard_units(config, modules_per_group=modules_per_group)
+    return merge(config, run_shard(config, units, n_challenges=n_challenges))

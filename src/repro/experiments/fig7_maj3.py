@@ -17,16 +17,21 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.verify import COMBO_LABELS, verify_frac_by_maj3
+from ..core.batched_ops import BatchedFracDram
+from ..core.verify import (COMBO_LABELS, batched_verify_frac_by_maj3,
+                           verify_frac_by_maj3)
+from ..dram.batched import BatchedChip
 from .base import (
     DEFAULT_CONFIG,
     ExperimentConfig,
     make_fd,
     markdown_table,
+    resolve_batch,
     subarray_targets,
 )
 
-__all__ = ["Fig7Setting", "Fig7Result", "run"]
+__all__ = ["Fig7Setting", "Fig7Result", "run", "shard_units", "run_shard",
+           "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 7: baseline (0 Frac) gives X1=X2=init value; X1=1,X2=0 "
@@ -87,25 +92,101 @@ class Fig7Result:
             for index, n_frac in enumerate(FRAC_COUNTS) if n_frac >= 2)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        group_id: str = "B") -> Fig7Result:
-    """Run all four Figure 7 settings over every chip and sub-array."""
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# chip under one (setting, Frac count) cell, ``(setting_index, n_frac,
+# serial)``: the scalar loop fabricates a fresh chip per cell anyway, so
+# units never share state.  Averaging happens at merge time, replaying
+# the scalar serial-major/target-minor float accumulation order.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[tuple[int, int, int], ...]:
+    """One work unit per (setting, Frac count, chip serial)."""
+    return tuple((setting_index, n_frac, serial)
+                 for setting_index in range(len(SETTINGS))
+                 for n_frac in FRAC_COUNTS
+                 for serial in range(config.chips_per_group))
+
+
+def run_shard(config: ExperimentConfig, units, group_id: str = "B",
+              **_kwargs) -> list:
+    """Run the verification procedure for each unit in ``units``.
+
+    Payloads are ``(setting_index, n_frac, serial, combos)`` with
+    ``combos`` one combo-fraction dict per sub-array target in
+    :func:`subarray_targets` order.  Serials within one (setting,
+    Frac count) cell are lanes of a :meth:`BatchedChip.from_fleet`
+    device cohort; the shared multi-row plan is resolved once on a
+    scalar donor — byte-identical at any batch width.
+    """
+    units = list(units)
+    batch = resolve_batch(config, config.chips_per_group)
+    if batch <= 1:
+        payloads = []
+        for setting_index, n_frac, serial in units:
+            frac_rows, init_ones = SETTINGS[setting_index]
+            fd = make_fd(group_id, config, serial)
+            combos = []
+            for bank, subarray in subarray_targets(config):
+                result = verify_frac_by_maj3(
+                    fd, bank, frac_rows=frac_rows, init_ones=init_ones,
+                    n_frac=n_frac, subarray=subarray)
+                combos.append(result.combo_fractions())
+            payloads.append((setting_index, n_frac, serial, combos))
+        return payloads
+    donor = make_fd(group_id, config, serial=0)
+    plans = [donor.triple_plan(bank, subarray)
+             for bank, subarray in subarray_targets(config)]
+    by_cell: dict[tuple[int, int], list[int]] = {}
+    for setting_index, n_frac, serial in units:
+        by_cell.setdefault((setting_index, n_frac), []).append(serial)
+    payloads = []
+    geometry = config.geometry()
+    for (setting_index, n_frac), serials in by_cell.items():
+        frac_rows, init_ones = SETTINGS[setting_index]
+        for start in range(0, len(serials), batch):
+            cohort = serials[start:start + batch]
+            device = BatchedChip.from_fleet(
+                [(group_id, serial) for serial in cohort],
+                geometry=geometry, master_seed=config.master_seed)
+            bfd = BatchedFracDram(device)
+            per_lane: list[list[dict[str, float]]] = [[] for _ in cohort]
+            for plan in plans:
+                results = batched_verify_frac_by_maj3(
+                    bfd, plan, frac_rows=frac_rows, init_ones=init_ones,
+                    n_frac=n_frac)
+                for lane, result in enumerate(results):
+                    per_lane[lane].append(result.combo_fractions())
+            payloads.extend((setting_index, n_frac, serial, per_lane[lane])
+                            for lane, serial in enumerate(cohort))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Fig7Result:
+    """Average combo fractions in the scalar accumulation order."""
+    by_unit = {(setting_index, n_frac, serial): combos
+               for setting_index, n_frac, serial, combos in payloads}
+    serials = sorted({serial for (_, _, serial) in by_unit})
     settings = []
-    for frac_rows, init_ones in SETTINGS:
+    for setting_index, (frac_rows, init_ones) in enumerate(SETTINGS):
         per_count: list[dict[str, float]] = []
         for n_frac in FRAC_COUNTS:
             combo_sums = {label: 0.0 for label in COMBO_LABELS}
             samples = 0
-            for serial in range(config.chips_per_group):
-                fd = make_fd(group_id, config, serial)
-                for bank, subarray in subarray_targets(config):
-                    result = verify_frac_by_maj3(
-                        fd, bank, frac_rows=frac_rows, init_ones=init_ones,
-                        n_frac=n_frac, subarray=subarray)
-                    for label, value in result.combo_fractions().items():
+            for serial in serials:
+                for combo in by_unit[(setting_index, n_frac, serial)]:
+                    for label, value in combo.items():
                         combo_sums[label] += value
                     samples += 1
             per_count.append({label: value / samples
                               for label, value in combo_sums.items()})
         settings.append(Fig7Setting(frac_rows, init_ones, tuple(per_count)))
     return Fig7Result(tuple(settings))
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        group_id: str = "B") -> Fig7Result:
+    """Run all four Figure 7 settings over every chip and sub-array."""
+    units = shard_units(config)
+    return merge(config, run_shard(config, units, group_id=group_id))

@@ -28,11 +28,14 @@ from ..analysis.retention import (
     RETENTION_BUCKET_LABELS,
     RETENTION_PROBE_TIMES_S,
 )
+from ..core.batched_ops import BatchedFracDram
 from ..core.ops import FracDram, MultiRowPlan
 from ..core.verify import COMBO_LABELS
-from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table, percent
+from ..dram.batched import BatchedChip
+from .base import (DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table,
+                   percent, resolve_batch)
 
-__all__ = ["Fig8Result", "run"]
+__all__ = ["Fig8Result", "run", "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Figure 8: Half retention PDF ~= 5x-Frac reference; weak ones retain "
@@ -147,40 +150,173 @@ class Fig8Result:
         return "\n".join(lines)
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG,
-        group_id: str = "B") -> Fig8Result:
-    fd = make_fd(group_id, config, serial=0)
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# measurement — a retention PDF or one layout's MAJ3 test — on a fresh
+# group-B chip whose noise is reseeded to the unit's index, so units
+# never share analog state or stream position (the original
+# implementation threaded one chip through every measurement, which made
+# the measurements order-dependent and unshardable).
+# ----------------------------------------------------------------------
+
+#: Unit index doubles as the chip's noise epoch.
+UNITS: tuple[tuple[str, str], ...] = (
+    ("retention", "half"),
+    ("retention", "weak_one"),
+    ("retention", "frac5"),
+    ("maj3", "half"),
+    ("maj3", "weak_one"),
+    ("maj3", "weak_zero"),
+)
+
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[tuple[int, str, str], ...]:
+    """One work unit per (epoch, measurement kind, layout)."""
+    return tuple((index, kind, layout)
+                 for index, (kind, layout) in enumerate(UNITS))
+
+
+def _batched_prepare_half_m(bfd: BatchedFracDram, plan: MultiRowPlan,
+                            layouts, lanes) -> None:
+    per_lane = [_layout_bits(layout, bfd.columns) for layout in layouts]
+    for position, row in enumerate(plan.opened):
+        bits = np.stack([bits_for_lane[position] for bits_for_lane in per_lane])
+        bfd.write_row(plan.bank, [row] * len(lanes), bits, lanes)
+    bfd.half_m_activate(plan, lanes)
+
+
+def _batched_retention_bucket(bfd: BatchedFracDram, bank: int, prepare,
+                              measure_row: int, lanes) -> np.ndarray:
+    """Lane-major ``(L, C)`` retention buckets (see ``_retention_bucket``)."""
+    n = len(lanes)
+    bucket = np.full((n, bfd.columns), N_BUCKETS - 1, dtype=int)
+    resolved = np.zeros((n, bfd.columns), dtype=bool)
+    for probe_index, wait_s in enumerate(RETENTION_PROBE_TIMES_S):
+        prepare()
+        if wait_s > 0:
+            bfd.precharge_all(lanes)
+            bfd.advance_time(wait_s, lanes)
+        alive = bfd.read_row(bank, [measure_row] * n, lanes).astype(bool)
+        newly_dead = ~alive & ~resolved
+        bucket[newly_dead] = probe_index
+        resolved |= newly_dead
+    return bucket
+
+
+def _fleet(config: ExperimentConfig, group_id: str, epochs) -> BatchedFracDram:
+    return BatchedFracDram(BatchedChip.from_fleet(
+        [(group_id, 0)] * len(epochs), geometry=config.geometry(),
+        master_seed=config.master_seed, epochs=list(epochs)))
+
+
+def run_shard(config: ExperimentConfig, units, group_id: str = "B",
+              **_kwargs) -> list:
+    """Measure each unit in ``units``; payloads are ``(unit, data)``.
+
+    Units sharing a command-stream shape batch as lanes of one device
+    cohort — the same serial-0 chip at each unit's noise epoch: the two
+    Half-m retention PDFs together, the MAJ3 layouts together, the
+    5x-Frac reference on its own — byte-identical to the scalar
+    per-unit loop at any batch width.
+    """
+    units = list(units)
     bank, subarray = 0, 0
-    quad = fd.quad_plan(bank, subarray)
-    measure_row = quad.opened[1]  # local row 1 holds the frozen result
+    batch = resolve_batch(config, len(units))
+    if batch <= 1:
+        payloads = []
+        for index, kind, layout in units:
+            fd = make_fd(group_id, config, serial=0)
+            fd.device.reseed_noise(index)
+            quad = fd.quad_plan(bank, subarray)
+            measure_row = quad.opened[1]  # local row 1 holds the result
+            if (kind, layout) == ("retention", "frac5"):
+                def prepare() -> None:
+                    fd.fill_row(bank, measure_row, True)
+                    fd.frac(bank, measure_row, 5)
+                data = _retention_bucket(fd, bank, subarray, prepare,
+                                         measure_row)
+            elif kind == "retention":
+                data = _retention_bucket(
+                    fd, bank, subarray,
+                    lambda: _prepare_half_m(fd, bank, layout, subarray),
+                    measure_row)
+            else:
+                data = _maj3_x1_x2(fd, bank, layout, subarray)
+            payloads.append(((index, kind, layout), data))
+        return payloads
 
-    half_bucket = _retention_bucket(
-        fd, bank, subarray,
-        lambda: _prepare_half_m(fd, bank, "half", subarray), measure_row)
-    weak_one_bucket = _retention_bucket(
-        fd, bank, subarray,
-        lambda: _prepare_half_m(fd, bank, "weak_one", subarray), measure_row)
+    donor = make_fd(group_id, config, serial=0)
+    quad = donor.quad_plan(bank, subarray)
+    triple = donor.triple_plan(bank, subarray)
+    measure_row = quad.opened[1]
+    by_shape: dict[str, list[tuple[int, str, str]]] = {}
+    for unit in units:
+        index, kind, layout = unit
+        shape = "frac5" if (kind, layout) == ("retention", "frac5") else kind
+        by_shape.setdefault(shape, []).append(unit)
+    payloads = []
+    for shape, shape_units in by_shape.items():
+        for start in range(0, len(shape_units), batch):
+            cohort = shape_units[start:start + batch]
+            bfd = _fleet(config, group_id, [index for index, _, _ in cohort])
+            lanes = bfd.all_lanes()
+            layouts = [layout for _, _, layout in cohort]
+            if shape == "frac5":
+                def prepare() -> None:
+                    bfd.fill_row(bank, [measure_row] * len(lanes), True, lanes)
+                    bfd.frac(bank, [measure_row] * len(lanes), 5, lanes)
+                buckets = _batched_retention_bucket(bfd, bank, prepare,
+                                                    measure_row, lanes)
+                payloads.extend((unit, buckets[lane].copy())
+                                for lane, unit in enumerate(cohort))
+            elif shape == "retention":
+                buckets = _batched_retention_bucket(
+                    bfd, bank,
+                    lambda: _batched_prepare_half_m(bfd, quad, layouts, lanes),
+                    measure_row, lanes)
+                payloads.extend((unit, buckets[lane].copy())
+                                for lane, unit in enumerate(cohort))
+            else:
+                carrier = triple.opened[1]  # local row 2
+                _batched_prepare_half_m(bfd, quad, layouts, lanes)
+                bfd.fill_row(bank, [carrier] * len(lanes), True, lanes)
+                bfd.multi_row_activate(triple, lanes)
+                x1 = bfd.read_row(bank, [triple.opened[0]] * len(lanes),
+                                  lanes).astype(bool)
+                _batched_prepare_half_m(bfd, quad, layouts, lanes)
+                bfd.fill_row(bank, [carrier] * len(lanes), False, lanes)
+                bfd.multi_row_activate(triple, lanes)
+                x2 = bfd.read_row(bank, [triple.opened[0]] * len(lanes),
+                                  lanes).astype(bool)
+                payloads.extend(
+                    (unit, (x1[lane].copy(), x2[lane].copy()))
+                    for lane, unit in enumerate(cohort))
+    return payloads
 
-    def prepare_frac5() -> None:
-        fd.fill_row(bank, measure_row, True)
-        fd.frac(bank, measure_row, 5)
 
-    frac5_bucket = _retention_bucket(fd, bank, subarray, prepare_frac5,
-                                     measure_row)
-
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Fig8Result:
+    """Assemble the PDFs and MAJ3 outcome shares from unit payloads."""
+    by_unit = {(kind, layout): data
+               for (_, kind, layout), data in payloads}
     maj3_fractions: dict[str, dict[str, float]] = {}
     for layout in LAYOUTS:
-        x1, x2 = _maj3_x1_x2(fd, bank, layout, subarray)
+        x1, x2 = by_unit[("maj3", layout)]
         maj3_fractions[layout] = {
             "X1=1,X2=1": float(np.mean(x1 & x2)),
             "X1=0,X2=0": float(np.mean(~x1 & ~x2)),
             "X1=1,X2=0": float(np.mean(x1 & ~x2)),
             "X1=0,X2=1": float(np.mean(~x1 & x2)),
         }
-
     return Fig8Result(
-        half_retention_pdf=_pdf(half_bucket),
-        frac5_reference_pdf=_pdf(frac5_bucket),
-        weak_one_retention_pdf=_pdf(weak_one_bucket),
+        half_retention_pdf=_pdf(by_unit[("retention", "half")]),
+        frac5_reference_pdf=_pdf(by_unit[("retention", "frac5")]),
+        weak_one_retention_pdf=_pdf(by_unit[("retention", "weak_one")]),
         maj3_fractions=maj3_fractions,
     )
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG,
+        group_id: str = "B") -> Fig8Result:
+    units = shard_units(config)
+    return merge(config, run_shard(config, units, group_id=group_id))

@@ -21,7 +21,7 @@ from ..dram.parameters import MEMORY_CYCLE_NS, ElectricalParams, TimingParams
 from ..puf.frac_puf import PAPER_SEGMENT_BITS, PUF_N_FRAC, evaluation_time_us
 from .base import markdown_table
 
-__all__ = ["LatencyResult", "run"]
+__all__ = ["LatencyResult", "run", "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Frac = 7 cycles; row copy = 18 cycles; F-MAJ ~ +29% vs MAJ3 with "
@@ -99,3 +99,24 @@ def run(timing: TimingParams | None = None,
         puf_eval_optimized_us=evaluation_time_us(PAPER_SEGMENT_BITS,
                                                  optimized=True),
     )
+
+
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The accounting is one
+# cheap deterministic derivation, so there is exactly one work unit; the
+# hooks exist so every experiment speaks the same protocol.
+# ----------------------------------------------------------------------
+
+def shard_units(config=None, **_kwargs) -> tuple[str, ...]:
+    """A single work unit — the whole derivation."""
+    return ("latency",)
+
+
+def run_shard(config, units, timing: TimingParams | None = None,
+              electrical: ElectricalParams | None = None, **_kwargs) -> list:
+    """Payload is the complete :class:`LatencyResult` (config-independent)."""
+    return [run(timing, electrical) for _unit in units]
+
+
+def merge(config, payloads, **_kwargs) -> LatencyResult:
+    return payloads[0]

@@ -7,15 +7,16 @@ Usage::
     python -m repro.experiments.runner --only fig6 fig11 --workers 4
     python -m repro.experiments.runner --list
 
-The heavy experiments (fig6, fig9, fig10, fig11, nist) are fleet-capable:
-``--workers N`` fans their work units out over N worker processes (see
-:mod:`repro.fleet`); ``--workers 0`` — the default, also settable via
-``$REPRO_FLEET_WORKERS`` — runs serially.  ``--batch N`` caps the
-trial-batch width of the batched execution engine (default: auto; 1 =
-scalar); every setting produces byte-identical results, so the result
-cache is keyed with the batch knob normalized out.  Results are memoized
-in a content-addressed on-disk cache keyed by (experiment, config,
-package version); disable with ``--no-cache``.
+Every experiment is fleet-capable: ``--workers N`` fans its work units
+out over N worker processes (see :mod:`repro.fleet`); ``--workers 0`` —
+the default, also settable via ``$REPRO_FLEET_WORKERS`` — runs serially.
+``--batch N`` caps the lane width of the batched execution engine
+(default: auto; 1 = scalar) — a lane is a trial for fig6/fig9/fig10/
+nist and a module for the device sweeps fig7/fig8/fig11/fig12/table1;
+every setting produces byte-identical results, so the result cache is
+keyed with the batch knob normalized out.  Results are memoized in a
+content-addressed on-disk cache keyed by (experiment, config, package
+version); disable with ``--no-cache``.
 """
 
 from __future__ import annotations
@@ -76,9 +77,9 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
                    workers: int = 0, cache=None):
     """Run one experiment by name and return its result object.
 
-    ``workers > 0`` routes fleet-capable experiments (fig6, fig9,
-    fig10, fig11, nist) through :class:`repro.fleet.FleetExecutor`;
-    other experiments always run in-process.  Passing a
+    ``workers > 0`` routes the experiment through
+    :class:`repro.fleet.FleetExecutor` (every experiment speaks the
+    fleet shard protocol).  Passing a
     :class:`repro.fleet.ResultCache` as ``cache`` memoizes the result on
     disk — its ``hits``/``stores`` counters tell the caller whether the
     result was recomputed.  Serial, parallel, batched, and cached runs
@@ -141,13 +142,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--columns", type=int, default=DEFAULT_CONFIG.columns,
                         help="row width in bits (paper: 65536)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="worker processes for fleet-capable experiments "
+                        help="worker processes to shard experiments over "
                              "(0 = serial; -1 = one per CPU; default "
                              "$REPRO_FLEET_WORKERS or 0)")
     parser.add_argument("--batch", type=int, default=None, metavar="B",
-                        help="trial-batch width for the batched execution "
-                             "engine (default: auto; 1 = scalar); results "
-                             "are byte-identical at every setting")
+                        help="lane width for the batched execution engine "
+                             "(trials or modules per vector op; default: "
+                             "auto; 1 = scalar); results are byte-identical "
+                             "at every setting")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",

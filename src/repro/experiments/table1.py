@@ -22,12 +22,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.reverse_engineering import probe_opened_rows
+from ..analysis.reverse_engineering import (batched_probe_opened_rows,
+                                            probe_opened_rows)
+from ..core.batched_ops import BatchedFracDram
 from ..core.ops import FracDram
+from ..dram.batched import BatchedChip
 from ..dram.vendor import GROUPS, GroupProfile
-from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table
+from .base import (DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table,
+                   resolve_batch)
 
-__all__ = ["Table1Row", "Table1Result", "run", "probe_frac", "probe_pair"]
+__all__ = ["Table1Row", "Table1Result", "run", "probe_frac", "probe_pair",
+           "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Table I: groups A-I support Frac; only B supports three-row "
@@ -119,14 +124,99 @@ def probe_multi_row_support(fd: FracDram, bank: int = 0,
     return saw_three, saw_four
 
 
-def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table1Result:
-    """Probe every group and compare against the declared Table I."""
+def _batched_probes(config: ExperimentConfig, group_ids: list[str],
+                    bank: int = 0, row: int = 1, max_rows: int = 16,
+                    seed: int = 7) -> list[tuple[bool, bool, bool]]:
+    """Both behavioural probes for a cohort of groups, one lane each.
+
+    The pair scan honours each lane's early exit: a lane that has seen
+    both a three- and a four-row activation is retired from the active
+    set, so its pattern generator and chip noise stream stop exactly
+    where the scalar scan stops.
+    """
+    device = BatchedChip.from_fleet(
+        [(group_id, 0) for group_id in group_ids],
+        geometry=config.geometry(), master_seed=config.master_seed)
+    bfd = BatchedFracDram(device)
+    lanes = bfd.all_lanes()
+
+    bfd.fill_row(bank, [row] * len(lanes), True, lanes)
+    bfd.frac(bank, [row] * len(lanes), 10, lanes)
+    weights = np.mean(bfd.read_row(bank, [row] * len(lanes), lanes), axis=1)
+    frac = [0.02 < float(weight) < 0.98 for weight in weights]
+
+    rngs = {lane: np.random.default_rng(seed) for lane in lanes}
+    rows_per_subarray = int(device.geometry.rows_per_subarray)
+    scan_rows = min(max_rows, rows_per_subarray)
+    saw_three = {lane: False for lane in lanes}
+    saw_four = {lane: False for lane in lanes}
+    active = list(lanes)
+    for r1, r2 in itertools.combinations(range(scan_rows), 2):
+        if not active:
+            break
+        opened = batched_probe_opened_rows(
+            bfd, bank, r1, r2, [rngs[lane] for lane in active], active)
+        remaining = []
+        for index, lane in enumerate(active):
+            count = len(opened[index])
+            if count == 3:
+                saw_three[lane] = True
+            elif count >= 4:
+                saw_four[lane] = True
+            if not (saw_three[lane] and saw_four[lane]):
+                remaining.append(lane)
+        active = remaining
+    return [(frac[lane], saw_three[lane], saw_four[lane]) for lane in lanes]
+
+
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# vendor group: each probe fabricates that group's serial-0 chip from
+# scratch, so units never share state.
+# ----------------------------------------------------------------------
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[str, ...]:
+    """One work unit per vendor group."""
+    return tuple(GROUPS)
+
+
+def run_shard(config: ExperimentConfig, units, **_kwargs) -> list:
+    """Probe each group in ``units``; payloads are
+    ``(group_id, frac, three_row, four_row)``.
+
+    Groups are probed as lanes of one :meth:`BatchedChip.from_fleet`
+    device cohort (they share electrical timing; decoders, couplings and
+    polarity stay per lane) — byte-identical to the scalar per-group
+    loop at any batch width.
+    """
+    units = list(units)
+    batch = resolve_batch(config, len(units))
+    if batch <= 1:
+        payloads = []
+        for group_id in units:
+            fd = make_fd(group_id, config, serial=0)
+            frac = probe_frac(fd)
+            three_row, four_row = probe_multi_row_support(fd)
+            payloads.append((group_id, frac, three_row, four_row))
+        return payloads
+    payloads = []
+    for start in range(0, len(units), batch):
+        cohort = units[start:start + batch]
+        probes = _batched_probes(config, cohort)
+        payloads.extend(
+            (group_id, frac, three_row, four_row)
+            for group_id, (frac, three_row, four_row) in zip(cohort, probes))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> Table1Result:
+    """Assemble the capability matrix in Table I group order."""
+    by_group = {group_id: flags for group_id, *flags in payloads}
     rows = []
     all_match = True
     for group_id, profile in GROUPS.items():
-        fd = make_fd(group_id, config, serial=0)
-        frac = probe_frac(fd)
-        three_row, four_row = probe_multi_row_support(fd)
+        frac, three_row, four_row = by_group[group_id]
         row = Table1Row(
             group_id=group_id,
             vendor=profile.vendor,
@@ -139,3 +229,8 @@ def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table1Result:
         rows.append(row)
         all_match &= row.matches(profile)
     return Table1Result(tuple(rows), all_match)
+
+
+def run(config: ExperimentConfig = DEFAULT_CONFIG) -> Table1Result:
+    """Probe every group and compare against the declared Table I."""
+    return merge(config, run_shard(config, shard_units(config)))

@@ -34,9 +34,11 @@ from ..controller.commands import (
 )
 from ..core.ops import FracDram
 from ..dram.subarray import CLOSE_ABORT_WINDOW
+from ..errors import ConfigurationError
 from .base import DEFAULT_CONFIG, ExperimentConfig, make_fd, markdown_table
 
-__all__ = ["ActPreOutcome", "PreActOutcome", "TimingSweepResult", "run"]
+__all__ = ["ActPreOutcome", "PreActOutcome", "TimingSweepResult", "run",
+           "shard_units", "run_shard", "merge"]
 
 PAPER_EXPECTATION = (
     "Back-to-back ACT-PRE stores fractional values; slightly later PRE "
@@ -145,9 +147,44 @@ def _sweep_pre_act(fd: FracDram, bank: int,
     return tuple(outcomes)
 
 
+# ----------------------------------------------------------------------
+# Fleet shard protocol (see repro.fleet.merge).  The work unit is one
+# gap sweep; each unit fabricates its own group-B chip so a unit's
+# outcomes never depend on which other sweeps ran before it.
+# ----------------------------------------------------------------------
+
+SWEEPS: tuple[str, ...] = ("act-pre", "pre-act")
+
+
+def shard_units(config: ExperimentConfig = DEFAULT_CONFIG,
+                **_kwargs) -> tuple[str, ...]:
+    """One work unit per gap sweep."""
+    return SWEEPS
+
+
+def run_shard(config: ExperimentConfig, units, group_id: str = "B",
+              **_kwargs) -> list:
+    """Run each sweep in ``units`` on a fresh chip; payloads are
+    ``(sweep_name, outcomes)``."""
+    payloads = []
+    for unit in units:
+        fd = make_fd(group_id, config, serial=0)
+        if unit == "act-pre":
+            outcomes = _sweep_act_pre(fd, bank=0, row=1, gaps=range(1, 8))
+        elif unit == "pre-act":
+            outcomes = _sweep_pre_act(fd, bank=0, gaps=range(1, 6))
+        else:
+            raise ConfigurationError(f"unknown timing-sweep unit {unit!r}")
+        payloads.append((unit, outcomes))
+    return payloads
+
+
+def merge(config: ExperimentConfig, payloads, **_kwargs) -> TimingSweepResult:
+    by_sweep = dict(payloads)
+    return TimingSweepResult(by_sweep["act-pre"], by_sweep["pre-act"])
+
+
 def run(config: ExperimentConfig = DEFAULT_CONFIG,
         group_id: str = "B") -> TimingSweepResult:
-    fd = make_fd(group_id, config, serial=0)
-    act_pre = _sweep_act_pre(fd, bank=0, row=1, gaps=range(1, 8))
-    pre_act = _sweep_pre_act(fd, bank=0, gaps=range(1, 6))
-    return TimingSweepResult(act_pre, pre_act)
+    units = shard_units(config)
+    return merge(config, run_shard(config, units, group_id=group_id))

@@ -31,15 +31,22 @@ from ..errors import ConfigurationError
 __all__ = ["SHARDABLE_EXPERIMENTS", "UnshardableExperimentError",
            "is_shardable", "get_shardable", "merge_payloads", "run_serial"]
 
-#: Experiment name -> module path.  The heaviest experiments are listed;
-#: modules are imported lazily so worker processes only pay for what
-#: their shard touches.
+#: Experiment name -> module path.  Every experiment in the suite speaks
+#: the protocol; modules are imported lazily so worker processes only pay
+#: for what their shard touches.
 SHARDABLE_EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.experiments.table1",
     "fig6": "repro.experiments.fig6_retention",
+    "fig7": "repro.experiments.fig7_maj3",
+    "fig8": "repro.experiments.fig8_half_m",
     "fig9": "repro.experiments.fig9_fmaj_coverage",
     "fig10": "repro.experiments.fig10_fmaj_stability",
     "fig11": "repro.experiments.fig11_puf_hd",
+    "fig12": "repro.experiments.fig12_puf_env",
     "nist": "repro.experiments.nist_randomness",
+    "latency": "repro.experiments.latency",
+    "timing": "repro.experiments.timing_sweep",
+    "ddr4": "repro.experiments.ddr4_outlook",
 }
 
 _PROTOCOL = ("shard_units", "run_shard", "merge")

@@ -1,6 +1,7 @@
 """Frac-based PUF: challenge/response, metrics, whitening, NIST suite, auth."""
 
 from .auth import AuthDecision, Authenticator
+from .batched_puf import BatchedFracPuf
 from .codic_emulation import CODIC_LEAK_HOURS, CodicEmulationPuf, speedup_vs_codic
 from .extractor import extraction_efficiency, von_neumann_extract
 from .frac_puf import PUF_N_FRAC, Challenge, FracPuf, evaluation_time_us
@@ -10,6 +11,7 @@ from .metrics import HdStudy, inter_hd_distances, intra_hd_distances, response_w
 __all__ = [
     "AuthDecision",
     "Authenticator",
+    "BatchedFracPuf",
     "CODIC_LEAK_HOURS",
     "CodicEmulationPuf",
     "speedup_vs_codic",

@@ -15,7 +15,8 @@ from typing import Sequence
 
 import numpy as np
 
-from ..analysis.stats import hamming_distance, hamming_weight
+from ..analysis.stats import (hamming_distance, hamming_weight,
+                              pairwise_hamming_distances)
 from ..errors import InsufficientDataError
 
 __all__ = ["HdStudy", "intra_hd_distances", "inter_hd_distances", "response_weights"]
@@ -26,36 +27,54 @@ def intra_hd_distances(trials: Sequence[np.ndarray]) -> np.ndarray:
 
     ``trials[t][c]`` is device/challenge response ``c`` at repetition
     ``t``; distances pair each repetition with the first (enrollment)
-    collection, per challenge.
+    collection, per challenge, in repetition-major challenge-minor order
+    — computed as one broadcast XOR against the enrollment plane.
     """
     if len(trials) < 2:
         raise InsufficientDataError("need >= 2 repetitions for intra-HD")
     reference = trials[0]
-    distances = []
     for later in trials[1:]:
         if later.shape != reference.shape:
             raise InsufficientDataError("repetition shapes differ")
-        for ref_response, response in zip(reference, later):
-            distances.append(hamming_distance(ref_response, response))
-    return np.asarray(distances)
+    stacked = np.asarray([np.asarray(trial, dtype=bool) for trial in trials])
+    if stacked.shape[1] == 0:
+        return np.asarray([])
+    if stacked.ndim != 3:
+        raise ValueError(
+            f"expected a 1-D bit vector, got shape {stacked.shape[2:]}")
+    if stacked.shape[2] == 0:
+        raise InsufficientDataError("cannot compute HD of empty vectors")
+    return np.mean(stacked[1:] ^ stacked[0], axis=2).reshape(-1)
 
 
 def inter_hd_distances(responses_by_device: Sequence[np.ndarray]) -> np.ndarray:
     """Inter-HDs across devices answering the same challenge set.
 
     ``responses_by_device[d][c]`` is device ``d``'s response to challenge
-    ``c``; distances compare every device pair on every challenge.
+    ``c``; distances compare every device pair on every challenge, in
+    pair-major challenge-minor order.  Uniform (challenges x bits) blocks
+    go through the broadcast
+    :func:`~repro.analysis.stats.pairwise_hamming_distances`; ragged
+    inputs fall back to the per-pair scalar loop (which truncates each
+    pair to the shorter challenge list, as before).
     """
     n_devices = len(responses_by_device)
     if n_devices < 2:
         raise InsufficientDataError("need >= 2 devices for inter-HD")
-    distances = []
-    for i in range(n_devices):
-        for j in range(i + 1, n_devices):
-            for response_i, response_j in zip(responses_by_device[i],
-                                              responses_by_device[j]):
-                distances.append(hamming_distance(response_i, response_j))
-    return np.asarray(distances)
+    devices = [np.asarray(device, dtype=bool)
+               for device in responses_by_device]
+    if len({device.shape for device in devices}) == 1 and devices[0].ndim == 2:
+        n_challenges, n_bits = devices[0].shape
+        if n_challenges == 0:
+            return np.asarray([])
+        if n_bits == 0:
+            raise InsufficientDataError("cannot compute HD of empty vectors")
+        return pairwise_hamming_distances(devices)
+    return np.asarray([
+        hamming_distance(response_i, response_j)
+        for i in range(n_devices)
+        for j in range(i + 1, n_devices)
+        for response_i, response_j in zip(devices[i], devices[j])])
 
 
 def response_weights(responses: Sequence[np.ndarray]) -> float:

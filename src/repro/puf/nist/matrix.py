@@ -19,22 +19,25 @@ _P_REST = 1.0 - _P_FULL - _P_MINUS_1
 
 
 def gf2_rank(matrix: np.ndarray) -> int:
-    """Rank of a 0/1 matrix over GF(2) via row-packed Gaussian elimination."""
-    rows, cols = matrix.shape
-    packed = [int("".join("1" if bit else "0" for bit in row), 2) if row.any() else 0
-              for row in matrix.astype(bool)]
+    """Rank of a 0/1 matrix over GF(2) via vectorized Gaussian elimination.
+
+    The column loop survives (each pivot depends on the previous one) but
+    the pivot search and the row elimination are whole-array operations
+    instead of per-row Python bit twiddling.
+    """
+    working = np.array(matrix, dtype=bool)
+    rows, cols = working.shape
     rank = 0
     for col in range(cols - 1, -1, -1):
-        mask = 1 << col
-        pivot_index = next(
-            (index for index in range(rank, rows) if packed[index] & mask), None)
-        if pivot_index is None:
+        pivots = np.flatnonzero(working[rank:, col])
+        if pivots.size == 0:
             continue
-        packed[rank], packed[pivot_index] = packed[pivot_index], packed[rank]
-        pivot = packed[rank]
-        for index in range(rows):
-            if index != rank and packed[index] & mask:
-                packed[index] ^= pivot
+        pivot_index = rank + int(pivots[0])
+        if pivot_index != rank:
+            working[[rank, pivot_index]] = working[[pivot_index, rank]]
+        eliminate = working[:, col].copy()
+        eliminate[rank] = False
+        working[eliminate] ^= working[rank]
         rank += 1
         if rank == rows:
             break

@@ -45,13 +45,37 @@ def _match_positions(block: np.ndarray, template: np.ndarray) -> np.ndarray:
     return np.all(windows == template, axis=1)
 
 
+def _block_matches(blocks: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Per-block boolean match matrix, one sliding-window pass for all
+    blocks at once."""
+    windows = np.lib.stride_tricks.sliding_window_view(
+        blocks, template.size, axis=1)
+    return np.all(windows == template, axis=2)
+
+
+def _greedy_count(matches: np.ndarray, m: int) -> int:
+    """Non-overlapping scan restarting ``m`` after each accepted match."""
+    count = 0
+    next_free = 0
+    for position in np.flatnonzero(matches):
+        if position >= next_free:
+            count += 1
+            next_free = int(position) + m
+    return count
+
+
 def non_overlapping_template_test(sequence,
                                   template: tuple[int, ...] = DEFAULT_TEMPLATE,
                                   n_blocks: int = 8) -> TestResult:
     """Non-overlapping template matching (section 2.7).
 
     The sequence splits into ``n_blocks`` blocks; within a block the search
-    restarts *after* each match (non-overlapping scan).
+    restarts *after* each match (non-overlapping scan).  An aperiodic
+    template can never match twice within ``m`` positions (its prefixes
+    and suffixes differ by construction), so for the NIST template set
+    the non-overlapping count equals the plain match count and the whole
+    test is one broadcast comparison; the positional scan only runs for
+    caller-supplied periodic templates.
     """
     bits = as_bits(sequence)
     tmpl = np.asarray(template, dtype=np.uint8)
@@ -62,19 +86,12 @@ def non_overlapping_template_test(sequence,
         return not_applicable(
             "non-overlapping-template",
             f"block size {block_size} too small for template of {m}")
-    counts = np.zeros(n_blocks, dtype=int)
-    for index in range(n_blocks):
-        block = bits[index * block_size:(index + 1) * block_size]
-        matches = _match_positions(block, tmpl)
-        count = 0
-        position = 0
-        while position < matches.size:
-            if matches[position]:
-                count += 1
-                position += m
-            else:
-                position += 1
-        counts[index] = count
+    blocks = bits[:n_blocks * block_size].reshape(n_blocks, block_size)
+    matches = _block_matches(blocks, tmpl)
+    if _is_aperiodic(tuple(int(bit) for bit in tmpl)):
+        counts = np.count_nonzero(matches, axis=1)
+    else:
+        counts = np.asarray([_greedy_count(row, m) for row in matches])
     mean = (block_size - m + 1) / 2.0 ** m
     variance = block_size * (1.0 / 2.0 ** m - (2.0 * m - 1.0) / 2.0 ** (2 * m))
     chi_squared = float(np.sum((counts - mean) ** 2 / variance))
@@ -125,11 +142,10 @@ def overlapping_template_test(sequence, template_length: int = 9) -> TestResult:
         return not_applicable(
             "overlapping-template", f"needs n >= 100000, got {n}")
     tmpl = np.ones(template_length, dtype=np.uint8)
-    counts = np.zeros(_OVERLAP_K + 1, dtype=int)
-    for index in range(n_blocks):
-        block = bits[index * _OVERLAP_M:(index + 1) * _OVERLAP_M]
-        occurrences = int(np.count_nonzero(_match_positions(block, tmpl)))
-        counts[min(occurrences, _OVERLAP_K)] += 1
+    blocks = bits[:n_blocks * _OVERLAP_M].reshape(n_blocks, _OVERLAP_M)
+    occurrences = np.count_nonzero(_block_matches(blocks, tmpl), axis=1)
+    counts = np.bincount(np.minimum(occurrences, _OVERLAP_K),
+                         minlength=_OVERLAP_K + 1)
     expected = np.asarray(_OVERLAP_PI) * n_blocks
     chi_squared = float(np.sum((counts - expected) ** 2 / expected))
     p_value = igamc(_OVERLAP_K / 2.0, chi_squared / 2.0)

@@ -1,12 +1,15 @@
-"""Batched-vs-scalar byte-identity for the trial-batched experiments.
+"""Batched-vs-scalar byte-identity for the batched experiments.
 
 The batching contract is absolute: ``--batch N`` (any N), ``--batch N
 --workers W`` (any W), and the scalar path must all produce the same
 result, byte for byte, because per-lane RNG streams are derived exactly
-as the scalar path derives per-trial streams.  These tests pin that
-contract at a small configuration for every retrofitted experiment —
-fig6, fig9, fig10, and nist — by comparing canonical JSON renderings of
-the result objects.
+as the scalar path derives per-trial (or per-module) streams.  These
+tests pin that contract at a small configuration for every retrofitted
+experiment — the trial-batched fig6/fig9/fig10/nist and the
+device-batched fig7/fig8/fig11/fig12/table1 — by comparing canonical
+JSON renderings of the result objects.  The remaining experiments
+(latency, timing, ddr4) have no batch axis but still speak the fleet
+shard protocol; their serial shard path must reproduce ``run()``.
 """
 
 import json
@@ -16,14 +19,18 @@ import pytest
 from repro.experiments import ExperimentConfig
 from repro.experiments.report import result_to_dict
 from repro.experiments.runner import run_experiment
+from repro.fleet import run_serial
 
-#: Two chips per group so fig9/fig10 genuinely batch over serial lanes;
+#: Two chips per group so the serial-lane experiments genuinely batch;
 #: small geometry keeps each run to a couple of seconds.
 CONFIG = ExperimentConfig(
     master_seed=2022, columns=128, rows_per_subarray=16,
     subarrays_per_bank=2, n_banks=2, chips_per_group=2)
 
-BATCHED_EXPERIMENTS = ("fig6", "fig9", "fig10", "nist")
+BATCHED_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                       "fig12", "nist", "table1")
+
+SHARD_ONLY_EXPERIMENTS = ("latency", "timing", "ddr4")
 
 
 def canonical(result) -> str:
@@ -57,3 +64,11 @@ def test_batch_composes_with_workers(name, scalar_renderings):
                                        workers=2))
     assert sharded == scalar_renderings[name], (
         f"{name}: --batch 2 --workers 2 result differs from scalar")
+
+
+@pytest.mark.parametrize("name", SHARD_ONLY_EXPERIMENTS)
+def test_shard_protocol_matches_run(name):
+    direct = canonical(run_experiment(name, CONFIG))
+    sharded = canonical(run_serial(name, CONFIG))
+    assert sharded == direct, (
+        f"{name}: serial shard-protocol result differs from run()")

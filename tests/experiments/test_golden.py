@@ -29,7 +29,7 @@ GOLDEN_CONFIG = ExperimentConfig(
     master_seed=2022, columns=128, rows_per_subarray=16,
     subarrays_per_bank=2, n_banks=2, chips_per_group=1)
 
-GOLDEN_EXPERIMENTS = ("fig6", "fig7", "fig8")
+GOLDEN_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig11", "fig12")
 
 REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
 
