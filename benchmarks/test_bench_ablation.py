@@ -16,7 +16,6 @@ paper's headline shapes degrade when a mechanism is removed or mis-set:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro import DramChip, FracDram, GeometryParams

@@ -6,7 +6,6 @@ evaluate: the QUAC-style TRNG (Section VII), the majority-based bulk ALU
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro import DramChip, FracDram, GeometryParams

@@ -12,7 +12,6 @@ effective throughput.
 Run:  python examples/random_numbers.py
 """
 
-import numpy as np
 
 from repro import DramChip, GeometryParams
 from repro.puf import Challenge, FracPuf, evaluation_time_us, von_neumann_extract

@@ -17,7 +17,6 @@ probe the full-Vdd point).  This example:
 Run:  python examples/retention_characterization.py
 """
 
-import numpy as np
 
 from repro import DramChip, FracDram, GeometryParams, RefreshManager
 from repro.analysis import RETENTION_BUCKET_LABELS, RetentionProfiler

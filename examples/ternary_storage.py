@@ -15,7 +15,7 @@ Run:  python examples/ternary_storage.py
 import numpy as np
 
 from repro import DramChip, FracDram, TernaryStore
-from repro.core.ternary import TRIT_HALF, TRIT_ONE, TRIT_ZERO
+from repro.core.ternary import TRIT_HALF
 
 
 def characterize_half_columns(store: TernaryStore,

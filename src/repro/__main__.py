@@ -8,7 +8,9 @@ Subcommands:
 * ``puf`` — print a device's PUF response to a challenge,
 * ``assemble`` / ``disassemble`` — SoftMC program tooling,
 * ``validate-trace`` — check JSON-lines telemetry traces against the
-  ``repro-trace/1`` schema.
+  ``repro-trace/1`` schema,
+* ``lint`` — determinism & fork-safety static analysis over the source
+  tree (see ``docs/linting.md``).
 
 ``experiments`` and ``report`` accept ``--telemetry`` / ``--trace-out
 PATH`` to record counters, phase timers, and a structured event trace
@@ -140,6 +142,14 @@ def _cmd_disassemble(arguments: argparse.Namespace) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments_in = list(sys.argv[1:] if argv is None else argv)
+    if arguments_in and arguments_in[0] == "lint":
+        # Dispatched before argparse: the lint CLI owns its own flags
+        # (argparse.REMAINDER cannot forward leading ``--options``).
+        from .lint.cli import main as lint_main
+
+        return lint_main(arguments_in[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro", description="FracDRAM reproduction toolkit")
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -216,6 +226,13 @@ def main(argv: list[str] | None = None) -> int:
         help="validate repro-trace/1 JSON-lines trace files")
     validate_trace.add_argument("paths", nargs="+", metavar="TRACE")
     validate_trace.set_defaults(handler=_cmd_validate_trace)
+
+    # ``lint`` is dispatched above; registered here so ``repro -h``
+    # lists it alongside the other subcommands.
+    subparsers.add_parser(
+        "lint", add_help=False,
+        help="determinism & fork-safety static analysis "
+             "(see docs/linting.md)")
 
     disassemble = subparsers.add_parser(
         "disassemble", help="print a primitive as SoftMC program text")

@@ -86,7 +86,8 @@ class RetentionProfile:
         total = categories.size
         return {
             CellCategory.LONG: float(np.mean(categories == CellCategory.LONG)),
-            CellCategory.MONOTONIC: float(np.mean(categories == CellCategory.MONOTONIC)),
+            CellCategory.MONOTONIC: float(
+                np.mean(categories == CellCategory.MONOTONIC)),
             CellCategory.OTHER: float(np.mean(categories == CellCategory.OTHER)),
         } if total else {}
 
@@ -117,7 +118,8 @@ class RetentionProfiler:
         self.fd = fd
         self.probe_times_s = tuple(probe_times_s)
 
-    def _alive_after(self, bank: int, row: int, n_frac: int, wait_s: float) -> np.ndarray:
+    def _alive_after(self, bank: int, row: int, n_frac: int,
+                     wait_s: float) -> np.ndarray:
         """One pass: init ones, Frac, leak, read; True where the bit held."""
         self.fd.fill_row(bank, row, True)
         if n_frac > 0:

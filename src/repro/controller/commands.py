@@ -10,7 +10,7 @@ cycles").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import ClassVar, Iterator, Sequence
 
 import numpy as np
@@ -195,7 +195,8 @@ class CommandSequence:
         """Human-readable one-line-per-command trace."""
         lines = [f"# {self.label or 'sequence'} ({self.duration} cycles)"]
         lines.extend(
-            f"  @{timed.cycle:>4d}  {timed.command.mnemonic()}" for timed in self.commands)
+            f"  @{timed.cycle:>4d}  {timed.command.mnemonic()}"
+            for timed in self.commands)
         return "\n".join(lines)
 
 

@@ -35,6 +35,10 @@ from ..dram.parameters import TimingParams
 __all__ = ["CompiledPlan", "compile_plan", "plan_for", "plan_key",
            "plan_cache_info", "clear_plan_cache", "PLAN_CACHE_CAPACITY"]
 
+#: Everything the JEDEC state machine can observe about a sequence: the
+#: timing parameters plus, per command, its cycle, kind and bank.
+PlanKey = tuple[TimingParams, tuple[tuple[int, str, int | None], ...]]
+
 #: Upper bound on memoized plans; far above the distinct sequence shapes
 #: any experiment issues (tens), small enough to never matter in memory.
 PLAN_CACHE_CAPACITY: int = 512
@@ -51,10 +55,10 @@ class CompiledPlan:
     serialized.
     """
 
-    key: tuple
+    key: PlanKey
     n_commands: int
     violations: tuple[tuple[JedecViolation, ...], ...]
-    violation_events: tuple[tuple[dict, ...], ...]
+    violation_events: tuple[tuple[dict[str, object], ...], ...]
     total_violations: int
 
     @property
@@ -62,7 +66,7 @@ class CompiledPlan:
         return self.total_violations > 0
 
 
-def plan_key(timing: TimingParams, sequence: CommandSequence) -> tuple:
+def plan_key(timing: TimingParams, sequence: CommandSequence) -> PlanKey:
     """Cache key: everything the JEDEC state machine can observe."""
     return (timing, tuple(
         (timed.cycle, timed.command.KIND, getattr(timed.command, "bank", None))
@@ -84,7 +88,7 @@ def compile_plan(timing: TimingParams, sequence: CommandSequence) -> CompiledPla
         total_violations=sum(len(per_command) for per_command in violations))
 
 
-_cache: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+_cache: "OrderedDict[PlanKey, CompiledPlan]" = OrderedDict()
 _hits: int = 0
 _misses: int = 0
 
@@ -106,7 +110,7 @@ def plan_for(timing: TimingParams, sequence: CommandSequence) -> CompiledPlan:
     return plan
 
 
-def plan_cache_info() -> dict:
+def plan_cache_info() -> dict[str, int]:
     """Cache statistics (for tests and the performance docs)."""
     return {"size": len(_cache), "capacity": PLAN_CACHE_CAPACITY,
             "hits": _hits, "misses": _misses}

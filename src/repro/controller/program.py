@@ -47,9 +47,8 @@ Commands are issued back-to-back (1 cycle apart) unless separated by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from ..errors import CommandSequenceError
 from .commands import (

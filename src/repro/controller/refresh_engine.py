@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..dram.parameters import MEMORY_CYCLE_NS, TimingParams
+from ..dram.parameters import TimingParams
 from ..errors import ConfigurationError
 from .softmc import SoftMC
 

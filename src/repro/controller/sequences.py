@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Sequence as SequenceType
 
-import numpy as np
 
 from ..dram.parameters import ElectricalParams, TimingParams
 from .commands import (

@@ -31,7 +31,6 @@ from .commands import (
     Precharge,
     PrechargeAll,
     ReadRow,
-    TimedCommand,
     WriteRow,
 )
 from . import sequences as seq
@@ -68,7 +67,7 @@ class JedecViolation:
             required_cycles=self.required_cycles,
             actual_cycles=self.actual_cycles)
 
-    def to_event(self) -> dict:
+    def to_event(self) -> dict[str, object]:
         """The ``violations`` entry shape of the ``repro-trace/1`` schema."""
         return {"constraint": self.constraint,
                 "required_cycles": self.required_cycles,
@@ -143,7 +142,9 @@ class JedecChecker:
                         f"PREA {cycle - last_act} cycles after ACT on bank {bank}",
                         required_cycles=timing.t_ras,
                         actual_cycles=cycle - last_act))
-            for bank in set(self._last_act) | set(self._last_pre) | set(self._open):
+            banks = sorted(set(self._last_act) | set(self._last_pre)
+                           | set(self._open))
+            for bank in banks:
                 self._last_pre[bank] = cycle
                 self._open[bank] = False
         elif isinstance(command, (ReadRow, WriteRow)):

@@ -11,10 +11,9 @@ replayable command stream.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
-import numpy as np
 
 from ..dram.parameters import MEMORY_CYCLE_NS
 from .commands import Command, CommandSequence, TimedCommand

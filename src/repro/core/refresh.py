@@ -24,7 +24,7 @@ mid-application ruins it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import RefreshViolationError
 from .ops import FracDram

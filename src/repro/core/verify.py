@@ -91,7 +91,8 @@ def verify_frac_by_maj3(
     elif frac_rows == "R1R3":
         fractional, carrier = (r1, r3), r2
     else:
-        raise ConfigurationError(f"frac_rows must be 'R1R2' or 'R1R3', got {frac_rows!r}")
+        raise ConfigurationError(
+            f"frac_rows must be 'R1R2' or 'R1R3', got {frac_rows!r}")
 
     ones = np.ones(fd.columns, dtype=bool)
 

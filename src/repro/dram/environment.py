@@ -50,7 +50,8 @@ class Environment:
     @property
     def leakage_acceleration(self) -> float:
         """Multiplier on leakage rate relative to 20 C (Arrhenius-like)."""
-        return 2.0 ** ((self.temperature_c - NOMINAL_TEMPERATURE_C) / _LEAKAGE_DOUBLING_C)
+        return 2.0 ** ((self.temperature_c - NOMINAL_TEMPERATURE_C)
+                       / _LEAKAGE_DOUBLING_C)
 
     @property
     def vdd_ratio(self) -> float:

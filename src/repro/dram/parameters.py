@@ -10,7 +10,7 @@ seconds of simulated wall-clock time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = [
     "MEMORY_CYCLE_NS",

@@ -53,7 +53,8 @@ def derive_seed(master_seed: int, *keys: object) -> int:
 
 def derive_rng(master_seed: int, *keys: object) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for the derived stream."""
-    return np.random.default_rng(np.random.SeedSequence(derive_seed(master_seed, *keys)))
+    return np.random.default_rng(
+        np.random.SeedSequence(derive_seed(master_seed, *keys)))
 
 
 class NoiseSource:

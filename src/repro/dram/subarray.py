@@ -31,7 +31,6 @@ measurement noise comes from a separate :class:`~repro.dram.rng.NoiseSource`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 
@@ -131,10 +130,14 @@ class SubArray:
             0.02, 0.998)
         log_tau = fabrication_rng.normal(
             var.tau_log_median_s, var.tau_log_sigma, size=(n_rows, n_cols))
-        strong = fabrication_rng.random(size=(n_rows, n_cols)) < var.strong_cell_fraction
-        log_tau = np.where(strong, log_tau + np.log(var.strong_cell_tau_multiplier), log_tau)
+        strong = (fabrication_rng.random(size=(n_rows, n_cols))
+                  < var.strong_cell_fraction)
+        log_tau = np.where(
+            strong, log_tau + np.log(var.strong_cell_tau_multiplier),
+            log_tau)
         self.tau_s = np.exp(log_tau)
-        self.vrt_mask = fabrication_rng.random(size=(n_rows, n_cols)) < var.vrt_cell_fraction
+        self.vrt_mask = (fabrication_rng.random(size=(n_rows, n_cols))
+                         < var.vrt_cell_fraction)
         # Interrupt-coupling: how completely a cell latches the shared
         # (fractional) level when the activation is interrupted after one
         # cycle.  Normal cells latch fully; "frac-weak" cells barely move.
@@ -253,7 +256,8 @@ class SubArray:
                 self._commit_close()
             return  # interrupted activation: sense amps can no longer fire
         if (self._open_rows and not self._sense_fired
-                and cycle - self._last_act_cycle >= self.electrical.sense_enable_cycles):
+                and (cycle - self._last_act_cycle
+                     >= self.electrical.sense_enable_cycles)):
             self._fire_sense_amps(env)
 
     def finish(self, cycle: int, env: Environment) -> None:

@@ -21,7 +21,7 @@ from ..dram.chip import DramChip
 from ..dram.environment import Environment
 from ..dram.module_ import DramModule
 from ..dram.parameters import GeometryParams
-from ..dram.vendor import GroupProfile, get_group
+from ..dram.vendor import GroupProfile
 from ..telemetry.registry import active as _telemetry_active
 
 __all__ = ["ExperimentConfig", "make_chip", "make_fd", "make_module",

@@ -25,7 +25,6 @@ from ..dram.batched import BatchedChip
 from ..puf.batched_puf import BatchedFracPuf
 from ..puf.frac_puf import Challenge, FracPuf
 from ..puf.metrics import inter_hd_distances, intra_hd_distances, response_weights
-from ..dram.vendor import GROUPS
 from .base import (DEFAULT_CONFIG, ExperimentConfig, make_chip,
                    markdown_table, resolve_batch)
 

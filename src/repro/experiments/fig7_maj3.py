@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..core.batched_ops import BatchedFracDram
 from ..core.verify import (COMBO_LABELS, batched_verify_frac_by_maj3,

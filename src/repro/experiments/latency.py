@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..controller import sequences as seq
-from ..dram.parameters import MEMORY_CYCLE_NS, ElectricalParams, TimingParams
+from ..dram.parameters import ElectricalParams, TimingParams
 from ..puf.frac_puf import PAPER_SEGMENT_BITS, PUF_N_FRAC, evaluation_time_us
 from .base import markdown_table
 

@@ -130,7 +130,10 @@ class ResultCache:
         with temporary.open("wb") as handle:
             pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
         temporary.replace(path)  # atomic within a directory
-        sidecar = {"key": key, "created": time.time(),
+        # Sidecar metadata only — never read back into results, so the
+        # wall-clock timestamp cannot leak into the byte-identity contract.
+        sidecar = {"key": key,
+                   "created": time.time(),  # repro: lint-ok[DET002]
                    "result_type": type(result).__name__}
         if meta:
             sidecar.update({str(k): v for k, v in meta.items()})

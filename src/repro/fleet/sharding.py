@@ -23,11 +23,14 @@ Two invariants make fleet results reproducible:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Hashable, Sequence, TypeVar
 
 from ..errors import ConfigurationError
 
 __all__ = ["Shard", "partition", "plan_shards", "default_shard_count"]
+
+#: A work-unit key: any hashable value (strings, ints, tuples of both).
+U = TypeVar("U", bound=Hashable)
 
 
 @dataclass(frozen=True)
@@ -41,7 +44,7 @@ class Shard:
     experiment: str
     index: int
     total: int
-    units: tuple
+    units: tuple[Hashable, ...]
 
     def __post_init__(self) -> None:
         if not 0 <= self.index < self.total:
@@ -59,7 +62,7 @@ class Shard:
                 f"{self.n_units} units)")
 
 
-def partition(units: Sequence, n_shards: int) -> list[tuple]:
+def partition(units: Sequence[U], n_shards: int) -> list[tuple[U, ...]]:
     """Split ``units`` into at most ``n_shards`` contiguous balanced chunks.
 
     Chunk sizes differ by at most one and concatenating the chunks
@@ -74,21 +77,21 @@ def partition(units: Sequence, n_shards: int) -> list[tuple]:
     """
     if n_shards < 1:
         raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
-    units = tuple(units)
-    if not units:
+    frozen = tuple(units)
+    if not frozen:
         return []
-    n_shards = min(n_shards, len(units))
-    base, extra = divmod(len(units), n_shards)
-    chunks = []
+    n_shards = min(n_shards, len(frozen))
+    base, extra = divmod(len(frozen), n_shards)
+    chunks: list[tuple[U, ...]] = []
     start = 0
     for index in range(n_shards):
         size = base + (1 if index < extra else 0)
-        chunks.append(units[start:start + size])
+        chunks.append(frozen[start:start + size])
         start += size
     return chunks
 
 
-def plan_shards(experiment: str, units: Sequence,
+def plan_shards(experiment: str, units: Sequence[Hashable],
                 n_shards: int) -> tuple[Shard, ...]:
     """Deterministic shard plan for ``experiment`` over ``units``."""
     chunks = partition(units, n_shards)

@@ -1,0 +1,44 @@
+"""repro.lint — determinism & fork-safety static analysis.
+
+The simulator's central contract is byte-identity: scalar, batched,
+re-sharded, and N-worker runs of the same (experiment, config, seed)
+produce identical results, traces, and telemetry counters.  Golden
+files and identity tests enforce that contract *dynamically*; this
+package enforces it *statically*, flagging the source patterns that
+historically break it (ambient RNG, wall-clock reads, unordered set
+iteration, environment coupling, fork-unsafe worker state, polluted
+telemetry counters) before they ever execute.
+
+Entry points:
+
+* ``python -m repro lint [paths]`` — the CLI (see :mod:`.cli`);
+* :func:`lint_paths` / :func:`lint_source` — the library API used by
+  the meta-test in ``tests/lint``;
+* :class:`Rule` + :func:`register` — the plug-in surface for new rules
+  (workflow documented in ``docs/linting.md``).
+"""
+
+from __future__ import annotations
+
+from . import builtin  # noqa: F401  (importing registers the rule set)
+from .baseline import Baseline, BaselineError, partition_findings
+from .engine import LintReport, iter_python_files, lint_paths, lint_source
+from .model import Finding, ModuleContext, Severity
+from .rules import Rule, register, registered_rules, rules_for_codes
+
+__all__ = [
+    "Baseline",
+    "BaselineError",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "partition_findings",
+    "register",
+    "registered_rules",
+    "rules_for_codes",
+]

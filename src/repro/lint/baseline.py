@@ -1,0 +1,122 @@
+"""Baseline files: grandfathering pre-existing findings.
+
+A baseline is a committed JSON file listing findings that existed when a
+rule was introduced.  The linter still *reports* baselined findings (in
+the ``baselined`` section) but does not fail on them, so a new rule can
+land with zero code churn and the debt can be paid down incrementally.
+Identity is ``(path, code, message)`` — line numbers are deliberately
+excluded so unrelated edits that shift a grandfathered finding around a
+file do not invalidate the baseline.
+
+The file format is versioned, sorted, and newline-terminated so diffs
+stay reviewable::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "src/repro/x.py", "code": "DET002", "message": "..."}
+      ]
+    }
+
+Stale entries (baselined findings that no longer occur) are surfaced by
+the linter so the file shrinks as debt is fixed; ``--write-baseline``
+regenerates it from the current finding set.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from .model import Finding
+
+__all__ = ["Baseline", "BaselineError", "partition_findings"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+class BaselineError(ValueError):
+    """Raised for malformed baseline files."""
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """An immutable set of grandfathered finding identities."""
+
+    entries: Tuple[Tuple[str, str, str], ...] = ()
+    path: Path | None = field(default=None, compare=False)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls()
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      path: Path | None = None) -> "Baseline":
+        entries = tuple(sorted({f.identity() for f in findings}))
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as error:
+            raise BaselineError(
+                f"{path}: baseline is not valid JSON: {error}") from error
+        if not isinstance(payload, dict):
+            raise BaselineError(f"{path}: baseline must be a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})")
+        raw = payload.get("findings")
+        if not isinstance(raw, list):
+            raise BaselineError(f"{path}: 'findings' must be a list")
+        entries: List[Tuple[str, str, str]] = []
+        for index, item in enumerate(raw):
+            if not isinstance(item, dict) or not all(
+                    isinstance(item.get(key), str)
+                    for key in ("path", "code", "message")):
+                raise BaselineError(
+                    f"{path}: findings[{index}] must carry string "
+                    f"'path', 'code' and 'message' fields")
+            entries.append((item["path"], item["code"], item["message"]))
+        return cls(entries=tuple(sorted(set(entries))), path=path)
+
+    def save(self, path: Path) -> Path:
+        payload = {
+            "version": BASELINE_VERSION,
+            "findings": [
+                {"path": entry_path, "code": code, "message": message}
+                for entry_path, code, message in self.entries
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                        + "\n")
+        return path
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.identity() in set(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def partition_findings(
+        findings: Sequence[Finding], baseline: Baseline,
+) -> Tuple[List[Finding], List[Finding], List[Tuple[str, str, str]]]:
+    """Split findings into ``(new, baselined)`` plus stale entries.
+
+    ``stale`` lists baseline entries that matched nothing this run —
+    debt that has been paid and should be dropped from the file.
+    """
+    known = set(baseline.entries)
+    new = [f for f in findings if f.identity() not in known]
+    baselined = [f for f in findings if f.identity() in known]
+    present = {f.identity() for f in findings}
+    stale = [entry for entry in baseline.entries if entry not in present]
+    return new, baselined, stale

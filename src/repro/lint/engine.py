@@ -1,0 +1,135 @@
+"""The lint engine: file discovery, rule execution, pragma filtering.
+
+:func:`lint_paths` is the one entry point both the CLI and the test
+suite use.  It walks the target paths, parses each ``.py`` file once,
+runs every selected rule over the shared AST, drops pragma-suppressed
+findings, and returns a :class:`LintReport` with a deterministic,
+sorted finding list (so text output, JSON output, and baselines are
+stable across runs and machines).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .model import Finding, ModuleContext, Severity, module_name_for_path
+from .rules import Rule, rules_for_codes
+
+__all__ = ["LintReport", "iter_python_files", "lint_source", "lint_paths"]
+
+#: Directories never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run (pre-baseline)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: ``(path, message)`` for files that failed to parse.
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.ERROR)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"lint target does not exist: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if not _SKIP_DIRS.intersection(candidate.parts):
+                yield candidate
+
+
+def _statement_end_line(tree: ast.Module, line: int) -> Optional[int]:
+    """Closing line of the innermost statement covering ``line``.
+
+    Lets a suppression pragma sit on the last line of a multi-line
+    statement (where a trailing comment is usually legal) rather than
+    forcing it onto the opening line.
+    """
+    best: Optional[ast.stmt] = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or not node.lineno <= line <= end:
+            continue
+        if best is None or node.lineno > best.lineno:
+            best = node
+    if best is None:
+        return None
+    return getattr(best, "end_lineno", None)
+
+
+def lint_source(source: str, *, path: str, module: str | None = None,
+                rules: Sequence[Rule] | None = None) -> List[Finding]:
+    """Lint one in-memory module; returns pragma-filtered findings.
+
+    ``module`` overrides the dotted-name inference — tests use it to
+    exercise the allowlists of DET002/DET004 without fabricating a
+    ``src/repro`` directory layout.
+    """
+    if rules is None:
+        rules = rules_for_codes(None)
+    ctx = ModuleContext.from_source(source, path=path, module=module)
+    kept: List[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            end_line = _statement_end_line(ctx.tree, finding.line)
+            if not ctx.is_suppressed(finding, end_line=end_line):
+                kept.append(finding)
+    # Sorted and deduplicated: rule execution order must never leak into
+    # the report, baselines, or exit codes.
+    return sorted(set(kept))
+
+
+def lint_paths(paths: Sequence[Path | str], *,
+               rules: Sequence[Rule] | None = None,
+               root: Path | None = None) -> LintReport:
+    """Lint every Python file under ``paths``.
+
+    Finding paths are rendered POSIX-style relative to ``root`` (default:
+    the current working directory) when possible, absolute otherwise —
+    the same normalization the baseline file relies on.
+    """
+    if rules is None:
+        rules = rules_for_codes(None)
+    if root is None:
+        root = Path.cwd()
+    report = LintReport()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        resolved = file_path.resolve()
+        try:
+            rendered = resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rendered = resolved.as_posix()
+        module = module_name_for_path(resolved)
+        try:
+            source = file_path.read_text()
+            findings = lint_source(source, path=rendered, module=module,
+                                   rules=rules)
+        except SyntaxError as error:
+            report.parse_errors.append(
+                (rendered, f"line {error.lineno}: {error.msg}"))
+            continue
+        except OSError as error:
+            report.parse_errors.append((rendered, str(error)))
+            continue
+        report.files_checked += 1
+        report.findings.extend(findings)
+    report.findings.sort()
+    return report

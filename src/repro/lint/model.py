@@ -1,0 +1,183 @@
+"""Core data model for :mod:`repro.lint`.
+
+A lint run parses every target file once into a :class:`ModuleContext`
+(AST + source + suppression pragmas + dotted module name) and hands that
+context to each registered rule.  Rules yield :class:`Finding` records;
+the engine then drops findings suppressed by a pragma and partitions the
+rest against the committed baseline.
+
+Suppression pragmas
+-------------------
+
+A finding is suppressed by placing::
+
+    # repro: lint-ok[CODE]
+
+on the flagged line, on the line directly above it (for statements that
+do not fit a trailing comment), or on the closing line of a multi-line
+statement.  Several codes may be listed (``lint-ok[DET001,TEL001]``) and
+``lint-ok[*]`` suppresses every rule on that line.  Pragmas are the
+reviewed, in-source escape hatch; the baseline file (see
+:mod:`repro.lint.baseline`) is for grandfathering pre-existing findings
+without touching the offending code.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Tuple
+
+import ast
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "ModuleContext",
+    "parse_suppressions",
+    "module_name_for_path",
+]
+
+#: ``# repro: lint-ok[DET001]`` / ``# repro: lint-ok[DET001, TEL001]`` /
+#: ``# repro: lint-ok[*]``
+PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[\s*([A-Z0-9*]+(?:\s*,\s*[A-Z0-9*]+)*)\s*\]")
+
+
+class Severity(enum.Enum):
+    """How seriously a finding threatens the byte-identity guarantee."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is stored POSIX-style relative to the lint invocation root
+    so findings (and therefore baselines) are machine-independent.  The
+    baseline identity deliberately excludes the line/column — grandfathered
+    findings survive unrelated edits that shift them around a file.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def identity(self) -> Tuple[str, str, str]:
+        """The baseline-matching key: ``(path, code, message)``."""
+        return (self.path, self.code, self.message)
+
+    def render(self) -> str:
+        """``path:line:col: CODE [severity] message`` (one text line)."""
+        return (f"{self.path}:{self.line}:{self.column}: {self.code} "
+                f"[{self.severity}] {self.message}")
+
+    def to_json(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+
+
+def parse_suppressions(
+        source: str) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[int]]:
+    """Parse pragmas out of ``source``.
+
+    Returns ``(suppressions, standalone)``: a map from 1-based line
+    numbers to suppressed codes, and the subset of those lines that are
+    comment-only.  Only a *standalone* pragma covers the statement below
+    it — a trailing pragma on one statement must not bleed into the
+    next line.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    standalone = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "lint-ok" not in text:
+            continue
+        match = PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        codes = frozenset(
+            code.strip() for code in match.group(1).split(","))
+        suppressions[lineno] = codes
+        if text.lstrip().startswith("#"):
+            standalone.add(lineno)
+    return suppressions, frozenset(standalone)
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Walks the path components for the last ``repro`` package root (the
+    layout is ``src/repro/...``) and joins everything from there; files
+    outside the package (fixtures, scripts) fall back to their stem.
+    Allowlist-carrying rules (DET002, DET004) match on this name.
+    """
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    if stem_parts and stem_parts[-1] == "__init__":
+        stem_parts = stem_parts[:-1]
+    for index in range(len(stem_parts) - 1, -1, -1):
+        if stem_parts[index] == "repro":
+            return ".".join(stem_parts[index:])
+    return path.stem
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    suppressions: Dict[int, FrozenSet[str]]
+    standalone_pragma_lines: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def from_source(cls, source: str, *, path: str,
+                    module: str | None = None) -> "ModuleContext":
+        """Parse ``source`` into a context (raises ``SyntaxError``)."""
+        if module is None:
+            module = module_name_for_path(Path(path))
+        suppressions, standalone = parse_suppressions(source)
+        return cls(path=path, module=module,
+                   tree=ast.parse(source, filename=path), source=source,
+                   suppressions=suppressions,
+                   standalone_pragma_lines=standalone)
+
+    def _line_suppresses(self, lineno: int, code: str) -> bool:
+        codes = self.suppressions.get(lineno)
+        return bool(codes) and (code in codes or "*" in codes)
+
+    def is_suppressed(self, finding: Finding, *,
+                      end_line: int | None = None) -> bool:
+        """True if a pragma covers ``finding``.
+
+        A pragma counts when it sits on the flagged line, on a
+        comment-only line directly above it, or — for multi-line
+        statements — on the statement's closing line (``end_line``).
+        """
+        if self._line_suppresses(finding.line, finding.code):
+            return True
+        above = finding.line - 1
+        if (above in self.standalone_pragma_lines
+                and self._line_suppresses(above, finding.code)):
+            return True
+        return (end_line is not None
+                and end_line != finding.line
+                and self._line_suppresses(end_line, finding.code))

@@ -9,7 +9,7 @@ result is flagged ``applicable=False`` instead of failing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.special import erfc, gammaincc

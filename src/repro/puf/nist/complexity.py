@@ -8,7 +8,6 @@ instead of Python-level bit lists — fast enough to process hundreds of
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

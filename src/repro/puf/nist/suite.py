@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from .common import DEFAULT_ALPHA, TestResult, as_bits
 from .complexity import linear_complexity_test

@@ -136,7 +136,7 @@ def _check_type(where: str, field: str, value: Any,
             f"got {type(value).__name__}")
 
 
-def _check_int_list(where: str, field: str, value: list) -> None:
+def _check_int_list(where: str, field: str, value: list[object]) -> None:
     for item in value:
         if isinstance(item, bool) or not isinstance(item, int):
             raise TraceSchemaError(
@@ -144,7 +144,7 @@ def _check_int_list(where: str, field: str, value: list) -> None:
                 f"got {item!r}")
 
 
-def _check_violations(where: str, value: list) -> None:
+def _check_violations(where: str, value: list[object]) -> None:
     for record in value:
         if not isinstance(record, Mapping):
             raise TraceSchemaError(

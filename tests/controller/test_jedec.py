@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import DramChip, GeometryParams, SoftMC, TimingViolationError
-from repro.controller import sequences as seq
 
 GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
                       rows_per_subarray=16, columns=16)
@@ -107,3 +106,45 @@ class TestSpecificConstraints:
         # isolation (the builders include completion tails).
         strict_mc.write_row(0, 1, np.zeros(16, dtype=bool))
         strict_mc.write_row(0, 1, np.ones(16, dtype=bool))
+
+
+class TestPrechargeAllBankOrder:
+    """DET003 regression: PREA must traverse banks in a defined order.
+
+    The checker used to iterate ``set(last_act) | set(last_pre) |
+    set(open)`` directly, so the traversal (and hence the insertion
+    order of its state dicts) depended on hash order.  It is now wrapped
+    in ``sorted()``; these tests pin both the emitted violation order
+    and the resulting state order.
+    """
+
+    def _checker(self):
+        from repro.controller.softmc import JedecChecker
+        from repro.dram.parameters import TimingParams
+
+        return JedecChecker(TimingParams())
+
+    def test_prea_violations_emitted_in_ascending_bank_order(self):
+        from repro.controller.commands import Activate, PrechargeAll
+
+        checker = self._checker()
+        # Open several banks in scrambled order, then PREA immediately:
+        # every open bank violates tRAS.
+        for cycle, bank in enumerate((5, 1, 7, 3, 0, 6, 2, 4)):
+            checker.observe(cycle * 2, Activate(bank, 1))
+        violations = checker.observe(14, PrechargeAll())
+        assert [v.constraint for v in violations] == ["tRAS"] * 8
+        banks = [int(v.message.split("bank ")[1]) for v in violations]
+        assert banks == sorted(banks) == list(range(8))
+
+    def test_prea_state_dicts_end_in_sorted_bank_order(self):
+        from repro.controller.commands import Activate, PrechargeAll
+
+        checker = self._checker()
+        for cycle, bank in enumerate((6, 2, 5, 0, 3)):
+            checker.observe(cycle * 60, Activate(bank, 1))
+            # Precharge some banks only, so the three state dicts hold
+            # different key sets going into the PREA union.
+        checker.observe(400, PrechargeAll())
+        assert list(checker._last_pre) == sorted(checker._last_pre)
+        assert set(checker._last_pre) == {0, 2, 3, 5, 6}

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro import DramChip, GeometryParams, SoftMC
-from repro.controller.sequences import frac_sequence
 from repro.dram.parameters import MEMORY_CYCLE_NS
 
 GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,

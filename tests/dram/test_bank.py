@@ -1,6 +1,5 @@
 """Bank routing and address mapping."""
 
-import numpy as np
 import pytest
 
 from repro import DramChip, GeometryParams

@@ -1,6 +1,5 @@
 """Polarity maps and the anti-cell convention."""
 
-import numpy as np
 import pytest
 
 from repro.dram.polarity import POLARITY_SCHEMES, is_anti_row, polarity_map

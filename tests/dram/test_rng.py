@@ -1,7 +1,6 @@
 """Deterministic stream derivation: the foundation of PUF reproducibility."""
 
 import numpy as np
-import pytest
 
 from repro.dram.rng import NoiseSource, derive_rng, derive_seed
 

@@ -69,7 +69,6 @@ class TestProfileValidation:
     def test_declared_capability_must_match_decoder(self):
         from dataclasses import replace
 
-        from repro.dram.decoder import DecoderProfile
 
         base = GROUPS["A"]
         with pytest.raises(ConfigurationError):

@@ -1,7 +1,6 @@
 """Smoke tests: every experiment runs on a tiny config and reproduces the
 paper's qualitative claims.  (The benchmarks run the full versions.)"""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig

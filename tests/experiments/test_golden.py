@@ -6,7 +6,8 @@ change to the physics, RNG derivation, experiment logic, or JSON
 serialization shows up as a diff here — intentional changes regenerate
 the files with::
 
-    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/experiments/test_golden.py
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src \\
+        python -m pytest tests/experiments/test_golden.py
 
 and commit the result (the diff is the review artifact).
 """
@@ -31,6 +32,8 @@ GOLDEN_CONFIG = ExperimentConfig(
 
 GOLDEN_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig11", "fig12")
 
+# Developer-only regen switch: flips which branch of the test runs, never
+# reaches an experiment result.  # repro: lint-ok[DET004]
 REGEN = bool(os.environ.get("REPRO_REGEN_GOLDEN"))
 
 

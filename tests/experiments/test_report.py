@@ -3,7 +3,6 @@
 import json
 
 import numpy as np
-import pytest
 
 from repro.experiments import ExperimentConfig
 from repro.experiments.report import (

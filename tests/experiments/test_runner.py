@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.experiments import ExperimentConfig
 from repro.experiments.runner import EXPERIMENTS, main, run_experiment
 
 

@@ -1,7 +1,6 @@
 """Cross-module integration scenarios."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DramChip,

@@ -1,0 +1,74 @@
+"""Baseline semantics: round-trip, matching, stale detection, errors."""
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, BaselineError, Finding, partition_findings
+from repro.lint.model import Severity
+
+
+def finding(path="src/repro/x.py", code="DET001", message="msg",
+            line=10, column=5):
+    return Finding(path=path, line=line, column=column, code=code,
+                   message=message, severity=Severity.ERROR)
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entries(self, tmp_path):
+        findings = [finding(code="DET001", message="a"),
+                    finding(code="TEL001", message="b", line=99)]
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(target)
+        loaded = Baseline.load(target)
+        assert loaded == Baseline.from_findings(findings)
+        assert len(loaded) == 2
+
+    def test_file_is_sorted_versioned_newline_terminated(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(
+            [finding(message="z"), finding(message="a")]).save(target)
+        text = target.read_text()
+        assert text.endswith("\n")
+        payload = json.loads(text)
+        assert payload["version"] == 1
+        messages = [entry["message"] for entry in payload["findings"]]
+        assert messages == sorted(messages)
+
+    def test_line_numbers_excluded_from_identity(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings([finding(line=10)]).save(target)
+        moved = finding(line=400, column=1)
+        assert moved in Baseline.load(target)
+
+
+class TestPartition:
+    def test_new_known_stale_split(self):
+        known = finding(code="DET002", message="grandfathered")
+        fresh = finding(code="DET001", message="brand new")
+        baseline = Baseline.from_findings(
+            [known, finding(code="TEL001", message="since fixed")])
+        new, baselined, stale = partition_findings([known, fresh], baseline)
+        assert new == [fresh]
+        assert baselined == [known]
+        assert stale == [("src/repro/x.py", "TEL001", "since fixed")]
+
+    def test_empty_baseline_everything_is_new(self):
+        new, baselined, stale = partition_findings(
+            [finding()], Baseline.empty())
+        assert len(new) == 1 and baselined == [] and stale == []
+
+
+class TestMalformedBaselines:
+    @pytest.mark.parametrize("content", [
+        "not json at all",
+        '["a", "list"]',
+        '{"version": 99, "findings": []}',
+        '{"version": 1, "findings": {"not": "a list"}}',
+        '{"version": 1, "findings": [{"path": "p", "code": 3}]}',
+    ])
+    def test_rejected_with_baseline_error(self, tmp_path, content):
+        target = tmp_path / "bad.json"
+        target.write_text(content)
+        with pytest.raises(BaselineError):
+            Baseline.load(target)

@@ -1,0 +1,99 @@
+"""Suppression-pragma semantics: placement, code lists, the ``*`` wildcard."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.model import parse_suppressions
+
+
+def lint(source, **kwargs):
+    return lint_source(textwrap.dedent(source), path="sample.py",
+                       module="repro.experiments.sample", **kwargs)
+
+
+class TestPragmaPlacement:
+    def test_same_line_suppresses(self):
+        assert lint("""\
+            import numpy as np
+            v = np.random.random()  # repro: lint-ok[DET001]
+        """) == []
+
+    def test_line_above_suppresses(self):
+        assert lint("""\
+            import numpy as np
+            # repro: lint-ok[DET001]
+            v = np.random.random()
+        """) == []
+
+    def test_closing_line_of_multiline_statement_suppresses(self):
+        assert lint("""\
+            import numpy as np
+            v = np.random.choice(
+                [1, 2, 3],
+            )  # repro: lint-ok[DET001]
+        """) == []
+
+    def test_unrelated_line_does_not_suppress(self):
+        findings = lint("""\
+            import numpy as np
+            # repro: lint-ok[DET001]
+
+            v = np.random.random()
+        """)
+        assert [f.code for f in findings] == ["DET001"]
+
+
+class TestPragmaScope:
+    def test_wrong_code_does_not_suppress(self):
+        findings = lint("""\
+            import numpy as np
+            v = np.random.random()  # repro: lint-ok[DET002]
+        """)
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_multiple_codes_in_one_pragma(self):
+        assert lint("""\
+            import numpy as np
+            import time
+            v = np.random.random() + time.time()  # repro: lint-ok[DET001, DET002]
+        """) == []
+
+    def test_star_suppresses_everything_on_the_line(self):
+        assert lint("""\
+            import numpy as np
+            import time
+            v = np.random.random() + time.time()  # repro: lint-ok[*]
+        """) == []
+
+    def test_pragma_only_covers_its_own_line(self):
+        findings = lint("""\
+            import numpy as np
+            a = np.random.random()  # repro: lint-ok[DET001]
+            b = np.random.random()
+        """)
+        assert len(findings) == 1
+        assert findings[0].line == 3
+
+
+class TestPragmaParsing:
+    def test_parse_suppressions_shapes(self):
+        source = textwrap.dedent("""\
+            x = 1  # repro: lint-ok[DET001]
+            y = 2  # repro: lint-ok[DET001,TEL001]
+            z = 3  # repro: lint-ok[*]
+            w = 4  # lint-ok without the marker prefix
+            u = 5  # repro: lint-ok[not-a-code!]
+        """)
+        suppressions, standalone = parse_suppressions(source)
+        assert suppressions[1] == frozenset({"DET001"})
+        assert suppressions[2] == frozenset({"DET001", "TEL001"})
+        assert suppressions[3] == frozenset({"*"})
+        assert 4 not in suppressions
+        assert 5 not in suppressions
+        assert standalone == frozenset()  # all pragmas here are trailing
+
+    def test_standalone_pragma_lines_detected(self):
+        suppressions, standalone = parse_suppressions(
+            "# repro: lint-ok[DET001]\nx = 1\n")
+        assert suppressions[1] == frozenset({"DET001"})
+        assert standalone == frozenset({1})

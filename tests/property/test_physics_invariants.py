@@ -1,7 +1,6 @@
 """Physical invariants of the sub-array model (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

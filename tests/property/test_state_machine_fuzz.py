@@ -7,13 +7,11 @@ behaviour needs.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import DramChip, GeometryParams
-from repro.dram.addressing import BitScrambleMap, random_scramble
-from repro.errors import ReproError
+from repro.dram.addressing import random_scramble
 
 GEOM = GeometryParams(n_banks=1, subarrays_per_bank=1,
                       rows_per_subarray=16, columns=16)

@@ -1,7 +1,6 @@
 """NIST suite runner."""
 
 import numpy as np
-import pytest
 
 from repro.puf.nist import ALL_TESTS, TestResult as NistTestResult, run_all
 
