@@ -10,7 +10,12 @@ Subcommands:
 * ``validate-trace`` — check JSON-lines telemetry traces against the
   ``repro-trace/1`` schema,
 * ``lint`` — determinism & fork-safety static analysis over the source
-  tree (see ``docs/linting.md``).
+  tree (see ``docs/linting.md``),
+* ``serve`` — run the PUF-authentication service over a JSON-lines TCP
+  transport (see ``docs/service.md``),
+* ``bench-service`` — replay a seeded verification workload against the
+  service, scripted (deterministic transcript) or live (asyncio
+  coalescing, throughput + latency percentiles).
 
 ``experiments`` and ``report`` accept ``--telemetry`` / ``--trace-out
 PATH`` to record counters, phase timers, and a structured event trace
@@ -141,6 +146,126 @@ def _cmd_disassemble(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _service_db(arguments: argparse.Namespace):
+    from .service import (EnrollmentStore, ServiceConfig, build_enrollment,
+                          frac_capable_groups)
+
+    config = ServiceConfig(
+        master_seed=arguments.seed,
+        columns=arguments.columns,
+        n_challenges=arguments.challenges,
+        groups=(tuple(arguments.groups) if arguments.groups
+                else frac_capable_groups()))
+    if arguments.no_store:
+        return build_enrollment(config, arguments.modules)
+    store = EnrollmentStore(arguments.store_dir)
+    db = store.load_or_build(config, arguments.modules)
+    if store.hits:
+        print(f"# enrollment served from {store.directory}", file=sys.stderr)
+    return db
+
+
+def _add_service_fleet_arguments(parser: argparse.ArgumentParser,
+                                 default_modules: int) -> None:
+    parser.add_argument("--modules", type=int, default=default_modules,
+                        help="fleet size to enroll")
+    parser.add_argument("--seed", type=int, default=2022)
+    parser.add_argument("--columns", type=int, default=64,
+                        help="response width in bits")
+    parser.add_argument("--challenges", type=int, default=2,
+                        help="private challenge set size")
+    parser.add_argument("--groups", nargs="*", default=None,
+                        help="vendor groups to enroll (default: all "
+                             "Frac-capable groups)")
+    parser.add_argument("--store-dir", default=None,
+                        help="enrollment store directory")
+    parser.add_argument("--no-store", action="store_true",
+                        help="re-enroll instead of using the store")
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import CoalescePolicy, PufAuthService
+
+    db = _service_db(arguments)
+    policy = CoalescePolicy(max_lanes=arguments.max_lanes,
+                            max_wait_s=arguments.max_wait_ms / 1e3)
+
+    async def run() -> None:
+        service = PufAuthService(db, policy=policy)
+        await service.start()
+        host, port = await service.serve_tcp(arguments.host, arguments.port)
+        print(f"serving {db.n_modules} enrolled module(s) "
+              f"on {host}:{port} (JSON lines; Ctrl-C to stop)")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_bench_service(arguments: argparse.Namespace) -> int:
+    import asyncio
+    from contextlib import nullcontext
+
+    from .service import (CoalescePolicy, PufAuthService, WorkloadSpec,
+                          generate_schedule, percentile, replay_scripted)
+    from .telemetry import session as telemetry_session
+
+    db = _service_db(arguments)
+    spec = WorkloadSpec(seed=arguments.workload_seed,
+                        n_requests=arguments.requests,
+                        rate_rps=arguments.rate,
+                        impostor_fraction=arguments.impostors)
+    schedule = generate_schedule(db, spec)
+    policy = CoalescePolicy(max_lanes=arguments.max_lanes,
+                            max_wait_s=arguments.max_wait_ms / 1e3)
+    use_telemetry = arguments.telemetry or arguments.trace_out is not None
+    context = (telemetry_session(trace_path=arguments.trace_out)
+               if use_telemetry else nullcontext(None))
+    with context as telemetry:
+        if arguments.live:
+            from .service import SystemClock, drive_open_loop
+
+            wall = SystemClock()
+
+            async def run() -> tuple[list, float]:
+                service = PufAuthService(db, policy=policy)
+                await service.start()
+                started = wall.now()
+                replies = await drive_open_loop(
+                    service.batcher, schedule, pace=not arguments.no_pace)
+                elapsed = wall.now() - started
+                latencies = list(service.batcher.latencies)
+                await service.stop()
+                return latencies, elapsed
+
+            latencies, elapsed = asyncio.run(run())
+            rate = len(schedule) / elapsed if elapsed > 0 else float("inf")
+            print(f"live: {len(schedule)} verifications in {elapsed:.3f} s "
+                  f"({rate:.0f}/s)")
+            print(f"latency p50 {percentile(latencies, 0.5)*1e3:.2f} ms, "
+                  f"p99 {percentile(latencies, 0.99)*1e3:.2f} ms")
+        else:
+            summary = replay_scripted(db, schedule, policy,
+                                      transcript_path=arguments.transcript)
+            print(summary.format_summary())
+            if summary.transcript_path is not None:
+                # stderr, so stdout stays byte-identical across replays
+                # that only differ in where the transcript landed.
+                print(f"transcript written to {summary.transcript_path}",
+                      file=sys.stderr)
+    if use_telemetry and telemetry is not None:
+        print(telemetry.format_summary(deterministic=not arguments.live))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     arguments_in = list(sys.argv[1:] if argv is None else argv)
     if arguments_in and arguments_in[0] == "lint":
@@ -233,6 +358,45 @@ def main(argv: list[str] | None = None) -> int:
         "lint", add_help=False,
         help="determinism & fork-safety static analysis "
              "(see docs/linting.md)")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve PUF authentication over JSON-lines TCP")
+    _add_service_fleet_arguments(serve, default_modules=256)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = ephemeral)")
+    serve.add_argument("--max-lanes", type=int, default=32,
+                       help="coalesced batch capacity")
+    serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                       help="coalescing window (milliseconds)")
+    serve.set_defaults(handler=_cmd_serve)
+
+    bench_service = subparsers.add_parser(
+        "bench-service",
+        help="replay a seeded verification workload against the service")
+    _add_service_fleet_arguments(bench_service, default_modules=256)
+    bench_service.add_argument("--requests", type=int, default=512)
+    bench_service.add_argument("--rate", type=float, default=2000.0,
+                               help="open-loop arrival rate (req/s)")
+    bench_service.add_argument("--impostors", type=float, default=0.125,
+                               help="fraction of impostor requests")
+    bench_service.add_argument("--workload-seed", type=int, default=0)
+    bench_service.add_argument("--max-lanes", type=int, default=32)
+    bench_service.add_argument("--max-wait-ms", type=float, default=5.0)
+    bench_service.add_argument("--live", action="store_true",
+                               help="drive the asyncio coalescer in real "
+                                    "time instead of scripted replay")
+    bench_service.add_argument("--no-pace", action="store_true",
+                               help="with --live: submit back-to-back "
+                                    "instead of honoring arrival times")
+    bench_service.add_argument("--transcript", default=None, metavar="PATH",
+                               help="scripted mode: write the JSON-lines "
+                                    "transcript here")
+    bench_service.add_argument("--telemetry", action="store_true")
+    bench_service.add_argument("--trace-out", default=None, metavar="PATH",
+                               help="write a JSON-lines event trace "
+                                    "(implies --telemetry)")
+    bench_service.set_defaults(handler=_cmd_bench_service)
 
     disassemble = subparsers.add_parser(
         "disassemble", help="print a primitive as SoftMC program text")

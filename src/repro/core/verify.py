@@ -116,6 +116,7 @@ def batched_verify_frac_by_maj3(
     frac_rows: FracRowSpec = "R1R2",
     init_ones: bool = True,
     n_frac: int = 1,
+    lanes: "list[int] | None" = None,
 ) -> list[MajVerifyResult]:
     """Run :func:`verify_frac_by_maj3` on every lane of a batch at once.
 
@@ -123,6 +124,12 @@ def batched_verify_frac_by_maj3(
     plan is shared across lanes (it depends only on decoder/row-map/
     geometry, uniform within a group cohort).  Lane ``i`` of the result
     list is byte-identical to the scalar procedure on chip ``i``.
+
+    ``lanes`` restricts the pass to a subset of the batch — the serving
+    layer uses this to run per-vendor-group attestation sub-passes on a
+    mixed :meth:`~repro.dram.batched.BatchedChip.from_fleet` cohort,
+    whose groups resolve different multi-row plans.  The result list is
+    ordered like ``lanes`` (default: all lanes in order).
     """
     r1, r2, r3 = plan.opened
     if frac_rows == "R1R2":
@@ -133,7 +140,12 @@ def batched_verify_frac_by_maj3(
         raise ConfigurationError(
             f"frac_rows must be 'R1R2' or 'R1R3', got {frac_rows!r}")
 
-    lanes = bfd.all_lanes()
+    if lanes is None:
+        lanes = bfd.all_lanes()
+    else:
+        lanes = [int(lane) for lane in lanes]
+        if not lanes:
+            return []
     bank = plan.bank
     ones = np.ones(bfd.columns, dtype=bool)
 

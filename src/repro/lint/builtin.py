@@ -217,6 +217,10 @@ class WallClockRule(Rule):
         "repro.experiments.runner",
         "repro.experiments.report",
         "repro.fleet.executor",
+        # The service's real-time boundary: SystemClock is the ONE place
+        # the serving layer reads the host clock; everything else takes
+        # an injected Clock, and scripted replay injects ManualClock.
+        "repro.service.clock",
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:

@@ -7,6 +7,14 @@ smallest mean Hamming distance, provided it clears the decision threshold.
 The threshold sits between the expected intra-HD (~0) and the minimum
 inter-HD (>= 0.27 in the paper), so both false accepts and false rejects
 are negligible.
+
+Matching is vectorized: the enrollment database keeps a stacked
+``(n_enrolled, n_challenges, bits)`` reference matrix and a probe is
+scored against every enrolled identity in one broadcast XOR
+(:func:`match_probe`).  Ties keep the first-enrolled identity, exactly
+as the historical per-device loop did.  :mod:`repro.service` builds its
+serving path on the same matcher, so the scalar and served decisions
+are identical by construction.
 """
 
 from __future__ import annotations
@@ -15,11 +23,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..analysis.stats import hamming_distance
 from ..errors import ConfigurationError, InsufficientDataError
 from .frac_puf import Challenge, FracPuf
 
-__all__ = ["AuthDecision", "Authenticator"]
+__all__ = ["AuthDecision", "Authenticator", "match_probe"]
 
 #: Default accept threshold: comfortably above the paper's max intra-HD
 #: (0.07 across environments) and below its min inter-HD (0.27).
@@ -40,6 +47,35 @@ class AuthDecision:
         return f"rejected (best HD={self.mean_distance:.3f})"
 
 
+def match_probe(references: np.ndarray, probe: np.ndarray,
+                ) -> tuple[int, float]:
+    """Best enrolled index for a probe, plus its mean Hamming distance.
+
+    ``references`` is the stacked ``(n_enrolled, n_challenges, bits)``
+    matrix, ``probe`` a ``(n_challenges, bits)`` response set.  The
+    per-identity distance is the mean of per-challenge normalized HDs —
+    computed with the same reduction order as the historical scalar loop
+    (per-challenge mean first, then the mean over challenges), so the
+    floats are bit-identical.  Ties resolve to the lowest index, i.e.
+    first-enrolled-wins.
+    """
+    if references.ndim != 3:
+        raise ValueError(
+            f"expected (n_enrolled, n_challenges, bits) references, got "
+            f"shape {references.shape}")
+    if references.shape[0] == 0:
+        raise InsufficientDataError("no devices enrolled")
+    if probe.shape != references.shape[1:]:
+        raise ValueError(
+            f"length mismatch: {references.shape[1:]} vs {probe.shape}")
+    if probe.size == 0:
+        raise InsufficientDataError("cannot compute HD of empty vectors")
+    per_challenge = np.mean(references ^ probe[np.newaxis], axis=2)
+    distances = np.mean(per_challenge, axis=1)
+    index = int(np.argmin(distances))
+    return index, float(distances[index])
+
+
 class Authenticator:
     """Enrollment database + matching logic."""
 
@@ -51,29 +87,50 @@ class Authenticator:
             raise ConfigurationError("threshold must be in (0, 0.5)")
         self.challenges = list(challenges)
         self.threshold = threshold
-        self._enrolled: dict[str, np.ndarray] = {}
+        self._ids: list[str] = []
+        self._references: list[np.ndarray] = []
+        self._matrix: np.ndarray | None = None
 
     @property
     def enrolled_ids(self) -> tuple[str, ...]:
-        return tuple(self._enrolled)
+        return tuple(self._ids)
+
+    @property
+    def references(self) -> np.ndarray:
+        """The stacked ``(n_enrolled, n_challenges, bits)`` matrix."""
+        if self._matrix is None:
+            if not self._references:
+                raise InsufficientDataError("no devices enrolled")
+            self._matrix = np.stack(self._references).astype(bool)
+        return self._matrix
 
     def enroll(self, device_id: str, puf: FracPuf) -> None:
         """Record the device's reference responses."""
-        if device_id in self._enrolled:
+        self.enroll_response(device_id, puf.evaluate_many(self.challenges))
+
+    def enroll_response(self, device_id: str, reference: np.ndarray) -> None:
+        """Record pre-evaluated reference responses for ``device_id``."""
+        if device_id in self._ids:
             raise ConfigurationError(f"device {device_id!r} already enrolled")
-        self._enrolled[device_id] = puf.evaluate_many(self.challenges)
+        reference = np.asarray(reference, dtype=bool)
+        expected = (len(self.challenges),)
+        if reference.ndim != 2 or reference.shape[:1] != expected:
+            raise ConfigurationError(
+                f"reference must be (n_challenges, bits) = ({expected[0]}, "
+                f"*), got shape {reference.shape}")
+        self._ids.append(device_id)
+        self._references.append(reference)
+        self._matrix = None  # stacked matrix rebuilt on next use
 
     def authenticate(self, puf: FracPuf) -> AuthDecision:
         """Identify the device behind ``puf`` against the enrollment DB."""
-        if not self._enrolled:
-            raise InsufficientDataError("no devices enrolled")
-        probe = puf.evaluate_many(self.challenges)
-        best_id: str | None = None
-        best_distance = float("inf")
-        for device_id, reference in self._enrolled.items():
-            distance = float(np.mean([
-                hamming_distance(ref, got) for ref, got in zip(reference, probe)]))
-            if distance < best_distance:
-                best_id, best_distance = device_id, distance
+        return self.decide(puf.evaluate_many(self.challenges))
+
+    def decide(self, probe: np.ndarray) -> AuthDecision:
+        """Match a pre-evaluated ``(n_challenges, bits)`` response set."""
+        index, best_distance = match_probe(self.references,
+                                           np.asarray(probe, dtype=bool))
         accepted = best_distance <= self.threshold
-        return AuthDecision(accepted, best_id if accepted else None, best_distance)
+        return AuthDecision(accepted,
+                            self._ids[index] if accepted else None,
+                            best_distance)

@@ -94,5 +94,7 @@ class BatchedFracPuf:
         Lane ``i`` of the result equals what the scalar
         ``FracPuf.evaluate_many`` would return for module ``i``.
         """
+        if not challenges:
+            return np.empty((self.n_lanes, 0, self.response_bits), dtype=bool)
         return np.stack([self.evaluate(challenge)
                          for challenge in challenges], axis=1)

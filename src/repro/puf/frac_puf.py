@@ -119,6 +119,8 @@ class FracPuf:
 
     def evaluate_many(self, challenges: list[Challenge]) -> np.ndarray:
         """Stacked responses (len(challenges), response_bits)."""
+        if not challenges:
+            return np.empty((0, self.response_bits), dtype=bool)
         return np.stack([self.evaluate(challenge) for challenge in challenges])
 
     def concatenated_bitstream(self, challenges: list[Challenge]) -> np.ndarray:

@@ -1,0 +1,46 @@
+"""PUF-authentication-as-a-service over the device-batched engine.
+
+The serving layer turns the paper's Section VI PUF into a product: a
+simulated fleet of DRAM modules is enrolled into a persistent database
+of golden responses, and a long-lived service answers challenge–
+response verification requests, coalescing concurrent traffic into
+fused passes on the device-batched engine.  See ``docs/service.md``.
+"""
+
+from .batcher import (CoalescedBatch, RequestBatcher, VerificationEngine,
+                      VerifyReply, VerifyRequest, coalesce_schedule)
+from .clock import Clock, ManualClock, SystemClock
+from .config import (CoalescePolicy, ServiceConfig, frac_capable_groups,
+                     module_id, parse_module_id)
+from .enrollment import EnrollmentDb, EnrollmentStore, build_enrollment
+from .server import PufAuthService, parse_request_line
+from .workload import (ReplaySummary, WorkloadSpec, drive_open_loop,
+                       generate_schedule, percentile, replay_scripted)
+
+__all__ = [
+    "Clock",
+    "CoalescePolicy",
+    "CoalescedBatch",
+    "EnrollmentDb",
+    "EnrollmentStore",
+    "ManualClock",
+    "PufAuthService",
+    "ReplaySummary",
+    "RequestBatcher",
+    "ServiceConfig",
+    "SystemClock",
+    "VerificationEngine",
+    "VerifyReply",
+    "VerifyRequest",
+    "WorkloadSpec",
+    "build_enrollment",
+    "coalesce_schedule",
+    "drive_open_loop",
+    "frac_capable_groups",
+    "generate_schedule",
+    "module_id",
+    "parse_module_id",
+    "parse_request_line",
+    "percentile",
+    "replay_scripted",
+]

@@ -1,0 +1,71 @@
+"""Injectable time source for the serving layer.
+
+Every timing decision in :mod:`repro.service` — coalesce-window expiry,
+arrival stamps, latency measurements — goes through a :class:`Clock`
+instance instead of reading :mod:`time` directly.  That split is what
+makes the scripted serving mode byte-deterministic:
+
+* :class:`SystemClock` is the *real-time path*: the asyncio server and
+  the live benchmarks run on it.  This module is the only place in
+  ``repro.service`` allowed to read the host clock, and it is listed on
+  the ``repro lint`` DET002 allowlist explicitly (see
+  ``docs/linting.md``) — the rest of the package must stay clock-free
+  so the deterministic replay contract is checkable statically.
+
+* :class:`ManualClock` is the deterministic path: time only moves when
+  the driver advances it.  The scripted replay in
+  :mod:`repro.service.workload` drives it from the seeded virtual
+  arrival times, so two replays of the same trace see identical clocks
+  and produce byte-identical transcripts.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+class Clock(Protocol):
+    """Minimal time source: a monotonic ``now()`` in seconds."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class SystemClock:
+    """Host monotonic clock — the service's real-time path."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock that only moves when told to.
+
+    ``advance`` refuses to move backwards: the serving layer assumes a
+    monotonic time base, and a scripted trace with out-of-order stamps
+    is a driver bug worth failing loudly on.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_s: float) -> float:
+        """Move time forward by ``delta_s`` seconds; returns the new now."""
+        if delta_s < 0:
+            raise ValueError(f"cannot advance by {delta_s} (< 0) seconds")
+        self._now += float(delta_s)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot rewind the clock from {self._now} to {timestamp}")
+        self._now = float(timestamp)
+        return self._now

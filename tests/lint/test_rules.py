@@ -121,6 +121,30 @@ class TestDet002WallClock:
         """)
         assert findings == []
 
+    def test_service_clock_is_the_real_time_boundary(self):
+        # The serving layer's ONE sanctioned host-clock read lives in
+        # repro.service.clock (SystemClock); every other service module
+        # must go through an injected Clock so scripted replay stays
+        # wall-clock-free.
+        from repro.lint.builtin import WallClockRule
+
+        assert "repro.service.clock" in WallClockRule.allowlist
+        clean = findings_for("DET002", """\
+            import time
+
+            class SystemClock:
+                def now(self):
+                    return time.perf_counter()
+        """, module="repro.service.clock")
+        assert clean == []
+        dirty = findings_for("DET002", """\
+            import time
+
+            def flush_deadline(opened_at, max_wait_s):
+                return time.perf_counter() - opened_at > max_wait_s
+        """, module="repro.service.batcher")
+        assert codes_of(dirty) == ["DET002"]
+
 
 class TestDet003UnsortedSetIteration:
     def test_for_over_set_call_flagged(self):

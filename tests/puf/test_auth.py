@@ -1,10 +1,12 @@
 """PUF-based authentication."""
 
+import numpy as np
 import pytest
 
 from repro import DramChip, GeometryParams
+from repro.analysis.stats import hamming_distance
 from repro.errors import ConfigurationError, InsufficientDataError
-from repro.puf.auth import Authenticator
+from repro.puf.auth import Authenticator, match_probe
 from repro.puf.frac_puf import Challenge, FracPuf
 
 GEOM = GeometryParams(n_banks=2, subarrays_per_bank=2,
@@ -77,3 +79,44 @@ class TestAuthentication:
         auth = Authenticator(CHALLENGES)
         auth.enroll("dev-0", make_puf(0))
         assert "dev-0" in str(auth.authenticate(make_puf(0)))
+
+
+class TestVectorizedMatching:
+    def test_match_probe_bitwise_equals_scalar_loop(self):
+        # The vectorized matcher must reproduce the scalar per-device
+        # loop to the last float ulp: per-challenge means first, then
+        # the mean over challenges, same reduction order as
+        # hamming_distance.  Ties must keep first-enrolled-wins.
+        rng = np.random.default_rng(99)
+        references = rng.random((12, 3, 64)) < 0.5
+        probe = rng.random((3, 64)) < 0.5
+        index, best = match_probe(references, probe)
+        scalar = [float(np.mean([hamming_distance(ref, got)
+                                 for ref, got in zip(reference, probe)]))
+                  for reference in references]
+        assert best == min(scalar)
+        assert index == int(np.argmin(scalar))
+
+    def test_tie_keeps_first_enrolled(self):
+        probe = np.zeros((2, 8), dtype=bool)
+        duplicate = np.ones((2, 8), dtype=bool)
+        references = np.stack([duplicate, duplicate])
+        index, _ = match_probe(references, probe)
+        assert index == 0
+
+    def test_match_probe_validates_shapes(self):
+        with pytest.raises(InsufficientDataError):
+            match_probe(np.empty((0, 2, 8), dtype=bool),
+                        np.zeros((2, 8), dtype=bool))
+        with pytest.raises(ValueError):
+            match_probe(np.zeros((1, 2, 8), dtype=bool),
+                        np.zeros((2, 4), dtype=bool))
+
+    def test_stacked_references_cache_invalidated_by_enroll(self):
+        auth = Authenticator(CHALLENGES)
+        auth.enroll("dev-0", make_puf(0))
+        assert auth.references.shape[0] == 1
+        auth.enroll("dev-1", make_puf(1))
+        assert auth.references.shape[0] == 2
+        decision = auth.authenticate(make_puf(1))
+        assert decision.device_id == "dev-1"

@@ -1,0 +1,157 @@
+"""Device-batched PUF engine: edge cases and scalar byte-identity.
+
+The serving layer leans on three engine behaviours its unit tests never
+pinned before: shaped-empty results for empty challenge lists, the
+single-lane degenerate batch, and per-lane noise-epoch reseeds between
+enrollment and verification.  Plus the ``lanes`` subset parameter of
+:func:`batched_verify_frac_by_maj3`, which drives the per-vendor-group
+attestation sub-passes over mixed cohorts.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DramChip, GeometryParams
+from repro.core.batched_ops import BatchedFracDram
+from repro.core.ops import FracDram
+from repro.core.verify import batched_verify_frac_by_maj3, verify_frac_by_maj3
+from repro.dram.batched import BatchedChip
+from repro.puf.batched_puf import BatchedFracPuf
+from repro.puf.frac_puf import Challenge, FracPuf
+
+GEOM = GeometryParams(n_banks=1, subarrays_per_bank=2,
+                      rows_per_subarray=16, columns=64)
+CHALLENGES = [Challenge(0, 1), Challenge(0, 5)]
+SEED = 2022
+
+
+def batched_puf(specs, epochs=None):
+    device = BatchedChip.from_fleet(specs, geometry=GEOM, master_seed=SEED,
+                                    epochs=epochs)
+    return BatchedFracPuf(device)
+
+
+def scalar_response(group, serial, epoch=0):
+    chip = DramChip(group, geometry=GEOM, serial=serial, master_seed=SEED)
+    if epoch:
+        chip.reseed_noise(epoch)
+    return FracPuf(chip).evaluate_many(CHALLENGES)
+
+
+class TestEvaluateManyEdgeCases:
+    def test_empty_challenge_list_scalar(self):
+        chip = DramChip("B", geometry=GEOM, master_seed=SEED)
+        response = FracPuf(chip).evaluate_many([])
+        assert response.shape == (0, GEOM.columns)
+        assert response.dtype == bool
+
+    def test_empty_challenge_list_batched(self):
+        puf = batched_puf([("A", 0), ("B", 1), ("C", 2)])
+        response = puf.evaluate_many([])
+        assert response.shape == (3, 0, GEOM.columns)
+        assert response.dtype == bool
+
+    def test_single_lane_batch_matches_scalar(self):
+        puf = batched_puf([("B", 7)])
+        batched = puf.evaluate_many(CHALLENGES)
+        assert batched.shape == (1, len(CHALLENGES), GEOM.columns)
+        np.testing.assert_array_equal(batched[0], scalar_response("B", 7))
+
+    def test_mixed_cohort_lanes_match_scalar(self):
+        specs = [("A", 0), ("B", 0), ("C", 3), ("B", 1)]
+        batched = batched_puf(specs).evaluate_many(CHALLENGES)
+        for lane, (group, serial) in enumerate(specs):
+            np.testing.assert_array_equal(
+                batched[lane], scalar_response(group, serial))
+
+    def test_reseed_between_enroll_and_verify(self):
+        # Enrollment at epoch 0, verification at epoch 2.  Byte-identity
+        # holds on both re-measurement paths: a *reused* batch after
+        # reseed_noise equals a reused scalar chip after reseed_noise
+        # (residual cell state and all), and a batch *fabricated* at the
+        # epoch equals a fresh scalar chip reseeded to it — the path the
+        # serving layer takes per request.
+        specs = [("B", 0), ("C", 1)]
+        puf = batched_puf(specs)
+        enrolled = puf.evaluate_many(CHALLENGES)
+        puf.reseed_noise(2)
+        reseeded = puf.evaluate_many(CHALLENGES)
+        fabricated = batched_puf(specs, epochs=[2, 2]).evaluate_many(
+            CHALLENGES)
+        for lane, (group, serial) in enumerate(specs):
+            np.testing.assert_array_equal(
+                enrolled[lane], scalar_response(group, serial))
+            np.testing.assert_array_equal(
+                fabricated[lane], scalar_response(group, serial, epoch=2))
+            chip = DramChip(group, geometry=GEOM, serial=serial,
+                            master_seed=SEED)
+            scalar = FracPuf(chip)
+            scalar.evaluate_many(CHALLENGES)
+            chip.reseed_noise(2)
+            np.testing.assert_array_equal(reseeded[lane],
+                                          scalar.evaluate_many(CHALLENGES))
+        # Intra-device noise stays far inside the accept threshold.
+        flip_rate = float(np.mean(enrolled ^ fabricated))
+        assert flip_rate < 0.15
+
+    def test_per_lane_epochs_differ(self):
+        specs = [("B", 0), ("B", 0)]
+        responses = batched_puf(specs, epochs=[0, 3]).evaluate_many(
+            CHALLENGES)
+        np.testing.assert_array_equal(responses[0],
+                                      scalar_response("B", 0))
+        np.testing.assert_array_equal(responses[1],
+                                      scalar_response("B", 0, epoch=3))
+
+
+class TestBatchedMaj3Lanes:
+    def make_bfd(self, specs):
+        return BatchedFracDram(BatchedChip.from_fleet(
+            specs, geometry=GEOM, master_seed=SEED))
+
+    def plan(self, bfd):
+        donor = FracDram(DramChip("B", geometry=GEOM, serial=0,
+                                  master_seed=SEED))
+        return donor.triple_plan(0, 0)
+
+    def test_empty_lane_list(self):
+        bfd = self.make_bfd([("B", 0)])
+        assert batched_verify_frac_by_maj3(bfd, self.plan(bfd),
+                                           lanes=[]) == []
+
+    def test_lane_subset_matches_full_pass(self):
+        specs = [("B", 0), ("B", 1), ("B", 2)]
+        full = batched_verify_frac_by_maj3(
+            self.make_bfd(specs), self.plan(None))
+        subset = batched_verify_frac_by_maj3(
+            self.make_bfd(specs), self.plan(None), lanes=[0, 2])
+        np.testing.assert_array_equal(subset[0].x1, full[0].x1)
+        np.testing.assert_array_equal(subset[0].x2, full[0].x2)
+        np.testing.assert_array_equal(subset[1].x1, full[2].x1)
+        np.testing.assert_array_equal(subset[1].x2, full[2].x2)
+
+    def test_single_lane_matches_scalar(self):
+        result = batched_verify_frac_by_maj3(
+            self.make_bfd([("B", 5)]), self.plan(None))[0]
+        scalar = verify_frac_by_maj3(
+            FracDram(DramChip("B", geometry=GEOM, serial=5,
+                              master_seed=SEED)), 0)
+        np.testing.assert_array_equal(result.x1, scalar.x1)
+        np.testing.assert_array_equal(result.x2, scalar.x2)
+        assert result.verified_fraction == scalar.verified_fraction
+
+    def test_verified_fraction_is_high_for_genuine_frac(self):
+        results = batched_verify_frac_by_maj3(
+            self.make_bfd([("B", 0), ("B", 1)]), self.plan(None))
+        for result in results:
+            assert result.verified_fraction > 0.5
+
+
+class TestFracCapabilityGate:
+    def test_spacing_enforcing_group_rejected(self):
+        from repro.errors import UnsupportedOperationError
+
+        device = BatchedChip.from_fleet([("J", 0)], geometry=GEOM,
+                                        master_seed=SEED)
+        with pytest.raises(UnsupportedOperationError):
+            BatchedFracPuf(device)

@@ -1,0 +1,38 @@
+"""Clock injection: the service's only real-time boundary."""
+
+import pytest
+
+from repro.service import ManualClock, SystemClock
+
+
+class TestManualClock:
+    def test_starts_at_origin(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_accumulates(self):
+        clock = ManualClock(start=1.0)
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.now() == 1.75
+
+    def test_advance_to_moves_forward(self):
+        clock = ManualClock()
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+        clock.advance_to(3.0)  # no-op, not a rewind
+        assert clock.now() == 3.0
+
+    def test_rewind_rejected(self):
+        clock = ManualClock(start=2.0)
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+
+class TestSystemClock:
+    def test_monotone_nondecreasing(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first

@@ -1,0 +1,79 @@
+"""Service configuration, module ids and the coalescing policy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (CoalescePolicy, ServiceConfig,
+                           frac_capable_groups, module_id, parse_module_id)
+
+
+class TestModuleIds:
+    def test_round_trip(self):
+        assert parse_module_id(module_id("B", 17)) == ("B", 17)
+
+    def test_canonical_format(self):
+        assert module_id("A", 3) == "A-00003"
+
+    @pytest.mark.parametrize("bad", ["", "B", "17", "B-x7", "-17"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_module_id(bad)
+
+
+class TestFracCapableGroups:
+    def test_spacing_enforcers_excluded(self):
+        groups = frac_capable_groups()
+        assert "B" in groups
+        for dropped in ("J", "K", "L"):
+            assert dropped not in groups
+
+    def test_sorted(self):
+        groups = frac_capable_groups()
+        assert list(groups) == sorted(groups)
+
+
+class TestCoalescePolicy:
+    def test_defaults_valid(self):
+        policy = CoalescePolicy()
+        assert policy.max_lanes >= 1
+        assert policy.max_wait_s >= 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CoalescePolicy(max_lanes=0)
+        with pytest.raises(ConfigurationError):
+            CoalescePolicy(max_wait_s=-0.001)
+
+
+class TestServiceConfig:
+    def test_default_groups_are_frac_capable(self):
+        assert ServiceConfig().groups == frac_capable_groups()
+
+    def test_incapable_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(groups=("B", "J"))
+
+    def test_challenges_skip_reserved_rows(self):
+        config = ServiceConfig(groups=("B",), n_challenges=10)
+        geometry = config.geometry()
+        for challenge in config.challenges():
+            assert (challenge.row + 1) % geometry.rows_per_subarray != 0
+
+    def test_challenge_count_bounded_by_geometry(self):
+        # 1 bank x 1 sub-array x 16 rows leaves 15 usable rows.
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(groups=("B",), n_challenges=16)
+
+    def test_fleet_specs_round_robin(self):
+        config = ServiceConfig(groups=("A", "B", "C"))
+        specs = config.fleet_specs(7)
+        assert specs == [("A", 0), ("B", 0), ("C", 0),
+                         ("A", 1), ("B", 1), ("C", 1), ("A", 2)]
+
+    def test_fleet_specs_require_positive(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(groups=("B",)).fleet_specs(0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(groups=("B",), threshold=0.6)

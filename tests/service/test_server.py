@@ -1,0 +1,131 @@
+"""The asyncio service: in-process API and JSON-lines TCP transport."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (CoalescePolicy, PufAuthService, VerifyRequest,
+                           parse_request_line)
+
+POLICY = CoalescePolicy(max_lanes=4, max_wait_s=0.002)
+
+
+class TestParseRequestLine:
+    def test_module_form(self):
+        request = parse_request_line(
+            '{"id": "q1", "module": "B-00002", "epoch": 3, '
+            '"claim": "B-00002"}')
+        assert request == VerifyRequest("q1", "B", 2, epoch=3,
+                                        claimed_id="B-00002")
+
+    def test_group_serial_form(self):
+        request = parse_request_line('{"group": "C", "serial": 5}')
+        assert request.presented_id == "C-00005"
+        assert request.epoch == 1
+        assert request.claimed_id is None
+
+    @pytest.mark.parametrize("line", [
+        "not json", "[1, 2]", "{}", '{"module": "nope"}',
+        '{"group": "B"}'])
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ConfigurationError):
+            parse_request_line(line)
+
+
+class TestInProcessApi:
+    def test_verify_round_trip(self, enrolled_db):
+        async def run():
+            service = PufAuthService(enrolled_db, policy=POLICY)
+            await service.start()
+            try:
+                return await asyncio.gather(
+                    service.verify(VerifyRequest("a", "B", 0, epoch=1,
+                                                 claimed_id="B-00000")),
+                    service.verify(VerifyRequest("b", "A", 500, epoch=1)))
+            finally:
+                await service.stop()
+
+        genuine, impostor = asyncio.run(run())
+        assert genuine.accepted and genuine.claim_ok
+        assert genuine.device_id == "B-00000"
+        assert not impostor.accepted
+
+    def test_incapable_group_refused_before_batching(self, enrolled_db):
+        async def run():
+            service = PufAuthService(enrolled_db, policy=POLICY)
+            await service.start()
+            try:
+                await service.verify(VerifyRequest("a", "J", 0))
+            finally:
+                await service.stop()
+
+        with pytest.raises(ConfigurationError):
+            asyncio.run(run())
+
+    def test_unknown_group_refused(self, enrolled_db):
+        service = PufAuthService(enrolled_db, policy=POLICY)
+        with pytest.raises(ConfigurationError):
+            service.validate(VerifyRequest("a", "Z", 0))
+
+
+class TestTcpTransport:
+    def test_pipelined_requests_and_errors(self, enrolled_db):
+        async def run():
+            service = PufAuthService(enrolled_db, policy=POLICY)
+            await service.start()
+            host, port = await service.serve_tcp()
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [
+                json.dumps({"id": "g0", "module": "B-00000", "epoch": 1,
+                            "claim": "B-00000"}),
+                json.dumps({"id": "g1", "module": "C-00001", "epoch": 2}),
+                json.dumps({"id": "bad-group", "group": "J", "serial": 0}),
+                "not json",
+            ]
+            writer.write(("\n".join(lines) + "\n").encode())
+            await writer.drain()
+            writer.write_eof()
+            replies = []
+            for _ in range(len(lines)):
+                raw = await asyncio.wait_for(reader.readline(), timeout=30)
+                replies.append(json.loads(raw.decode()))
+            writer.close()
+            await writer.wait_closed()
+            await service.stop()
+            return replies
+
+        replies = asyncio.run(run())
+        by_id = {reply.get("id"): reply for reply in replies
+                 if "id" in reply}
+        assert by_id["g0"]["accepted"] is True
+        assert by_id["g0"]["claim_ok"] is True
+        assert by_id["g1"]["accepted"] is True
+        assert by_id["g1"]["device_id"] == "C-00001"
+        errors = [reply for reply in replies if "error" in reply]
+        assert len(errors) == 2
+
+    def test_second_transport_rejected(self, enrolled_db):
+        async def run():
+            service = PufAuthService(enrolled_db, policy=POLICY)
+            await service.start()
+            try:
+                await service.serve_tcp()
+                with pytest.raises(ConfigurationError):
+                    await service.serve_tcp()
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+    def test_stop_closes_transport(self, enrolled_db):
+        async def run():
+            service = PufAuthService(enrolled_db, policy=POLICY)
+            await service.start()
+            host, port = await service.serve_tcp()
+            await service.stop()
+            with pytest.raises(OSError):
+                await asyncio.open_connection(host, port)
+
+        asyncio.run(run())

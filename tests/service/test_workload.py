@@ -1,0 +1,131 @@
+"""Seeded traffic generation and deterministic scripted replay."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service import (CoalescePolicy, WorkloadSpec, generate_schedule,
+                           percentile, replay_scripted)
+from repro.service.workload import TRANSCRIPT_FORMAT
+from .conftest import N_MODULES
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(n_requests=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(rate_rps=0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(impostor_fraction=1.5)
+
+
+class TestGenerateSchedule:
+    def test_deterministic_per_seed(self, enrolled_db):
+        spec = WorkloadSpec(seed=3, n_requests=50)
+        first = generate_schedule(enrolled_db, spec)
+        second = generate_schedule(enrolled_db, spec)
+        assert first == second
+        different = generate_schedule(enrolled_db,
+                                      WorkloadSpec(seed=4, n_requests=50))
+        assert first != different
+
+    def test_timestamps_nondecreasing(self, enrolled_db):
+        schedule = generate_schedule(enrolled_db, WorkloadSpec(n_requests=64))
+        stamps = [timestamp for timestamp, _ in schedule]
+        assert stamps == sorted(stamps)
+        assert stamps[0] > 0
+
+    def test_impostors_present_unenrolled_serials(self, enrolled_db):
+        spec = WorkloadSpec(seed=1, n_requests=200, impostor_fraction=0.5)
+        schedule = generate_schedule(enrolled_db, spec)
+        enrolled = set(enrolled_db.ids)
+        impostors = [request for _, request in schedule
+                     if request.presented_id not in enrolled]
+        genuine = [request for _, request in schedule
+                   if request.presented_id in enrolled]
+        assert impostors and genuine
+        # Every request claims an enrolled identity, including impostors.
+        for _, request in schedule:
+            assert request.claimed_id in enrolled
+
+    def test_epochs_in_range(self, enrolled_db):
+        spec = WorkloadSpec(seed=0, n_requests=80, max_epoch=3)
+        for _, request in generate_schedule(enrolled_db, spec):
+            assert 1 <= request.epoch <= 3
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 4.0
+        assert percentile(values, 0.5) == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile([], 0.5)
+
+
+class TestReplayScripted:
+    SPEC = WorkloadSpec(seed=11, n_requests=40, rate_rps=4000.0)
+    POLICY = CoalescePolicy(max_lanes=8, max_wait_s=0.002)
+
+    def test_transcripts_byte_identical_across_reruns(self, enrolled_db,
+                                                      tmp_path):
+        schedule = generate_schedule(enrolled_db, self.SPEC)
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        replay_scripted(enrolled_db, schedule, self.POLICY,
+                        transcript_path=first)
+        replay_scripted(enrolled_db, schedule, self.POLICY,
+                        transcript_path=second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_summary_counts(self, enrolled_db):
+        schedule = generate_schedule(enrolled_db, self.SPEC)
+        summary = replay_scripted(enrolled_db, schedule, self.POLICY)
+        assert summary.n_requests == self.SPEC.n_requests
+        assert summary.accepted + summary.rejected == summary.n_requests
+        assert summary.batches == sum(summary.flush_causes.values())
+        assert summary.batches >= 1
+        assert len(summary.waits) == summary.n_requests
+        assert summary.mean_batch_lanes > 1  # traffic actually coalesced
+        assert "accepted" in summary.format_summary()
+
+    def test_impostors_rejected_genuine_accepted(self, enrolled_db):
+        # With the paper's margins (intra-HD ~0, inter-HD >= 0.27) every
+        # genuine request must accept and every impostor must reject.
+        spec = WorkloadSpec(seed=5, n_requests=60, impostor_fraction=0.3)
+        schedule = generate_schedule(enrolled_db, spec)
+        impostor_count = sum(
+            1 for _, request in schedule
+            if request.presented_id not in set(enrolled_db.ids))
+        summary = replay_scripted(enrolled_db, schedule, self.POLICY)
+        assert summary.rejected == impostor_count
+        assert summary.accepted == spec.n_requests - impostor_count
+
+    def test_transcript_structure(self, enrolled_db, tmp_path):
+        schedule = generate_schedule(enrolled_db, self.SPEC)
+        path = tmp_path / "trace.jsonl"
+        summary = replay_scripted(enrolled_db, schedule, self.POLICY,
+                                  transcript_path=path)
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        header, records, footer = lines[0], lines[1:-1], lines[-1]
+        assert header["format"] == TRANSCRIPT_FORMAT
+        assert header["n_modules"] == N_MODULES
+        assert header["policy"]["max_lanes"] == self.POLICY.max_lanes
+        assert footer["records"] == len(records) == self.SPEC.n_requests
+        assert footer["batches"] == summary.batches
+        for sequence, record in enumerate(records):
+            assert record["seq"] == sequence
+            assert record["t_served"] >= record["t_arrival"]
+            assert record["flush_cause"] in ("capacity", "window", "drain")
+
+    def test_waits_bounded_by_policy(self, enrolled_db):
+        schedule = generate_schedule(enrolled_db, self.SPEC)
+        summary = replay_scripted(enrolled_db, schedule, self.POLICY)
+        for wait in summary.waits:
+            assert 0.0 <= wait <= self.POLICY.max_wait_s + 1e-9
