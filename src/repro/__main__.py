@@ -4,6 +4,8 @@ Subcommands:
 
 * ``experiments`` — run paper experiments (delegates to the runner),
 * ``report`` — run experiments and write RESULTS.md + JSON exports,
+* ``run-program`` — execute a SoftMC assembly program file on any
+  registered execution backend (see ``docs/backends.md``),
 * ``trng`` — generate random bits from a simulated device,
 * ``puf`` — print a device's PUF response to a challenge,
 * ``assemble`` / ``disassemble`` — SoftMC program tooling,
@@ -43,6 +45,8 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
         forwarded.extend(["--workers", str(arguments.workers)])
     if arguments.batch is not None:
         forwarded.extend(["--batch", str(arguments.batch)])
+    if arguments.backend is not None:
+        forwarded.extend(["--backend", arguments.backend])
     if arguments.no_cache:
         forwarded.append("--no-cache")
     if arguments.cache_dir:
@@ -62,9 +66,18 @@ def _cmd_report(arguments: argparse.Namespace) -> int:
     from .fleet import ResultCache, resolve_workers
     from .telemetry import session as telemetry_session
 
+    if arguments.backend is not None:
+        from .backends import BackendError, get_backend
+
+        try:
+            get_backend(arguments.backend)  # fail fast on unknown names
+        except BackendError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns,
-                                   batch=arguments.batch)
+                                   batch=arguments.batch,
+                                   backend=arguments.backend)
     workers = resolve_workers(arguments.workers)
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
     use_telemetry = arguments.telemetry or arguments.trace_out is not None
@@ -274,6 +287,13 @@ def main(argv: list[str] | None = None) -> int:
         from .lint.cli import main as lint_main
 
         return lint_main(arguments_in[1:])
+    if arguments_in and arguments_in[0] == "run-program":
+        # Also pre-dispatched: the frontend owns its flags (its --backend
+        # choices come from the registry, which should only be imported
+        # when the command actually runs).
+        from .backends.frontend import main as run_program_main
+
+        return run_program_main(arguments_in[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro", description="FracDRAM reproduction toolkit")
@@ -292,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
                              help="batched-engine lane width (trials or "
                                   "modules; default auto; 1 = scalar; "
                                   "results byte-identical)")
+    experiments.add_argument("--backend", default=None, metavar="NAME",
+                             help="execution backend (scalar/batched/plan; "
+                                  "default batched; results byte-identical)")
     experiments.add_argument("--no-cache", action="store_true",
                              help="recompute results even if cached")
     experiments.add_argument("--cache-dir", default=None)
@@ -315,6 +338,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="batched-engine lane width (trials or "
                              "modules; default auto; 1 = scalar; "
                              "results byte-identical)")
+    report.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend (scalar/batched/plan; "
+                             "default batched; results byte-identical)")
     report.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     report.add_argument("--cache-dir", default=None)
@@ -352,12 +378,16 @@ def main(argv: list[str] | None = None) -> int:
     validate_trace.add_argument("paths", nargs="+", metavar="TRACE")
     validate_trace.set_defaults(handler=_cmd_validate_trace)
 
-    # ``lint`` is dispatched above; registered here so ``repro -h``
-    # lists it alongside the other subcommands.
+    # ``lint`` and ``run-program`` are dispatched above; registered here
+    # so ``repro -h`` lists them alongside the other subcommands.
     subparsers.add_parser(
         "lint", add_help=False,
         help="determinism & fork-safety static analysis "
              "(see docs/linting.md)")
+    subparsers.add_parser(
+        "run-program", add_help=False,
+        help="execute a SoftMC program file on any registered backend "
+             "(see docs/backends.md)")
 
     serve = subparsers.add_parser(
         "serve", help="serve PUF authentication over JSON-lines TCP")

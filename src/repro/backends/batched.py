@@ -1,0 +1,58 @@
+"""The batched backend: all devices as lanes of one vectorized engine.
+
+Every requested ``(group, serial)`` module becomes a lane of a
+:class:`~repro.dram.batched.BatchedChip` (fabricated bit-identically to
+the scalar fleet member), and the whole program replays across all lanes
+at once through :class:`~repro.controller.batched.BatchedSoftMC`.  Lane
+``i`` is cycle- and state-identical to scalar device ``i``; telemetry
+counters multiply by the lane count exactly as the scalar per-device
+loop would accumulate them.
+"""
+
+from __future__ import annotations
+
+from ..controller.batched import BatchedSoftMC
+from ..controller.program import LeakStep
+from ..dram.batched import BatchedChip
+from .base import Backend, DeviceResult, ProgramRequest, lane_state_digest
+from .registry import register_backend
+
+__all__ = ["BatchedBackend"]
+
+
+@register_backend
+class BatchedBackend(Backend):
+    """Vectorized engine: one lane per device, NumPy over the fleet axis."""
+
+    name = "batched"
+    description = "vectorized lanes (BatchedSoftMC over a device fleet)"
+
+    def lane_width(self, auto: int, batch: int | None) -> int:
+        if auto < 1:
+            return 1
+        if batch is None:
+            return auto
+        return max(1, min(int(batch), auto))
+
+    def _execute(self, request: ProgramRequest) -> tuple[DeviceResult, ...]:
+        device = BatchedChip.from_fleet(
+            request.devices, geometry=request.geometry,
+            master_seed=request.master_seed)
+        mc = BatchedSoftMC(device)
+        lanes = mc.all_lanes()
+        reads_per_lane: list[list] = [[] for _ in lanes]
+        for step in request.program.steps:
+            if isinstance(step, LeakStep):
+                device.advance_time(step.seconds, lanes)
+            else:
+                for block in mc.run(step, lanes):
+                    for index in lanes:
+                        reads_per_lane[index].append(block[index].copy())
+        return tuple(
+            DeviceResult(
+                group=group_id, serial=int(serial),
+                reads=tuple(reads_per_lane[index]),
+                cycles=int(mc.cycles[index]),
+                dropped_commands=int(device.dropped_commands[index]),
+                state_digest=lane_state_digest(device, index))
+            for index, (group_id, serial) in enumerate(request.devices))

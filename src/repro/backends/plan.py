@@ -1,0 +1,187 @@
+"""The compiled-plan backend: precompile once, replay per device.
+
+Where the scalar backend re-walks every ``CommandSequence`` through
+``SoftMC.run`` for each device, this engine compiles the whole program
+*once* into a flat dispatch table — absolute cycle stamps (static,
+because every device starts at cycle 0 and advances identically), small
+integer opcodes, pre-rendered telemetry events, and per-step counter
+deltas sharing one LRU-cached JEDEC plan (:mod:`repro.controller.plan`)
+— then replays that table against each device's physics with no
+controller, no per-command isinstance dispatch, and no re-observation of
+timing constraints.  It is the template for ROADMAP item 2's
+whole-experiment JIT: a distinct execution strategy that must pass the
+same byte-identity gate as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..controller.commands import (
+    Activate,
+    CommandSequence,
+    Precharge,
+    PrechargeAll,
+    ReadRow,
+    WriteRow,
+)
+from ..controller.plan import plan_for
+from ..controller.program import LeakStep, Program
+from ..dram.chip import DramChip
+from ..dram.parameters import TimingParams
+from ..telemetry.registry import active as _telemetry_active
+from .base import Backend, DeviceResult, ProgramRequest, chip_state_digest
+from .registry import register_backend
+
+__all__ = ["PlanBackend"]
+
+# Opcodes of the compiled dispatch table.
+_ACT, _PRE, _PREA, _RD, _WR = range(5)
+
+
+@dataclass(frozen=True)
+class _CompiledSequence:
+    """One command chunk, lowered for replay.
+
+    ``ops`` rows are ``(opcode, absolute_cycle, bank, row, data)``;
+    ``counter_deltas``/``events`` reproduce exactly what ``SoftMC.run``
+    would count and emit for one device running this chunk.
+    """
+
+    ops: tuple[tuple[int, int, int, int, object], ...]
+    end_cycle: int
+    counter_deltas: tuple[tuple[str, int], ...]
+    events: tuple[tuple[str, dict], ...]
+
+
+_CompiledStep = Union[_CompiledSequence, LeakStep]
+
+
+def _compile(program: Program, timing: TimingParams) -> list[_CompiledStep]:
+    compiled: list[_CompiledStep] = []
+    base = 0
+    for step in program.steps:
+        if isinstance(step, LeakStep):
+            compiled.append(step)
+            continue
+        compiled.append(_compile_sequence(step, timing, base))
+        base += step.duration
+    return compiled
+
+
+def _compile_sequence(sequence: CommandSequence, timing: TimingParams,
+                      base: int) -> _CompiledSequence:
+    plan = plan_for(timing, sequence)
+    deltas: dict[str, int] = {"controller.sequences": 1}
+    if sequence.op:  # pragma: no cover - assembled programs carry no op
+        deltas[f"controller.seq.{sequence.op}"] = 1
+    events: list[tuple[str, dict]] = [("sequence", {
+        "label": sequence.label,
+        "op": sequence.op,
+        "start_cycle": base,
+        "duration": sequence.duration,
+        "n_commands": len(sequence),
+    })]
+    ops: list[tuple[int, int, int, int, object]] = []
+    for index, timed in enumerate(sequence):
+        command = timed.command
+        cycle = base + timed.cycle
+        if isinstance(command, Activate):
+            ops.append((_ACT, cycle, command.bank, command.row, None))
+        elif isinstance(command, Precharge):
+            ops.append((_PRE, cycle, command.bank, 0, None))
+        elif isinstance(command, PrechargeAll):
+            ops.append((_PREA, cycle, 0, 0, None))
+        elif isinstance(command, ReadRow):
+            ops.append((_RD, cycle, command.bank, command.row, None))
+        elif isinstance(command, WriteRow):
+            ops.append((_WR, cycle, command.bank, command.row,
+                        np.asarray(command.data, dtype=bool)))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown command {command!r}")
+        deltas["controller.commands"] = deltas.get("controller.commands", 0) + 1
+        kind_key = f"controller.{command.KIND.lower()}"
+        deltas[kind_key] = deltas.get(kind_key, 0) + 1
+        violations = plan.violations[index]
+        if violations:
+            deltas["controller.jedec_violations"] = (
+                deltas.get("controller.jedec_violations", 0) + len(violations))
+            for violation in violations:
+                key = f"controller.jedec.{violation.constraint.lower()}"
+                deltas[key] = deltas.get(key, 0) + 1
+        events.append(("command", {
+            "cmd": command.KIND,
+            "bank": getattr(command, "bank", None),
+            "row": getattr(command, "row", None),
+            "cycle": cycle,
+            "violations": list(plan.violation_events[index]),
+        }))
+    return _CompiledSequence(
+        ops=tuple(ops), end_cycle=base + sequence.duration,
+        counter_deltas=tuple(deltas.items()), events=tuple(events))
+
+
+@register_backend
+class PlanBackend(Backend):
+    """Compiled replay: one lowering pass, then flat per-device dispatch."""
+
+    name = "plan"
+    description = "compiled-plan replay (lower once, replay per device)"
+
+    def lane_width(self, auto: int, batch: int | None) -> int:
+        # Experiments dispatch scalar under this backend: the compiled
+        # replay applies to *programs*; experiment-level compilation is
+        # ROADMAP item 2.
+        return 1
+
+    def _execute(self, request: ProgramRequest) -> tuple[DeviceResult, ...]:
+        compiled = _compile(request.program, TimingParams())
+        return tuple(
+            self._replay(group_id, int(serial), request, compiled)
+            for group_id, serial in request.devices)
+
+    @staticmethod
+    def _replay(group_id: str, serial: int, request: ProgramRequest,
+                compiled: list[_CompiledStep]) -> DeviceResult:
+        chip = DramChip(group_id, geometry=request.geometry, serial=serial,
+                        master_seed=request.master_seed)
+        telemetry = _telemetry_active()
+        reads: list[np.ndarray] = []
+        cycle = 0
+        activate = chip.activate
+        precharge = chip.precharge
+        precharge_all = chip.precharge_all
+        settle = chip.settle
+        row_buffer = chip.row_buffer_logical
+        write_open = chip.write_open
+        for step in compiled:
+            if isinstance(step, LeakStep):
+                chip.advance_time(step.seconds)
+                continue
+            if telemetry is not None:
+                for name, delta in step.counter_deltas:
+                    telemetry.count(name, delta)
+                for kind, fields in step.events:
+                    telemetry.emit(kind, fields)
+            for opcode, op_cycle, bank, row, data in step.ops:
+                if opcode == _ACT:
+                    activate(bank, row, op_cycle)
+                elif opcode == _PRE:
+                    precharge(bank, op_cycle)
+                elif opcode == _PREA:
+                    precharge_all(op_cycle)
+                elif opcode == _RD:
+                    settle(op_cycle)
+                    reads.append(row_buffer(bank, row))
+                else:  # _WR
+                    settle(op_cycle)
+                    write_open(bank, row, data)
+            cycle = step.end_cycle
+            chip.finish(cycle)
+        return DeviceResult(
+            group=group_id, serial=serial, reads=tuple(reads),
+            cycles=cycle, dropped_commands=int(chip.dropped_commands),
+            state_digest=chip_state_digest(chip))

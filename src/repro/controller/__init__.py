@@ -22,10 +22,18 @@ from .sequences import (
     row_copy_sequence,
     write_row_sequence,
 )
-from .program import Assembler, ProgramError, assemble, disassemble
+from .program import (
+    Assembler,
+    LeakStep,
+    Program,
+    ProgramError,
+    assemble,
+    assemble_program,
+    disassemble,
+)
 from .refresh_engine import AutoRefreshEngine, RefreshTrace
 from .scheduler import BankScheduler, InterleaveResult, interleave
-from .trace import TraceEntry, TraceRecorder, trace_to_program
+from .trace import LeakEntry, TraceEntry, TraceRecorder, trace_to_program
 from .softmc import DeviceLike, JedecChecker, SoftMC
 
 __all__ = [
@@ -34,6 +42,9 @@ __all__ = [
     "AutoRefreshEngine",
     "BankScheduler",
     "InterleaveResult",
+    "LeakEntry",
+    "LeakStep",
+    "Program",
     "RefreshTrace",
     "TraceEntry",
     "TraceRecorder",
@@ -41,6 +52,7 @@ __all__ = [
     "trace_to_program",
     "ProgramError",
     "assemble",
+    "assemble_program",
     "disassemble",
     "Command",
     "CommandSequence",

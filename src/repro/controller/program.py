@@ -19,8 +19,10 @@ timing.  This module reproduces that workflow:
         WAIT 11
       ENDLOOP
 
-* an :class:`Assembler` that expands loops/waits into a cycle-stamped
-  :class:`CommandSequence` ready for :class:`SoftMC.run`, and
+* an :class:`Assembler` that expands loops/waits into cycle-stamped
+  :class:`CommandSequence` chunks — :func:`assemble` for pure command
+  streams, :func:`assemble_program` for programs that also pause the bus
+  with ``LEAK`` (retention studies) — and
 
 * a :func:`disassemble` that renders any ``CommandSequence`` back to the
   assembly text (round-trip tested), which doubles as a trace format for
@@ -39,15 +41,24 @@ mnemonic    operands                       effect
 ``WAIT``    cycles                         idle cycles before next command
 ``LOOP``    count                          repeat block ``count`` times
 ``ENDLOOP``  —                             close innermost loop
+``LEAK``    seconds                        pause the bus; cells leak
 ==========  =============================  ==================================
 
 Commands are issued back-to-back (1 cycle apart) unless separated by
-``WAIT`` — exactly the convention FracDRAM's sequences need.
+``WAIT`` — exactly the convention FracDRAM's sequences need.  ``LEAK``
+is the one instruction with no bus-command equivalent: it models powering
+the module through ``seconds`` of retention time with all banks idle
+(``DramChip.advance_time``), so recorded retention experiments round-trip
+through the text format.  A program containing ``LEAK`` assembles to a
+:class:`Program` — command-sequence chunks interleaved with
+:class:`LeakStep` pauses — because the device requires every bank idle
+(and the controller a finished sequence) before time may pass.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Union
 
 
 from ..errors import CommandSequenceError
@@ -62,21 +73,90 @@ from .commands import (
     WriteRow,
 )
 
-__all__ = ["Assembler", "assemble", "disassemble", "ProgramError"]
+__all__ = ["Assembler", "LeakStep", "Program", "ProgramError", "assemble",
+           "assemble_program", "disassemble"]
 
 
 class ProgramError(CommandSequenceError):
-    """A SoftMC program failed to assemble."""
+    """A SoftMC program failed to assemble.
 
-    def __init__(self, message: str, line_number: int | None = None) -> None:
+    Carries the 1-based ``line_number`` and the offending ``source_line``
+    text (when known), and renders both into the message so a failing
+    program file is diagnosable from the exception alone.
+    """
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 source_line: str | None = None) -> None:
         prefix = f"line {line_number}: " if line_number is not None else ""
-        super().__init__(prefix + message)
+        suffix = f" (offending text: {source_line!r})" if source_line else ""
+        super().__init__(prefix + message + suffix)
+        self.message = message
         self.line_number = line_number
+        self.source_line = source_line
+
+
+@dataclass(frozen=True)
+class LeakStep:
+    """A bus pause of ``seconds`` during which idle cells leak."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if not (self.seconds > 0.0):
+            raise CommandSequenceError(
+                f"LEAK seconds must be positive, got {self.seconds!r}")
+
+
+#: One executable step of a :class:`Program`.
+ProgramStep = Union[CommandSequence, LeakStep]
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled SoftMC program: command chunks split at ``LEAK``\\ s.
+
+    Each :class:`CommandSequence` step is issued through a controller's
+    ``run``; each :class:`LeakStep` maps to ``device.advance_time`` (the
+    chunk boundary guarantees the controller has finished the preceding
+    sequence, so the banks are idle as ``advance_time`` requires).
+    """
+
+    steps: tuple[ProgramStep, ...]
+    label: str = "softmc-program"
+
+    @property
+    def sequences(self) -> tuple[CommandSequence, ...]:
+        return tuple(step for step in self.steps
+                     if isinstance(step, CommandSequence))
+
+    @property
+    def n_commands(self) -> int:
+        return sum(len(step) for step in self.sequences)
+
+    @property
+    def n_reads(self) -> int:
+        return sum(1 for step in self.sequences for timed in step
+                   if isinstance(timed.command, ReadRow))
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(step.duration for step in self.sequences)
+
+    @property
+    def leak_seconds(self) -> float:
+        return sum(step.seconds for step in self.steps
+                   if isinstance(step, LeakStep))
+
+    def describe(self) -> str:
+        return (f"{self.label}: {len(self.steps)} step(s), "
+                f"{self.n_commands} command(s), {self.total_cycles} "
+                f"cycle(s), {self.leak_seconds:g} s leak")
 
 
 @dataclass
 class _Instruction:
     line_number: int
+    text: str
     mnemonic: str
     operands: tuple[str, ...]
 
@@ -88,7 +168,7 @@ def _tokenize(source: str) -> list[_Instruction]:
         if not line:
             continue
         mnemonic, *operands = line.split()
-        instructions.append(_Instruction(line_number, mnemonic.upper(),
+        instructions.append(_Instruction(line_number, line, mnemonic.upper(),
                                          tuple(operands)))
     return instructions
 
@@ -104,8 +184,24 @@ def _parse_int(value: str, what: str, line_number: int) -> int:
     return parsed
 
 
+def _parse_seconds(value: str, line_number: int) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise ProgramError(f"seconds must be a number, got {value!r}",
+                           line_number) from None
+    if not (parsed > 0.0):
+        raise ProgramError("LEAK seconds must be positive", line_number)
+    return parsed
+
+
+#: An assembled block entry: a command or leak, plus idle cycles after it
+#: (for a leak, the idle cycles lead the *next* command chunk).
+_BodyEntry = tuple[Union[Command, LeakStep], int]
+
+
 class Assembler:
-    """Expands a SoftMC program into a :class:`CommandSequence`."""
+    """Expands a SoftMC program into command-sequence / leak steps."""
 
     #: Commands are spaced this many cycles apart by default.
     DEFAULT_SPACING: int = 1
@@ -114,31 +210,73 @@ class Assembler:
         self.label = label
 
     def assemble(self, source: str) -> CommandSequence:
+        """Assemble a pure command stream (no ``LEAK``) into one sequence."""
+        program = self.assemble_program(source)
+        steps = program.steps
+        if len(steps) != 1 or not isinstance(steps[0], CommandSequence):
+            raise ProgramError(
+                "program pauses the bus with LEAK; assemble it with "
+                "assemble_program() and execute the resulting Program")
+        return steps[0]
+
+    def assemble_program(self, source: str) -> Program:
+        """Assemble any program, splitting command chunks at ``LEAK``."""
         instructions = _tokenize(source)
-        body, remainder = self._assemble_block(instructions, 0, top_level=True)
-        if remainder != len(instructions):
-            raise ProgramError("unexpected ENDLOOP",
-                               instructions[remainder].line_number)
+        try:
+            body, remainder = self._assemble_block(instructions, 0,
+                                                   top_level=True)
+            if remainder != len(instructions):
+                raise ProgramError("unexpected ENDLOOP",
+                                   instructions[remainder].line_number)
+        except ProgramError as error:
+            raise self._annotate(source, error) from None
+        return Program(self._chunk(body), self.label)
+
+    @staticmethod
+    def _annotate(source: str, error: ProgramError) -> ProgramError:
+        """Attach the offending source text to a parse error."""
+        if error.line_number is None or error.source_line is not None:
+            return error
+        lines = source.splitlines()
+        if not 1 <= error.line_number <= len(lines):  # pragma: no cover
+            return error
+        return ProgramError(error.message, error.line_number,
+                            source_line=lines[error.line_number - 1].strip())
+
+    def _chunk(self, body: list[_BodyEntry]) -> tuple[ProgramStep, ...]:
+        """Split the flattened body into sequence chunks at leak steps."""
+        steps: list[ProgramStep] = []
         commands: list[TimedCommand] = []
         cycle = 0
-        for command, wait_after in body:
-            commands.append(TimedCommand(cycle, command))
-            cycle += self.DEFAULT_SPACING + wait_after
-        return CommandSequence(tuple(commands), max(cycle, 1), self.label)
+        for item, wait_after in body:
+            if isinstance(item, LeakStep):
+                if commands or cycle > 0:
+                    steps.append(CommandSequence(tuple(commands),
+                                                 max(cycle, 1), self.label))
+                steps.append(item)
+                commands = []
+                cycle = wait_after  # WAIT after LEAK leads the next chunk
+            else:
+                commands.append(TimedCommand(cycle, item))
+                cycle += self.DEFAULT_SPACING + wait_after
+        if commands or cycle > 0 or not steps:
+            steps.append(CommandSequence(tuple(commands), max(cycle, 1),
+                                         self.label))
+        return tuple(steps)
 
     # ------------------------------------------------------------------
 
     def _assemble_block(self, instructions: list[_Instruction], index: int,
                         *, top_level: bool,
-                        ) -> tuple[list[tuple[Command, int]], int]:
-        """Returns [(command, extra idle cycles after it)], next index."""
-        body: list[tuple[Command, int]] = []
+                        ) -> tuple[list[_BodyEntry], int]:
+        """Returns [(command-or-leak, extra idle cycles after)], next index."""
+        body: list[_BodyEntry] = []
 
         def add_wait(cycles: int, line_number: int) -> None:
             if not body:
                 raise ProgramError("WAIT before any command", line_number)
-            command, wait_after = body[-1]
-            body[-1] = (command, wait_after + cycles)
+            item, wait_after = body[-1]
+            body[-1] = (item, wait_after + cycles)
 
         while index < len(instructions):
             instruction = instructions[index]
@@ -177,6 +315,9 @@ class Assembler:
             elif mnemonic == "WAIT":
                 self._expect(operands, 1, "WAIT cycles", line)
                 add_wait(_parse_int(operands[0], "cycles", line), line)
+            elif mnemonic == "LEAK":
+                self._expect(operands, 1, "LEAK seconds", line)
+                body.append((LeakStep(_parse_seconds(operands[0], line)), 0))
             elif mnemonic == "LOOP":
                 self._expect(operands, 1, "LOOP count", line)
                 count = _parse_int(operands[0], "count", line)
@@ -211,6 +352,28 @@ def assemble(source: str, *, label: str = "softmc-program") -> CommandSequence:
     return Assembler(label=label).assemble(source)
 
 
+def assemble_program(source: str, *,
+                     label: str = "softmc-program") -> Program:
+    """Assemble SoftMC program text (``LEAK`` allowed) into a Program."""
+    return Assembler(label=label).assemble_program(source)
+
+
+def command_text(command: Command) -> str:
+    """Render one command as its assembly-text line."""
+    if isinstance(command, Activate):
+        return f"ACT {command.bank} {command.row}"
+    if isinstance(command, Precharge):
+        return f"PRE {command.bank}"
+    if isinstance(command, PrechargeAll):
+        return "PREA"
+    if isinstance(command, ReadRow):
+        return f"RD {command.bank} {command.row}"
+    if isinstance(command, WriteRow):
+        bits = "".join("1" if bit else "0" for bit in command.data)
+        return f"WR {command.bank} {command.row} {bits}"
+    raise CommandSequenceError(f"cannot disassemble {command!r}")
+
+
 def disassemble(sequence: CommandSequence) -> str:
     """Render a command sequence as replayable SoftMC program text.
 
@@ -224,20 +387,7 @@ def disassemble(sequence: CommandSequence) -> str:
             gap = timed.cycle - previous_cycle - 1
             if gap > 0:
                 lines.append(f"WAIT {gap}")
-        command = timed.command
-        if isinstance(command, Activate):
-            lines.append(f"ACT {command.bank} {command.row}")
-        elif isinstance(command, Precharge):
-            lines.append(f"PRE {command.bank}")
-        elif isinstance(command, PrechargeAll):
-            lines.append("PREA")
-        elif isinstance(command, ReadRow):
-            lines.append(f"RD {command.bank} {command.row}")
-        elif isinstance(command, WriteRow):
-            bits = "".join("1" if bit else "0" for bit in command.data)
-            lines.append(f"WR {command.bank} {command.row} {bits}")
-        else:  # pragma: no cover - defensive
-            raise CommandSequenceError(f"cannot disassemble {command!r}")
+        lines.append(command_text(timed.command))
         previous_cycle = timed.cycle
     tail = sequence.duration - (previous_cycle if previous_cycle is not None
                                 else 0) - 1

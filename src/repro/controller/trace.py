@@ -3,23 +3,27 @@
 Debugging out-of-spec DRAM behaviour lives and dies by knowing *exactly*
 what went on the bus.  :class:`TraceRecorder` wraps a :class:`SoftMC` and
 logs every issued command with its absolute cycle, the sequence label it
-came from, and summaries of data payloads.  Traces render as text (and
-round-trip through the SoftMC program assembler via
-:func:`trace_to_program`), so a failing experiment can be reduced to a
-replayable command stream.
+came from, and summaries of data payloads.  It also hooks the device's
+``advance_time`` (retention pauses become :class:`LeakEntry` events) and
+keeps every READ result, so a recorded run carries everything needed to
+check a replay byte-for-byte.  Traces render as text (and round-trip
+through the SoftMC program assembler via :func:`trace_to_program` /
+:meth:`TraceRecorder.program_text`), so a failing experiment can be
+reduced to a replayable command stream.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Union
 
+import numpy as np
 
 from ..dram.parameters import MEMORY_CYCLE_NS
-from .commands import Command, CommandSequence, TimedCommand
+from .commands import Command, CommandSequence
 from .softmc import SoftMC
 
-__all__ = ["TraceEntry", "TraceRecorder", "trace_to_program"]
+__all__ = ["LeakEntry", "TraceEntry", "TraceRecorder", "trace_to_program"]
 
 
 @dataclass(frozen=True)
@@ -39,8 +43,24 @@ class TraceEntry:
                 f"{self.command.mnemonic():<18s}  # {self.sequence_label}")
 
 
+@dataclass(frozen=True)
+class LeakEntry:
+    """A bus pause (``advance_time``) between command sequences."""
+
+    absolute_cycle: int
+    seconds: float
+
+    def render(self) -> str:
+        return (f"@{self.absolute_cycle:>8d} "
+                f"{'(bus paused)':>15s}  LEAK {self.seconds!r}")
+
+
+#: Anything the recorder logs, in bus order.
+TraceEvent = Union[TraceEntry, LeakEntry]
+
+
 class TraceRecorder:
-    """Records every command a SoftMC issues.
+    """Records every command a SoftMC issues (and every retention pause).
 
     Usage::
 
@@ -48,14 +68,23 @@ class TraceRecorder:
         recorder = TraceRecorder(mc)   # wraps mc.run in place
         ... run experiment ...
         print(recorder.render())
+        program = recorder.program_text()   # replayable assembly text
         recorder.stop()                # restore the unwrapped engine
     """
 
     def __init__(self, mc: SoftMC) -> None:
         self.mc = mc
         self.entries: list[TraceEntry] = []
+        self.leaks: list[LeakEntry] = []
+        #: Every READ result the wrapped controller returned, in order.
+        self.reads: list[np.ndarray] = []
+        self.events: list[TraceEvent] = []
         self._original_run = mc.run
         mc.run = self._recording_run  # type: ignore[method-assign]
+        self._device = getattr(mc, "device", None)
+        self._original_advance = getattr(self._device, "advance_time", None)
+        if self._original_advance is not None:
+            self._device.advance_time = self._recording_advance
         self._active = True
 
     # ------------------------------------------------------------------
@@ -63,21 +92,36 @@ class TraceRecorder:
     def _recording_run(self, sequence: CommandSequence):
         base = self.mc.cycle
         for timed in sequence:
-            self.entries.append(TraceEntry(
+            entry = TraceEntry(
                 absolute_cycle=base + timed.cycle,
                 command=timed.command,
                 sequence_label=sequence.label or "sequence",
-            ))
-        return self._original_run(sequence)
+            )
+            self.entries.append(entry)
+            self.events.append(entry)
+        result = self._original_run(sequence)
+        self.reads.extend(result)
+        return result
+
+    def _recording_advance(self, dt_s: float) -> None:
+        entry = LeakEntry(absolute_cycle=self.mc.cycle, seconds=float(dt_s))
+        self.leaks.append(entry)
+        self.events.append(entry)
+        self._original_advance(dt_s)
 
     def stop(self) -> None:
-        """Unhook from the controller (idempotent)."""
+        """Unhook from the controller and device (idempotent)."""
         if self._active:
             self.mc.run = self._original_run  # type: ignore[method-assign]
+            if self._original_advance is not None:
+                self._device.advance_time = self._original_advance
             self._active = False
 
     def clear(self) -> None:
         self.entries.clear()
+        self.leaks.clear()
+        self.reads.clear()
+        self.events.clear()
 
     # ------------------------------------------------------------------
 
@@ -104,18 +148,60 @@ class TraceRecorder:
             lines.append(f"... {len(self.entries) - limit} more")
         return "\n".join(lines)
 
+    def program_text(self, label: str = "trace") -> str:
+        """The whole recording as replayable SoftMC program text.
 
-def trace_to_program(entries: Iterable[TraceEntry],
-                     label: str = "trace") -> str:
-    """Convert trace entries into replayable SoftMC program text."""
-    from .program import disassemble
+        Includes ``LEAK`` lines for every retention pause and a trailing
+        ``WAIT`` up to the controller's current cycle, so a replay ends
+        on exactly the same cycle as the recorded run.
+        """
+        return trace_to_program(self.events, label,
+                                final_cycle=self.mc.cycle)
 
-    entries = list(entries)
-    if not entries:
+
+def trace_to_program(entries: Iterable[TraceEvent],
+                     label: str = "trace", *,
+                     final_cycle: int | None = None) -> str:
+    """Convert trace events into replayable SoftMC program text.
+
+    ``entries`` may mix :class:`TraceEntry` commands with
+    :class:`LeakEntry` pauses (in recorded bus order); pauses become
+    ``LEAK`` lines with the surrounding idle cycles reconstructed as
+    ``WAIT``.  ``final_cycle`` (the controller's cycle after the recorded
+    run) appends the trailing idle so replayed timing matches exactly.
+    """
+    from .program import command_text
+
+    events = list(entries)
+    if not events:
         return f"# {label} (empty)\n"
-    origin = entries[0].absolute_cycle
-    commands = tuple(
-        TimedCommand(entry.absolute_cycle - origin, entry.command)
-        for entry in entries)
-    duration = commands[-1].cycle + 1
-    return disassemble(CommandSequence(commands, duration, label))
+    lines = [f"# {label}"]
+    previous_cycle: int | None = None  # absolute cycle of last command
+    chunk_base: int | None = None      # chunk origin after a LEAK
+    if isinstance(events[0], TraceEntry):
+        chunk_base = events[0].absolute_cycle
+    for event in events:
+        if isinstance(event, LeakEntry):
+            if previous_cycle is not None:
+                tail = event.absolute_cycle - previous_cycle - 1
+                if tail > 0:
+                    lines.append(f"WAIT {tail}")
+            lines.append(f"LEAK {event.seconds!r}")
+            chunk_base = event.absolute_cycle
+            previous_cycle = None
+            continue
+        if previous_cycle is not None:
+            gap = event.absolute_cycle - previous_cycle - 1
+            if gap > 0:
+                lines.append(f"WAIT {gap}")
+        elif chunk_base is not None:
+            offset = event.absolute_cycle - chunk_base
+            if offset > 0:
+                lines.append(f"WAIT {offset}")
+        lines.append(command_text(event.command))
+        previous_cycle = event.absolute_cycle
+    if final_cycle is not None and previous_cycle is not None:
+        tail = final_cycle - previous_cycle - 1
+        if tail > 0:
+            lines.append(f"WAIT {tail}")
+    return "\n".join(lines) + "\n"

@@ -11,7 +11,7 @@ rows, hundreds of chips) for overnight runs.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
@@ -66,6 +66,11 @@ class ExperimentConfig:
     #: are byte-identical at every setting (the batched engine mirrors the
     #: scalar RNG stream per lane); this knob only trades memory for speed.
     batch: int | None = None
+    #: Execution backend name (see :mod:`repro.backends`): ``None`` uses
+    #: the registry default (``batched``).  Every registered backend is
+    #: conformance-gated to byte-identical results and telemetry
+    #: counters, so this knob (like ``batch``) never changes outputs.
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.rows_per_subarray < 10:
@@ -99,15 +104,16 @@ def resolve_batch(config: ExperimentConfig, auto: int) -> int:
     """Effective trial-batch width for one batched stage.
 
     ``auto`` is the experiment's natural lane count for the stage (all
-    units of a shard, all serials of a group, ...).  The config's
-    ``batch`` knob caps it (or disables batching entirely with 0/1); the
-    returned width is always at least 1.
+    units of a shard, all serials of a group, ...).  Dispatch is the
+    configured backend's policy (:mod:`repro.backends`): the default
+    ``batched`` engine takes ``auto`` capped by the ``batch`` knob
+    (0/1 disables batching entirely), while ``scalar``/``plan`` force
+    width 1.  The returned width is always at least 1.
     """
-    if auto < 1:
-        return 1
-    if config.batch is None:
-        return auto
-    return max(1, min(int(config.batch), auto))
+    from ..backends import resolve_backend
+
+    return resolve_backend(getattr(config, "backend", None)).lane_width(
+        auto, config.batch)
 
 
 def make_chip(group: str | GroupProfile, config: ExperimentConfig,

@@ -102,10 +102,13 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
     if cache is not None:
         from ..fleet import cache_key
 
-        # Batch width never changes results (byte-identity contract),
-        # so it must not change the cache address either.
-        keyed_config = (config.scaled(batch=None)
-                        if hasattr(config, "batch") else config)
+        # Batch width and backend choice never change results (the
+        # byte-identity / conformance contract), so they must not change
+        # the cache address either.
+        keyed_config = config
+        for knob in ("batch", "backend"):
+            if hasattr(keyed_config, knob):
+                keyed_config = keyed_config.scaled(**{knob: None})
         key = cache_key(name, keyed_config)
         hit, result = cache.fetch(key)
         if hit:
@@ -150,6 +153,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(trials or modules per vector op; default: "
                              "auto; 1 = scalar); results are byte-identical "
                              "at every setting")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="execution backend (see repro.backends; "
+                             "default: batched); every registered backend "
+                             "is conformance-gated to byte-identical "
+                             "results")
     parser.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -176,9 +184,19 @@ def main(argv: list[str] | None = None) -> int:
     workers = resolve_workers(arguments.workers)
     cache = None if arguments.no_cache else ResultCache(arguments.cache_dir)
 
+    if arguments.backend is not None:
+        from ..backends import BackendError, get_backend
+
+        try:
+            get_backend(arguments.backend)  # fail fast on unknown names
+        except BackendError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     config = DEFAULT_CONFIG.scaled(master_seed=arguments.seed,
                                    columns=arguments.columns,
-                                   batch=arguments.batch)
+                                   batch=arguments.batch,
+                                   backend=arguments.backend)
     names = arguments.only or list(EXPERIMENTS)
     use_telemetry = arguments.telemetry or arguments.trace_out is not None
     context = (telemetry_session(trace_path=arguments.trace_out)

@@ -217,6 +217,9 @@ class WallClockRule(Rule):
         "repro.experiments.runner",
         "repro.experiments.report",
         "repro.fleet.executor",
+        # The run-program frontend's elapsed-time report goes to stderr
+        # only; stdout stays the deterministic conformance surface.
+        "repro.backends.frontend",
         # The service's real-time boundary: SystemClock is the ONE place
         # the serving layer reads the host clock; everything else takes
         # an injected Clock, and scripted replay injects ManualClock.

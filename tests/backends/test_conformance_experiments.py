@@ -1,0 +1,43 @@
+"""Experiment conformance: all 12 experiments x every registered backend.
+
+The headline gate of the backend registry: dispatching any experiment
+through any registered backend produces byte-identical canonical results
+*and* byte-identical deterministic telemetry counters.  The scalar
+backend is the reference; nothing may diverge from it.
+"""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS
+
+from .conftest import run_on_backend
+
+ALL_EXPERIMENTS = tuple(EXPERIMENTS)
+
+
+def test_suite_covers_all_experiments():
+    # The conformance matrix must grow with the experiment table.
+    assert len(ALL_EXPERIMENTS) == 12
+
+
+@pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+def test_backends_byte_identical(name, backends):
+    reference_result, reference_counters = run_on_backend(name, "scalar")
+    for backend in backends:
+        if backend == "scalar":
+            continue
+        result, counters = run_on_backend(name, backend)
+        assert result == reference_result, (
+            f"{backend!r} result diverged from scalar on {name}")
+        assert counters == reference_counters, (
+            f"{backend!r} telemetry counters diverged from scalar on {name}")
+
+
+@pytest.mark.parametrize("name", ("fig6", "fig11"))
+def test_backend_conformance_holds_under_fleet_workers(name, backends):
+    """Shards stamped with a backend reproduce the serial run exactly."""
+    reference_result, reference_counters = run_on_backend(name, "scalar")
+    for backend in backends:
+        result, counters = run_on_backend(name, backend, workers=2)
+        assert result == reference_result
+        assert counters == reference_counters

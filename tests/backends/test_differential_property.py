@@ -1,0 +1,105 @@
+"""Differential fuzzing: random valid programs, every backend agrees.
+
+Hypothesis generates block-structured SoftMC programs — in-spec
+write/read blocks, Frac charge-sharing blocks, hardware loops, and LEAK
+retention pauses, over bounded banks/rows — and every registered backend
+must produce a byte-identical rendered outcome: returned read data,
+final cell-state digests, cycle/drop accounting, and telemetry counters
+(including the ``controller.jedec.*`` timing-observation counts).
+
+Blocks are self-closing (every block leaves all banks precharged), which
+keeps generated programs physically valid: RD/WR always follow an ACT
+with enough WAIT for the sense amplifiers, and LEAK only ever fires with
+the device idle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import ProgramRequest, available_backends, get_backend
+from repro.controller import assemble_program
+
+from .conftest import CORPUS_GEOMETRY
+
+N_BANKS = CORPUS_GEOMETRY.n_banks
+N_ROWS = CORPUS_GEOMETRY.subarrays_per_bank * CORPUS_GEOMETRY.rows_per_subarray
+COLUMNS = CORPUS_GEOMETRY.columns
+
+#: Mixes a fast group with group J (minimum command spacing, drops).
+FUZZ_DEVICES = (("B", 0), ("J", 0), ("C", 1))
+
+banks = st.integers(min_value=0, max_value=N_BANKS - 1)
+rows = st.integers(min_value=0, max_value=N_ROWS - 1)
+payloads = st.lists(st.integers(0, 1), min_size=COLUMNS,
+                    max_size=COLUMNS).map(lambda bits: "".join(map(str, bits)))
+
+
+@st.composite
+def write_blocks(draw):
+    bank, row, bits = draw(banks), draw(rows), draw(payloads)
+    return [f"ACT {bank} {row}", "WAIT 6", f"WR {bank} {row} {bits}",
+            "WAIT 8", f"PRE {bank}", "WAIT 4"]
+
+
+@st.composite
+def read_blocks(draw):
+    bank, row = draw(banks), draw(rows)
+    repeats = draw(st.integers(min_value=1, max_value=3))
+    body = [f"ACT {bank} {row}", "WAIT 6", f"RD {bank} {row}", "WAIT 8",
+            f"PRE {bank}", "WAIT 4"]
+    if repeats == 1:
+        return body
+    return [f"LOOP {repeats}", *body, "ENDLOOP"]
+
+
+@st.composite
+def frac_blocks(draw):
+    """Interrupted ACT->PRE->ACT charge sharing, the Frac idiom."""
+    bank, row_a, row_b = draw(banks), draw(rows), draw(rows)
+    repeats = draw(st.integers(min_value=1, max_value=3))
+    return [f"LOOP {repeats}", f"ACT {bank} {row_a}", f"PRE {bank}",
+            f"ACT {bank} {row_b}", "WAIT 11", "ENDLOOP", "PREA", "WAIT 4"]
+
+
+@st.composite
+def leak_blocks(draw):
+    seconds = draw(st.integers(min_value=1, max_value=900))
+    trailing_wait = draw(st.integers(min_value=0, max_value=6))
+    block = [f"LEAK {seconds}"]
+    if trailing_wait:
+        block.append(f"WAIT {trailing_wait}")
+    return block
+
+
+programs = st.lists(
+    st.one_of(write_blocks(), read_blocks(), frac_blocks(), leak_blocks()),
+    min_size=1, max_size=6,
+).map(lambda blocks: "\n".join(line for block in blocks for line in block)
+      + "\n")
+
+
+def execute(source: str, backend: str) -> str:
+    program = assemble_program(source, label="fuzz")
+    request = ProgramRequest(program=program, devices=FUZZ_DEVICES,
+                             geometry=CORPUS_GEOMETRY, master_seed=2022)
+    return get_backend(backend).execute_program(request).render()
+
+
+@settings(deadline=None, max_examples=25)
+@given(source=programs)
+def test_fuzzed_programs_identical_across_backends(source):
+    reference = execute(source, "scalar")
+    for backend in available_backends():
+        if backend == "scalar":
+            continue
+        assert execute(source, backend) == reference, (
+            f"backend {backend!r} diverged on fuzzed program:\n{source}")
+
+
+@settings(deadline=None, max_examples=10)
+@given(source=programs)
+def test_fuzzed_outcomes_account_for_every_device(source):
+    rendered = execute(source, "scalar")
+    assert f"{len(FUZZ_DEVICES)} device(s)" in rendered
+    for index in range(len(FUZZ_DEVICES)):
+        assert f"device {index}:" in rendered

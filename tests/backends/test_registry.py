@@ -1,0 +1,106 @@
+"""Registry behaviour: registration, lookup, lane-width policy, wiring."""
+
+import pytest
+
+from repro.backends import (
+    DEFAULT_BACKEND,
+    BackendError,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.experiments.base import DEFAULT_CONFIG, resolve_batch
+from repro.fleet.sharding import Shard, plan_shards
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"scalar", "batched", "plan"} <= set(available_backends())
+
+    def test_available_backends_sorted(self):
+        assert list(available_backends()) == sorted(available_backends())
+
+    def test_get_backend_returns_singleton(self):
+        assert get_backend("scalar") is get_backend("scalar")
+
+    def test_backend_name_attribute_matches_key(self):
+        for name in available_backends():
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_lists_known_names(self):
+        with pytest.raises(BackendError, match="unknown backend 'nope'"):
+            get_backend("nope")
+        with pytest.raises(BackendError, match="scalar"):
+            get_backend("nope")
+
+    def test_resolve_backend_default(self):
+        assert resolve_backend(None) is get_backend(DEFAULT_BACKEND)
+        assert resolve_backend("plan") is get_backend("plan")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(BackendError, match="already registered"):
+
+            @register_backend
+            class Duplicate:  # pragma: no cover - rejected at decoration
+                name = "scalar"
+
+    def test_unnamed_registration_rejected(self):
+        with pytest.raises(BackendError, match="non-empty"):
+
+            @register_backend
+            class Nameless:  # pragma: no cover - rejected at decoration
+                name = ""
+
+
+class TestLaneWidthPolicy:
+    """``resolve_batch`` dispatches width to the configured backend."""
+
+    def test_scalar_forces_width_one(self):
+        assert get_backend("scalar").lane_width(8, None) == 1
+        assert get_backend("scalar").lane_width(8, 4) == 1
+
+    def test_plan_forces_width_one(self):
+        assert get_backend("plan").lane_width(8, None) == 1
+
+    def test_batched_auto(self):
+        assert get_backend("batched").lane_width(8, None) == 8
+
+    def test_batched_cap(self):
+        assert get_backend("batched").lane_width(8, 3) == 3
+        assert get_backend("batched").lane_width(2, 16) == 2
+        assert get_backend("batched").lane_width(8, 1) == 1
+
+    def test_width_never_below_one(self):
+        for name in available_backends():
+            assert get_backend(name).lane_width(0, None) == 1
+
+    def test_resolve_batch_respects_config_backend(self):
+        assert resolve_batch(DEFAULT_CONFIG, 8) == 8  # default: batched
+        assert resolve_batch(DEFAULT_CONFIG.scaled(backend="scalar"), 8) == 1
+        assert resolve_batch(DEFAULT_CONFIG.scaled(batch=3), 8) == 3
+
+
+class TestBackendExperimentDispatch:
+    def test_run_experiment_routes_through_backend(self):
+        from repro.experiments.runner import run_experiment
+
+        from .conftest import CONFIG, canonical_result
+
+        via_backend = get_backend("plan").run_experiment("latency", CONFIG)
+        direct = run_experiment("latency", CONFIG.scaled(backend="plan"))
+        assert canonical_result(via_backend) == canonical_result(direct)
+
+
+class TestFleetWiring:
+    def test_shard_default_matches_registry_default(self):
+        shard = Shard(experiment="fig6", index=0, total=1, units=("u",))
+        assert shard.backend == DEFAULT_BACKEND
+
+    def test_plan_shards_stamps_backend(self):
+        shards = plan_shards("fig6", ["a", "b", "c"], 2, backend="plan")
+        assert {shard.backend for shard in shards} == {"plan"}
+
+    def test_plan_shards_defaults_backend(self):
+        (shard,) = plan_shards("fig6", ["a"], 1)
+        assert shard.backend == DEFAULT_BACKEND

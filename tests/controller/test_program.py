@@ -9,6 +9,7 @@ from repro.controller import (
     Precharge,
     ProgramError,
     assemble,
+    assemble_program,
     disassemble,
 )
 from repro.controller.sequences import (
@@ -81,6 +82,44 @@ class TestAssembleErrors:
         with pytest.raises(ProgramError) as excinfo:
             assemble("ACT 0 1\nPRE 0\nBAD\n")
         assert excinfo.value.line_number == 3
+
+    def test_error_reports_offending_text(self):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("ACT 0 1\nPRE 0\nBAD 1 2\n")
+        error = excinfo.value
+        assert error.line_number == 3
+        assert error.source_line == "BAD 1 2"
+        assert "line 3:" in str(error)
+        assert "(offending text: 'BAD 1 2')" in str(error)
+
+    def test_error_line_number_counts_comments_and_blanks(self):
+        source = "# header\n\nACT 0 1\n  # indented comment\nWAIT x\n"
+        with pytest.raises(ProgramError) as excinfo:
+            assemble(source)
+        assert excinfo.value.line_number == 5
+        assert excinfo.value.source_line == "WAIT x"
+
+    def test_error_inside_loop_names_the_bad_line(self):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble("LOOP 2\nACT 0 1\nRD zero 1\nENDLOOP\n")
+        assert excinfo.value.line_number == 3
+        assert "RD zero 1" in str(excinfo.value)
+
+    @pytest.mark.parametrize("source,fragment", [
+        ("LEAK\n", "expected"),
+        ("LEAK abc\n", "number"),
+        ("LEAK 0\n", "positive"),
+        ("LEAK -3\n", "positive"),
+    ])
+    def test_rejects_bad_leak(self, source, fragment):
+        with pytest.raises(ProgramError) as excinfo:
+            assemble_program(source)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.line_number == 1
+
+    def test_legacy_assemble_rejects_leak(self):
+        with pytest.raises(ProgramError, match="assemble_program"):
+            assemble("ACT 0 1\nPRE 0\nLEAK 30\n")
 
 
 class TestRoundTrip:

@@ -1,4 +1,4 @@
-"""Golden-file regression tests for the figure experiments.
+"""Golden-file regression tests for all twelve experiments.
 
 Each golden file is the byte-exact ``export_json`` output of one
 experiment at a small fixed-seed configuration (``GOLDEN_CONFIG``).  Any
@@ -24,13 +24,15 @@ from repro.experiments.runner import run_experiment
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-#: Small enough that all three experiments run in seconds; fixed seed so
-#: reruns are byte-identical.
+#: Small enough that the full dozen runs in a couple of minutes; fixed
+#: seed so reruns are byte-identical.
 GOLDEN_CONFIG = ExperimentConfig(
     master_seed=2022, columns=128, rows_per_subarray=16,
     subarrays_per_bank=2, n_banks=2, chips_per_group=1)
 
-GOLDEN_EXPERIMENTS = ("fig6", "fig7", "fig8", "fig11", "fig12")
+#: Every experiment in the runner's table is golden-pinned.
+GOLDEN_EXPERIMENTS = ("table1", "fig6", "fig7", "fig8", "fig9", "fig10",
+                      "fig11", "fig12", "nist", "latency", "timing", "ddr4")
 
 # Developer-only regen switch: flips which branch of the test runs, never
 # reaches an experiment result.  # repro: lint-ok[DET004]
@@ -66,3 +68,9 @@ def test_golden_files_are_canonical_json(name):
     # export_json writes sorted keys, indent=2, trailing newline —
     # anything else means the file was hand-edited.
     assert text == json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+
+def test_golden_set_covers_every_experiment():
+    from repro.experiments.runner import EXPERIMENTS
+
+    assert sorted(GOLDEN_EXPERIMENTS) == sorted(EXPERIMENTS)
