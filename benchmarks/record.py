@@ -1,0 +1,36 @@
+"""Persist benchmark headline numbers as ``BENCH_<name>.json`` artifacts.
+
+pytest-benchmark already lands ``extra_info`` in its ``--benchmark-json``
+output, but that file is opt-in, per-invocation and buried in a large
+machine-oriented document.  The speedup benches additionally call
+:func:`record_bench` so each run leaves a small stable artifact at the
+repository root — ``BENCH_batch.json``, ``BENCH_device_batch.json``,
+``BENCH_fused.json`` — holding exactly the headline numbers (backend,
+lane count, wall times, speedups).  The artifacts are committed, so the
+repository always carries the last measured numbers next to the code
+that produced them and a regression shows up as a diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = ["REPO_ROOT", "record_bench"]
+
+
+def record_bench(name: str, extra_info: dict, *,
+                 directory: Path | None = None) -> Path:
+    """Write ``extra_info`` to ``BENCH_<name>.json``; returns the path.
+
+    ``extra_info`` is the pytest-benchmark ``benchmark.extra_info``
+    mapping the bench already populates; values must be JSON-encodable
+    (the benches store rounded floats, ints and short strings).
+    """
+    path = (directory if directory is not None else REPO_ROOT)
+    path = path / f"BENCH_{name}.json"
+    payload = {key: extra_info[key] for key in sorted(extra_info)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

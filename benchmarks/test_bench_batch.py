@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 from conftest import run_once
+from record import record_bench
 
 from repro.analysis.retention import (
     BatchedRetentionProfiler,
@@ -87,10 +88,12 @@ def test_fig6_batch_speedup(benchmark, bench_config, capsys):
     batched_wall = time.perf_counter() - started
 
     speedup = scalar_wall / batched_wall
+    benchmark.extra_info["backend"] = "batched"
     benchmark.extra_info["lanes"] = len(_lanes(bench_config))
     benchmark.extra_info["scalar_wall_s"] = round(scalar_wall, 3)
     benchmark.extra_info["batched_wall_s"] = round(batched_wall, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    record_bench("batch", benchmark.extra_info)
     with capsys.disabled():
         print(f"\nfig6 batch engine ({len(_lanes(bench_config))} lanes): "
               f"scalar {scalar_wall:.2f}s, batched {batched_wall:.2f}s, "

@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 
 from conftest import run_once
+from record import record_bench
 
 from repro.experiments import fig11_puf_hd
 from repro.experiments.report import result_to_dict
@@ -74,10 +75,12 @@ def test_fig11_device_batch_speedup(benchmark, bench_config, capsys):
     lanes = len(fig11_puf_hd.shard_units(
         config, modules_per_group=MODULES_PER_GROUP))
     speedup = scalar_wall / batched_wall
+    benchmark.extra_info["backend"] = "batched"
     benchmark.extra_info["lanes"] = lanes
     benchmark.extra_info["scalar_wall_s"] = round(scalar_wall, 3)
     benchmark.extra_info["batched_wall_s"] = round(batched_wall, 3)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    record_bench("device_batch", benchmark.extra_info)
     with capsys.disabled():
         print(f"\nfig11 device batch ({lanes} module lanes): "
               f"scalar {scalar_wall:.2f}s, batched {batched_wall:.2f}s, "

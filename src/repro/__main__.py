@@ -55,6 +55,8 @@ def _cmd_experiments(arguments: argparse.Namespace) -> int:
         forwarded.append("--telemetry")
     if arguments.trace_out:
         forwarded.extend(["--trace-out", arguments.trace_out])
+    if arguments.cache_stats:
+        forwarded.append("--cache-stats")
     return runner_main(forwarded)
 
 
@@ -313,13 +315,16 @@ def main(argv: list[str] | None = None) -> int:
                                   "modules; default auto; 1 = scalar; "
                                   "results byte-identical)")
     experiments.add_argument("--backend", default=None, metavar="NAME",
-                             help="execution backend (scalar/batched/plan; "
+                             help="execution backend (scalar/batched/plan/fused; "
                                   "default batched; results byte-identical)")
     experiments.add_argument("--no-cache", action="store_true",
                              help="recompute results even if cached")
     experiments.add_argument("--cache-dir", default=None)
     experiments.add_argument("--telemetry", action="store_true",
                              help="collect and print telemetry counters")
+    experiments.add_argument("--cache-stats", action="store_true",
+                             help="print plan/xir compile-cache "
+                                  "statistics after the run")
     experiments.add_argument("--trace-out", default=None, metavar="PATH",
                              help="write a JSON-lines event trace "
                                   "(implies --telemetry)")
@@ -339,7 +344,7 @@ def main(argv: list[str] | None = None) -> int:
                              "modules; default auto; 1 = scalar; "
                              "results byte-identical)")
     report.add_argument("--backend", default=None, metavar="NAME",
-                        help="execution backend (scalar/batched/plan; "
+                        help="execution backend (scalar/batched/plan/fused; "
                              "default batched; results byte-identical)")
     report.add_argument("--no-cache", action="store_true",
                         help="recompute results even if cached")

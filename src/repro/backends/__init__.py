@@ -6,7 +6,9 @@ interchangeable :class:`~repro.backends.base.Backend` engines:
 * ``scalar`` — the cycle-accurate ``SoftMC`` + ``DramChip`` reference,
 * ``batched`` — every device a lane of the vectorized NumPy engine,
 * ``plan`` — compiled-plan replay (lower the program once, replay a flat
-  dispatch table per device).
+  dispatch table per device),
+* ``fused`` — xir-compiled experiment programs (:mod:`repro.xir`) on
+  batched lanes: fig6/fig11 hot loops run as whole-batch phase kernels.
 
 Each backend executes assembled SoftMC programs over a deterministic
 device fleet (:meth:`~repro.backends.base.Backend.execute_program`) and
@@ -48,6 +50,7 @@ from .registry import (
 
 # Importing the engine modules registers the built-in backends.
 from . import batched as _batched  # noqa: F401  (registration side effect)
+from . import fused as _fused  # noqa: F401
 from . import plan as _plan  # noqa: F401
 from . import scalar as _scalar  # noqa: F401
 

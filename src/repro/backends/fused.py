@@ -1,0 +1,33 @@
+"""The fused backend: xir-compiled experiment programs over batched lanes.
+
+``fused`` layers the :mod:`repro.xir` pipeline on top of the batched
+engine: experiments whose hot loop has an xir lowering (fig6 retention,
+fig11 PUF HD) route their inner passes through
+:class:`~repro.xir.FusedRetentionProfiler` /
+:class:`~repro.xir.FusedFracPuf`, which replay one compiled phase-op
+schedule per program *shape* instead of dispatching per command.
+Everything else — lane-width policy, assembled-program execution,
+fleet sharding — inherits the batched engine unchanged, so the backend
+is a strict superset: same bytes, same counters, less Python.
+
+The conformance suite (``tests/backends``) holds ``fused`` to the same
+gate as every other backend: byte-identical results and deterministic
+telemetry counter snapshots against the scalar reference, serially and
+under fleet workers.
+"""
+
+from __future__ import annotations
+
+from .batched import BatchedBackend
+from .registry import register_backend
+
+__all__ = ["FusedBackend"]
+
+
+@register_backend
+class FusedBackend(BatchedBackend):
+    """Batched lanes plus xir-compiled fig6/fig11 experiment loops."""
+
+    name = "fused"
+    description = ("xir-compiled experiment programs on batched lanes "
+                   "(fig6/fig11 fused hot paths)")

@@ -138,6 +138,7 @@ class BatchedSubArray:
                               for donor in donors]
         self._jitter_any = any(sigma > 0 for sigma in self._jitter_sigma)
         self._primary_cache: dict[int, list[int | None]] = {}
+        self._weights_base_cache: dict[tuple, np.ndarray] = {}
         self._vrt_span = [donor.variation.vrt_tau_span for donor in donors]
         self._vrt_any = [bool(donor.vrt_mask.any()) for donor in donors]
         # Static per-lane VRT cell coordinates and their tau values, so
@@ -616,14 +617,30 @@ class BatchedSubArray:
             self._primary_cache[k] = cached
         return cached
 
+    def _weights_base(self, lanes: tuple[int, ...], k: int) -> np.ndarray:
+        """Jitter-free coupling weights for a lane group, cached.
+
+        The ones-plus-primary-boost base is pure in ``(lanes, k)``;
+        callers must never mutate the returned array (the jitter path
+        multiplies into a fresh copy).
+        """
+        key = (lanes, k)
+        cached = self._weights_base_cache.get(key)
+        if cached is None:
+            cached = np.ones((len(lanes), k, self.n_cols))
+            primaries = self._primary_positions(k)
+            for index, lane in enumerate(lanes):
+                primary = primaries[lane]
+                if primary is not None and primary < k:
+                    cached[index, primary] += self.primary_boost[lane]
+            if len(self._weights_base_cache) >= 16:
+                self._weights_base_cache.clear()
+            self._weights_base_cache[key] = cached
+        return cached
+
     def _coupling_weights(self, lanes: Sequence[int], lane_arr: np.ndarray,
                           k: int) -> np.ndarray:
-        weights = np.ones((len(lanes), k, self.n_cols))
-        primaries = self._primary_positions(k)
-        for index, lane in enumerate(lanes):
-            primary = primaries[lane]
-            if primary is not None and primary < k:
-                weights[index, primary] += self.primary_boost[lane]
+        weights = self._weights_base(tuple(lanes), k)
         if not self._jitter_any:
             # No lane jitters: the scalar engine skips the multiply and
             # the clip outright (and draws nothing), so skipping here is
@@ -636,7 +653,7 @@ class BatchedSubArray:
             # and the 0.05 clip never binds for weights >= 1.
             draws[index] = self._noises[lane].normal(
                 self._jitter_sigma[lane], (k, self.n_cols))
-        weights *= 1.0 + draws
+        weights = weights * (1.0 + draws)
         np.clip(weights, 0.05, None, out=weights)
         return weights
 
@@ -736,6 +753,137 @@ class BatchedSubArray:
         for index, lane in enumerate(lanes):
             self._row_buffer[lane] = decision[index].copy()
             self._sense_fired[lane] = True
+
+    # ------------------------------------------------------------------
+    # fused entry points (repro.xir)
+    # ------------------------------------------------------------------
+    #
+    # The xir executor (:mod:`repro.xir.executor`) replays a compiled
+    # experiment program as whole-batch kernels.  These are the phases
+    # of the step-by-step walk above with the structural bookkeeping
+    # (open-row lists, pending-precharge scans, sense-window checks)
+    # stripped: the compiler already proved what each phase touches and
+    # when, so the kernels only move voltages.  Every expression mirrors
+    # its step-by-step counterpart bit-for-bit; RNG draws arrive
+    # pre-advanced from the executor's merged per-lane streams.  The
+    # kernels leave ``_open_rows``/``_pre_started`` untouched (lanes
+    # stay structurally idle), which is what lets batched and fused
+    # calls interleave on one device.
+
+    def xir_charge_share(self, lanes: Sequence[int], lane_arr: np.ndarray,
+                         rows_mat: np.ndarray,
+                         jitter_draws: np.ndarray | None,
+                         want_snapshot: bool) -> np.ndarray | None:
+        """Fused ACT body: mark written, snapshot, charge-share.
+
+        ``jitter_draws`` is ``None`` on jitter-free sub-arrays, else the
+        pre-scaled ``(B, k, C)`` weight-jitter draws.  Returns the
+        pre-share cell snapshot (for freeze and flips accounting) when
+        requested, else ``None``.
+        """
+        k = rows_mat.shape[1]
+        self._written[lane_arr[:, None], rows_mat] = True
+        # Fancy indexing copies, so this block doubles as the pre-share
+        # snapshot (it is never mutated below).
+        cell_block = self.cell_v[lane_arr[:, None], rows_mat]
+        weights = self._weights_base(tuple(lanes), k)
+        if jitter_draws is not None:
+            weights = weights * (1.0 + jitter_draws)
+            np.clip(weights, 0.05, None, out=weights)
+        cb = self._cb[lane_arr][:, None]
+        if k == 1:
+            numerator = cb * self.bitline_v[lane_arr] + (
+                weights[:, 0] * cell_block[:, 0])
+            denominator = cb + weights[:, 0]
+        else:
+            numerator = cb * self.bitline_v[lane_arr] + np.sum(
+                weights * cell_block, axis=1)
+            denominator = cb + np.sum(weights, axis=1)
+        equilibrium = numerator / denominator
+        self.bitline_v[lane_arr] = equilibrium
+        self.cell_v[lane_arr[:, None], rows_mat] = equilibrium[:, None, :]
+        return cell_block if want_snapshot else None
+
+    def xir_sense(self, lane_arr: np.ndarray, rows_mat: np.ndarray,
+                  draws: np.ndarray) -> np.ndarray:
+        """Fused sense-amp firing; returns the ``(B, C)`` decisions."""
+        k = rows_mat.shape[1]
+        sensed = self.bitline_v[lane_arr] + draws
+        threshold = (0.5 + self.sa_offset[lane_arr]
+                     ) + self._offset_shift[lane_arr][:, None]
+        if k >= 3:
+            threshold = threshold + self.multirow_bias[lane_arr]
+        decision = sensed > threshold
+        level = np.where(decision, self._restore[lane_arr][:, None], 0.0)
+        self.bitline_v[lane_arr] = level
+        self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+        return decision
+
+    def xir_write(self, lane_arr: np.ndarray, rows_mat: np.ndarray,
+                  physical_bits: np.ndarray) -> None:
+        """Fused WRITE into sensed open rows (physical polarity)."""
+        level = np.where(physical_bits, self._restore[lane_arr][:, None], 0.0)
+        self.bitline_v[lane_arr] = level
+        self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+
+    def xir_freeze(self, lane_arr: np.ndarray, rows_mat: np.ndarray,
+                   snapshot: np.ndarray) -> None:
+        """Fused interrupted-precharge freeze (the Frac payoff)."""
+        coupling = self.interrupt_coupling[lane_arr[:, None], rows_mat]
+        shared = self.cell_v[lane_arr[:, None], rows_mat]
+        self.cell_v[lane_arr[:, None], rows_mat] = (
+            snapshot + coupling * (shared - snapshot))
+        self.bitline_v[lane_arr] = 0.5
+
+    def xir_frac_burst(self, lanes: Sequence[int], lane_arr: np.ndarray,
+                       rows_mat: np.ndarray,
+                       jitter_draws: np.ndarray | None,
+                       n_frac: int) -> None:
+        """``n_frac`` fused (charge-share, freeze) pairs — one Frac burst.
+
+        Bitwise identical to ``n_frac`` sequential
+        :meth:`xir_charge_share` / :meth:`xir_freeze` pairs on a single
+        row: the per-iteration formulas are verbatim, only the loop
+        overhead (index gathers, weight-base lookups, the intermediate
+        ``cell_v`` store each freeze immediately overwrites) is hoisted.
+        ``jitter_draws`` is ``None`` on jitter-free sub-arrays, else the
+        pre-scaled ``(B, n_frac, C)`` weight-jitter draws.
+        """
+        row_index = (lane_arr[:, None], rows_mat)
+        self._written[row_index] = True
+        base = self._weights_base(tuple(lanes), 1)
+        cb = self._cb[lane_arr][:, None]
+        coupling = self.interrupt_coupling[row_index]
+        bitline: np.ndarray | float = self.bitline_v[lane_arr]
+        cell = self.cell_v[row_index]
+        for index in range(n_frac):
+            if jitter_draws is None:
+                w0 = base[:, 0]
+            else:
+                weights = base * (1.0 + jitter_draws[:, index:index + 1])
+                np.clip(weights, 0.05, None, out=weights)
+                w0 = weights[:, 0]
+            numerator = cb * bitline + w0 * cell[:, 0]
+            denominator = cb + w0
+            equilibrium = numerator / denominator
+            cell = cell + coupling * (equilibrium[:, None, :] - cell)
+            # The freeze leaves the bit-line at the 0.5 idle level; the
+            # next share multiplies it elementwise, and x * 0.5 is exact
+            # either way, so the scalar stands in for the full array.
+            bitline = 0.5
+        self.cell_v[row_index] = cell
+        self.bitline_v[lane_arr] = 0.5
+
+    def xir_overwrite(self, lane_arr: np.ndarray,
+                      rows_mat: np.ndarray) -> None:
+        """Fused glitch overwrite: driven bit-lines into opened rows."""
+        self._written[lane_arr[:, None], rows_mat] = True
+        self.cell_v[lane_arr[:, None], rows_mat] = (
+            self.bitline_v[lane_arr][:, None, :])
+
+    def xir_close(self, lane_arr: np.ndarray) -> None:
+        """Fused row close: restore the idle bit-line level."""
+        self.bitline_v[lane_arr] = 0.5
 
 
 class BatchedChip:
@@ -1051,10 +1199,16 @@ class BatchedChip:
     # ------------------------------------------------------------------
 
     def advance_time(self, dt_s: float, lanes: Sequence[int]) -> None:
-        for lane in lanes:
-            if not self.lane_is_idle(lane):
-                raise CommandSequenceError(
-                    "advance_time requires all banks idle (precharge first)")
+        # The sub-arrays keep exact open/pending-precharge counts; when
+        # every count is zero no lane can be busy and the per-lane
+        # all-cells scan (the hot cost of short leak probes) is skipped.
+        if any(cell._n_open or cell._n_pre
+               for bank_cells in self.cells for cell in bank_cells):
+            for lane in lanes:
+                if not self.lane_is_idle(lane):
+                    raise CommandSequenceError(
+                        "advance_time requires all banks idle "
+                        "(precharge first)")
         for bank_cells in self.cells:
             for cell in bank_cells:
                 cell.leak(lanes, dt_s)

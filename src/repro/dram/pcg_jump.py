@@ -193,7 +193,7 @@ class JumpGroup:
         self._plus = np.concatenate([j._plus for j in self.jumps])
         # ``plus * inc`` is constant per stream set (PCG64 increments
         # never change), so cache it keyed by the raw increments.
-        self._plus_inc_cache: dict[bytes, np.ndarray] = {}
+        self._plus_inc_cache: dict[tuple[int, ...], np.ndarray] = {}
 
     def values_flat(self, bit_generators) -> np.ndarray | None:
         """All tables' predicted values concatenated; ``None`` if any
@@ -201,19 +201,30 @@ class JumpGroup:
         gens = list(bit_generators)
         if len(gens) != len(self.jumps):
             raise ValueError("one bit generator per jump table required")
-        states = np.empty((len(gens), 4), dtype=np.uint64)
-        incs = np.empty((len(gens), 4), dtype=np.uint64)
-        for row, bg in enumerate(gens):
+        state_ints: list[int] = []
+        inc_ints: list[int] = []
+        for bg in gens:
             if type(bg).__name__ != "PCG64":
                 return None
             raw = bg.state
             if raw.get("has_uint32", 0):
                 return None
-            states[row] = _limbs(raw["state"]["state"])
-            incs[row] = _limbs(raw["state"]["inc"])
-        inc_key = incs.tobytes()
+            inner = raw["state"]
+            state_ints.append(inner["state"])
+            inc_ints.append(inner["inc"])
+        states = np.array(
+            [[(value >> 0) & 0xFFFFFFFF, (value >> 32) & 0xFFFFFFFF,
+              (value >> 64) & 0xFFFFFFFF, (value >> 96) & 0xFFFFFFFF]
+             for value in state_ints], dtype=np.uint64)
+        # Keyed by the raw increment ints: a hit skips the inc limb
+        # extraction entirely, not just the multiply.
+        inc_key = tuple(inc_ints)
         plus_inc = self._plus_inc_cache.get(inc_key)
         if plus_inc is None:
+            incs = np.array(
+                [[(value >> 0) & 0xFFFFFFFF, (value >> 32) & 0xFFFFFFFF,
+                  (value >> 64) & 0xFFFFFFFF, (value >> 96) & 0xFFFFFFFF]
+                 for value in inc_ints], dtype=np.uint64)
             plus_inc = _mul128(self._plus, np.repeat(incs, self._counts, axis=0))
             if len(self._plus_inc_cache) >= 4:
                 self._plus_inc_cache.pop(next(iter(self._plus_inc_cache)))

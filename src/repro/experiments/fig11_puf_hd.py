@@ -167,7 +167,11 @@ def run_shard(config: ExperimentConfig, units, n_challenges: int = 24,
         device = BatchedChip.from_fleet(cohort, geometry=geometry,
                                         master_seed=config.master_seed,
                                         epochs=[0] * len(cohort))
-        puf = BatchedFracPuf(device)
+        if config.backend == "fused":
+            from ..xir import FusedFracPuf
+            puf = FusedFracPuf(device)
+        else:
+            puf = BatchedFracPuf(device)
         epoch0 = puf.evaluate_many(challenges)
         puf.reseed_noise(1)
         epoch1 = puf.evaluate_many(challenges)

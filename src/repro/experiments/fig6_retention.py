@@ -178,8 +178,12 @@ def run_shard(config: ExperimentConfig, units,
         per_lane_targets = [
             _unit_targets(config, group_id, rows_per_bank_sample)
             for group_id in cohort]
-        profiler = BatchedRetentionProfiler(
-            BatchedFracDram(BatchedChip.from_chips(chips)))
+        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        if config.backend == "fused":
+            from ..xir import FusedRetentionProfiler
+            profiler = FusedRetentionProfiler(bfd)
+        else:
+            profiler = BatchedRetentionProfiler(bfd)
         retentions = profiler.profile_rows(per_lane_targets, FRAC_COUNTS)
         payloads.extend(_classify(group_id, retention)
                         for group_id, retention in zip(cohort, retentions))

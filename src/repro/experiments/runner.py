@@ -42,7 +42,8 @@ from . import (
 )
 from .base import DEFAULT_CONFIG, ExperimentConfig
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "cache_stats",
+           "format_cache_stats", "record_cache_notes", "main"]
 
 #: name -> (description, callable(config) -> result with format_table()).
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
@@ -134,6 +135,43 @@ def run_experiment(name: str, config: ExperimentConfig = DEFAULT_CONFIG, *,
     return result
 
 
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Plan-cache and xir-compile-cache statistics for this process.
+
+    Imports lazily so asking for statistics never pulls the fused
+    pipeline (or NumPy-heavy executor modules) into processes that only
+    run the scalar engine.
+    """
+    from ..controller.plan import plan_cache_info
+    from ..xir import xir_cache_info
+
+    return {"plan": plan_cache_info(), "xir": xir_cache_info()}
+
+
+def format_cache_stats(stats: dict[str, dict[str, int]] | None = None) -> str:
+    """One-line human rendering, printed by ``--cache-stats``."""
+    stats = stats if stats is not None else cache_stats()
+    plan, xir = stats["plan"], stats["xir"]
+    return (f"cache stats: plan {plan['hits']} hits / "
+            f"{plan['misses']} misses (size {plan['size']}/"
+            f"{plan['capacity']}); xir {xir['misses']} compiles / "
+            f"{xir['hits']} reuses (size {xir['size']}/{xir['capacity']})")
+
+
+def record_cache_notes(telemetry) -> None:
+    """Attach cache statistics to a telemetry session as *notes*.
+
+    Notes are execution-shape metadata: hit/miss counts vary with
+    worker sharding and run history, so they are excluded from
+    deterministic snapshots (the conformance suite compares counters
+    only) while still appearing in ``format_summary`` output.
+    """
+    stats = cache_stats()
+    telemetry.note("plan.cache_hits", stats["plan"]["hits"])
+    telemetry.note("plan.cache_misses", stats["plan"]["misses"])
+    telemetry.note("xir.compiles", stats["xir"]["misses"])
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="FracDRAM reproduction experiment runner")
@@ -169,6 +207,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-out", default=None, metavar="PATH",
                         help="write a repro-trace/1 JSON-lines event trace "
                              "(implies --telemetry)")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print plan/xir compile-cache statistics "
+                             "after the run")
     arguments = parser.parse_args(argv)
 
     if arguments.list:
@@ -216,9 +257,12 @@ def main(argv: list[str] | None = None) -> int:
             print(f"\n[{name} completed in "
                   f"{time.time() - started:.1f}s{suffix}]\n")
         if telemetry is not None:
+            record_cache_notes(telemetry)
             print(telemetry.format_summary())
             if arguments.trace_out:
                 print(f"trace written to {arguments.trace_out}")
+    if arguments.cache_stats:
+        print(format_cache_stats())
     return 0
 
 

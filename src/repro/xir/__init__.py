@@ -1,0 +1,46 @@
+"""``repro.xir``: experiment-level IR, compiler and fused executor.
+
+The pipeline (see ``docs/performance.md``):
+
+1. **IR** (:mod:`repro.xir.ir`) — an experiment pass as a small program
+   of whole-physics ops (``WriteRow``/``Frac``/``ReadRow``/
+   ``PrechargeAll``/``Leak``/``RowCopy``) with structured
+   ``Repeat``/``Sweep`` regions, rows and durations as named parameters.
+2. **Compiler** (:mod:`repro.xir.compile`) — lowers a program through a
+   symbolic replica of the batched engine's bank state machine into a
+   flat phase-op schedule, hoisting plan compilation, lane-uniform
+   counter deltas, trace-event shapes, spacing predictions and the RNG
+   draw regions.  Memoized per program shape.
+3. **Executor** (:mod:`repro.xir.executor`) — replays a compiled
+   program as whole-batch NumPy kernels on
+   :class:`~repro.dram.batched.BatchedSubArray` (the ``xir_*`` entry
+   points), with per-region merged RNG pre-advancement.
+
+The ``fused`` backend (:mod:`repro.backends.fused`) routes the fig6 and
+fig11 hot paths through :class:`FusedRetentionProfiler` /
+:class:`FusedFracPuf`; everything stays byte-identical to the
+``scalar``/``batched``/``plan`` engines (conformance-gated in
+``tests/backends``).
+"""
+
+from . import ir
+from .compile import (
+    LoweringError,
+    clear_xir_cache,
+    compile_program,
+    xir_cache_info,
+)
+from .executor import FusedRunner
+from .puf import FusedFracPuf
+from .retention import FusedRetentionProfiler
+
+__all__ = [
+    "FusedFracPuf",
+    "FusedRetentionProfiler",
+    "FusedRunner",
+    "LoweringError",
+    "clear_xir_cache",
+    "compile_program",
+    "ir",
+    "xir_cache_info",
+]

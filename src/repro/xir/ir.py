@@ -1,0 +1,148 @@
+"""Experiment-level IR: whole physics phases as ops, sweeps as regions.
+
+The batched engine (PRs 3-4) vectorized the *lane* axis but still walks
+every experiment inner loop primitive-by-primitive through
+:class:`~repro.controller.batched.BatchedSoftMC`: each ``run`` call
+re-dispatches per timed command, re-scans per-lane bookkeeping lists in
+``settle``, and re-derives telemetry per issue.  ``repro.xir`` lifts the
+loop one level: an experiment pass is a small *program* of *experiment
+ops* (:class:`WriteRow`, :class:`Frac`, :class:`ReadRow`,
+:class:`PrechargeAll`, :class:`Leak`, :class:`RowCopy`, plus the
+structured :class:`Repeat`/:class:`Sweep` regions), which the compiler
+(:mod:`repro.xir.compile`) lowers into a flat list of *phase ops* —
+``CHARGE_SHARE``, ``SENSE``, ``WRITE``, ``FREEZE``, ``READOUT``,
+``GLITCH_OVERWRITE``, ``CLOSE``, ``LEAK`` — over the full
+``(lanes, rows, cols)`` state.
+
+Ops do not carry concrete rows: they name *parameters* (``rows="target"``,
+``dt="wait"``) bound at execution time, so one compiled program replays
+across every sweep point, row sample and lane batch.  See
+``docs/performance.md`` for the pipeline walk-through and the
+byte-identity argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+__all__ = [
+    "Frac",
+    "Leak",
+    "Op",
+    "PrechargeAll",
+    "ReadRow",
+    "Repeat",
+    "RowCopy",
+    "Sweep",
+    "WriteRow",
+    "flatten",
+    "signature",
+]
+
+
+@dataclass(frozen=True)
+class WriteRow:
+    """In-spec ACT/WRITE/PRE storing a constant fill value."""
+
+    bank: int
+    rows: str
+    value: bool
+
+
+@dataclass(frozen=True)
+class Frac:
+    """``n_frac`` back-to-back Frac operations (ACT, interrupting PRE)."""
+
+    bank: int
+    rows: str
+    n_frac: int
+
+
+@dataclass(frozen=True)
+class ReadRow:
+    """Destructive whole-row read; emits one readout plane."""
+
+    bank: int
+    rows: str
+
+
+@dataclass(frozen=True)
+class PrechargeAll:
+    """Close every bank (reach a known idle state)."""
+
+
+@dataclass(frozen=True)
+class Leak:
+    """Stop command traffic for a bound duration (retention leakage)."""
+
+    dt: str
+
+
+@dataclass(frozen=True)
+class RowCopy:
+    """ComputeDRAM-style in-DRAM copy through the driven bit-lines."""
+
+    bank: int
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """Static repetition region: the body is flattened ``count`` times.
+
+    The compiler unrolls a :class:`Repeat` before lowering, so repeated
+    physics (e.g. the PUF's fixed Frac burst) costs one compile.
+    """
+
+    count: int
+    body: tuple["Op", ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("Repeat count must be >= 0")
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """Sweep region: compile the body once, rebind it per sweep point.
+
+    A :class:`Sweep` never changes the lowered phase-op structure — only
+    the bound rows/durations vary — which is what lets the executor
+    replay one compiled body across every point
+    (:meth:`repro.xir.executor.FusedRunner.run_sweep`).
+    """
+
+    body: tuple["Op", ...]
+
+
+Op = Union[WriteRow, Frac, ReadRow, PrechargeAll, Leak, RowCopy, Repeat, Sweep]
+
+#: Ops that lower directly to phase ops (no region structure).
+PRIMITIVE_OPS = (WriteRow, Frac, ReadRow, PrechargeAll, Leak, RowCopy)
+
+
+def flatten(ops: Sequence[Op]) -> Iterator[Op]:
+    """Unroll :class:`Repeat`/:class:`Sweep` regions into primitive ops."""
+    for op in ops:
+        if isinstance(op, Repeat):
+            for _ in range(op.count):
+                yield from flatten(op.body)
+        elif isinstance(op, Sweep):
+            yield from flatten(op.body)
+        else:
+            yield op
+
+
+def signature(ops: Sequence[Op]) -> tuple:
+    """Structural cache key of a program: op kinds and static fields.
+
+    Two programs with the same signature lower to the same phase-op
+    structure (rows and durations are bound later), so the signature is
+    the compile-cache key (together with the lane class and timing).
+    """
+    return tuple(
+        (type(op).__name__,) + tuple(
+            getattr(op, name) for name in op.__dataclass_fields__)
+        for op in flatten(ops))

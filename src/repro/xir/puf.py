@@ -1,0 +1,90 @@
+"""Fused Frac-PUF evaluation (fig11) on the xir pipeline.
+
+:class:`FusedFracPuf` keeps :class:`~repro.puf.batched_puf
+.BatchedFracPuf`'s challenge handling (reserved-row bookkeeping, noise
+epochs, stacking) and fuses the evaluation hot path — row copy, the
+``n_frac`` Frac burst, the destructive read — into compiled xir
+programs.  :meth:`evaluate_many` chains the *entire* challenge set into
+one program, inserting each sub-array's one-time reserved-row fill as an
+:class:`~repro.xir.ir.WriteRow` at exactly the position the lazy
+batched fill would run (first touch, in challenge order), so command
+order and per-lane RNG draw order match the batched engine bit for bit.
+A whole HD collection then costs one bind + one kernel replay, and the
+program compiles once per fill pattern per process (epoch 0 carries the
+fills; every later epoch reuses the fill-free shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dram.batched import BatchedChip
+from ..errors import ConfigurationError
+from ..puf.batched_puf import BatchedFracPuf
+from ..puf.frac_puf import PUF_N_FRAC, Challenge
+from . import ir
+from .executor import FusedRunner
+
+__all__ = ["FusedFracPuf"]
+
+
+class FusedFracPuf(BatchedFracPuf):
+    """Challenge/response PUF with the fused evaluation pass."""
+
+    def __init__(self, device: BatchedChip, *,
+                 n_frac: int = PUF_N_FRAC) -> None:
+        super().__init__(device, n_frac=n_frac)
+        self._runner = FusedRunner(self.bfd.mc)
+        self._ops: tuple[ir.Op, ...] | None = None
+
+    def evaluate(self, challenge: Challenge) -> np.ndarray:
+        """Response bits for every lane, ``(n_lanes, response_bits)``."""
+        bank, row = challenge.bank, challenge.row
+        reserved = self._reserved_row(bank, row)
+        if self._ops is None or self._ops[0].bank != bank:
+            self._ops = (
+                ir.RowCopy(bank, "res", "row"),
+                ir.Frac(bank, "row", self.n_frac),
+                ir.ReadRow(bank, "row"),
+            )
+        n_lanes = self.n_lanes
+        (response,) = self._runner.run(
+            self._ops,
+            rows={"res": [reserved] * n_lanes, "row": [row] * n_lanes})
+        return response
+
+    def evaluate_many(self, challenges: list[Challenge]) -> np.ndarray:
+        """Stacked responses, ``(n_lanes, len(challenges), response_bits)``.
+
+        The whole challenge set runs as one chained program; lane ``i``
+        still equals the scalar ``FracPuf.evaluate_many`` for module
+        ``i`` byte for byte (reserved-row fills land at their lazy
+        first-touch positions, draws stay in per-lane stream order).
+        """
+        if not challenges:
+            return np.empty((self.n_lanes, 0, self.response_bits), dtype=bool)
+        rows_per_subarray = int(self.bfd.device.geometry.rows_per_subarray)
+        n_lanes = self.n_lanes
+        ops: list[ir.Op] = []
+        rows: dict[str, list[int]] = {}
+        prepared = set(self._prepared_reserved)
+        for index, challenge in enumerate(challenges):
+            bank, row = challenge.bank, challenge.row
+            subarray = row // rows_per_subarray
+            reserved = (subarray + 1) * rows_per_subarray - 1
+            if reserved == row:
+                raise ConfigurationError(
+                    f"row {row} is the reserved initialization row; "
+                    "challenge a different row")
+            if (bank, subarray) not in prepared:
+                ops.append(ir.WriteRow(bank, f"fill{index}", True))
+                rows[f"fill{index}"] = [reserved] * n_lanes
+                prepared.add((bank, subarray))
+            ops.append(ir.RowCopy(bank, f"res{index}", f"row{index}"))
+            ops.append(ir.Frac(bank, f"row{index}", self.n_frac))
+            ops.append(ir.ReadRow(bank, f"row{index}"))
+            rows[f"res{index}"] = [reserved] * n_lanes
+            rows[f"row{index}"] = [row] * n_lanes
+        reads = self._runner.run(tuple(ops), rows=rows)
+        self._prepared_reserved = prepared
+        return np.stack(reads, axis=1)

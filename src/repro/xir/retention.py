@@ -1,0 +1,48 @@
+"""Fused retention profiling (fig6) on the xir pipeline.
+
+:class:`FusedRetentionProfiler` keeps the batched profiler's bracketing
+procedure — per-lane early exit, probe-time ordering, bucket math — and
+swaps only the inner measurement pass (:meth:`_alive_after`) for one
+compiled xir program per ``(n_frac, wait?)`` shape.  The program shapes
+repeat across every probed row, probe time and lane cohort, so the
+whole figure runs on a handful of cache-hit compilations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.retention import RETENTION_PROBE_TIMES_S, BatchedRetentionProfiler
+from ..core.batched_ops import BatchedFracDram
+from . import ir
+from .executor import FusedRunner
+
+__all__ = ["FusedRetentionProfiler"]
+
+
+class FusedRetentionProfiler(BatchedRetentionProfiler):
+    """Retention bracketing with the fused measurement pass."""
+
+    def __init__(self, bfd: BatchedFracDram, *,
+                 probe_times_s: Sequence[float] = RETENTION_PROBE_TIMES_S,
+                 ) -> None:
+        super().__init__(bfd, probe_times_s=probe_times_s)
+        self._runner = FusedRunner(bfd.mc)
+
+    def _alive_after(self, bank: int, sub_rows: Sequence[int], n_frac: int,
+                     wait_s: float, lanes: Sequence[int]) -> np.ndarray:
+        ops: list[ir.Op] = [ir.WriteRow(bank, "t", True)]
+        if n_frac > 0:
+            ops.append(ir.Frac(bank, "t", n_frac))
+        if wait_s > 0:
+            # Chips with command-spacing checks drop the Frac PRECHARGEs
+            # and leave the row open; close everything before leaking
+            # (same shape as the batched pass).
+            ops.append(ir.PrechargeAll())
+            ops.append(ir.Leak("w"))
+        ops.append(ir.ReadRow(bank, "t"))
+        reads = self._runner.run(ops, rows={"t": sub_rows},
+                                 dts={"w": wait_s}, lanes=lanes)
+        return reads[0]

@@ -16,10 +16,23 @@ from repro.fleet.sharding import Shard, plan_shards
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"scalar", "batched", "plan"} <= set(available_backends())
+        assert {"scalar", "batched", "fused", "plan"} <= set(
+            available_backends())
 
     def test_available_backends_sorted(self):
         assert list(available_backends()) == sorted(available_backends())
+
+    def test_unknown_backend_error_lists_names_sorted(self):
+        """The error's name list is pinned to sorted order.
+
+        Error text is effectively API — scripts and docs quote it — so
+        registration order (import side effects) must never leak into
+        the rendered list.
+        """
+        with pytest.raises(
+                BackendError,
+                match=r"registered backends: batched, fused, plan, scalar"):
+            get_backend("nope")
 
     def test_get_backend_returns_singleton(self):
         assert get_backend("scalar") is get_backend("scalar")

@@ -1,0 +1,122 @@
+"""Property tests: fused xir execution equals the batched engine bit for bit.
+
+Two independent equivalences are exercised under hypothesis:
+
+* **Kernel level** — the telemetry-off fast path (compacted action
+  stream, one ``xir_frac_burst`` kernel per Frac ladder) against the
+  telemetry-on slow path (per-step ``xir_charge_share``/``xir_freeze``
+  kernels) against the batched engine's per-challenge command dispatch.
+  All three must produce identical response bits on identically
+  fabricated fleets.
+* **Program level** — the fig6 measurement-pass shape (write, Frac,
+  precharge, leak, read) on fleets that mix spacing-enforcing and
+  non-enforcing groups, so the runner's lane-class split and lockstep
+  leak driver are both on the hot path.  Results *and* deterministic
+  telemetry counters must match the batched engine exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched_ops import BatchedFracDram
+from repro.dram.batched import BatchedChip
+from repro.dram.parameters import GeometryParams
+from repro.puf.batched_puf import BatchedFracPuf
+from repro.puf.frac_puf import Challenge
+from repro.telemetry import session as telemetry_session
+from repro.xir import FusedRunner, FusedFracPuf, ir
+
+GEOMETRY = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                          rows_per_subarray=16, columns=32)
+ROWS_PER_BANK = GEOMETRY.subarrays_per_bank * GEOMETRY.rows_per_subarray
+
+
+def make_fleet(units, seed):
+    return BatchedChip.from_fleet(list(units), geometry=GEOMETRY,
+                                  master_seed=seed,
+                                  epochs=[0] * len(units))
+
+
+#: (bank, row) pairs avoiding each sub-array's reserved top row.
+challenge_rows = st.tuples(
+    st.integers(0, GEOMETRY.n_banks - 1),
+    st.integers(0, ROWS_PER_BANK - 1).filter(
+        lambda row: row % GEOMETRY.rows_per_subarray
+        != GEOMETRY.rows_per_subarray - 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       n_frac=st.integers(1, 6),
+       challenges=st.lists(challenge_rows, min_size=1, max_size=4),
+       groups=st.lists(st.sampled_from("ABCG"), min_size=1, max_size=3))
+def test_frac_burst_matches_stepwise_and_batched(seed, n_frac, challenges,
+                                                 groups):
+    """Fast path == slow path == batched engine, bit for bit."""
+    units = [(group_id, serial) for serial, group_id in enumerate(groups)]
+    chals = [Challenge(bank, row) for bank, row in challenges]
+    fast = FusedFracPuf(make_fleet(units, seed), n_frac=n_frac)
+    slow = FusedFracPuf(make_fleet(units, seed), n_frac=n_frac)
+    batched = BatchedFracPuf(make_fleet(units, seed), n_frac=n_frac)
+
+    fast_out = fast.evaluate_many(chals)   # telemetry off: burst kernels
+    with telemetry_session():
+        slow_out = slow.evaluate_many(chals)  # telemetry on: stepwise
+    batched_out = np.stack([batched.evaluate(challenge)
+                            for challenge in chals], axis=1)
+
+    assert np.array_equal(fast_out, slow_out)
+    assert np.array_equal(fast_out, batched_out)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       n_frac=st.integers(0, 4),
+       wait=st.sampled_from([0.0, 0.05, 0.5]),
+       bank=st.integers(0, GEOMETRY.n_banks - 1),
+       row=st.integers(0, ROWS_PER_BANK - 1),
+       enforcing=st.booleans())
+def test_program_matches_batched_on_mixed_fleets(seed, n_frac, wait, bank,
+                                                 row, enforcing):
+    """fig6-shape programs: identical bits and telemetry counters."""
+    units = [("B", 0), ("J" if enforcing else "C", 0), ("G", 1)]
+    lanes = list(range(len(units)))
+    rows = [row] * len(units)
+
+    bfd = BatchedFracDram(make_fleet(units, seed))
+    with telemetry_session() as batched_telemetry:
+        bfd.fill_row(bank, rows, True, lanes)
+        if n_frac:
+            bfd.frac(bank, rows, n_frac, lanes)
+        if wait > 0:
+            bfd.precharge_all(lanes)
+            bfd.advance_time(wait, lanes)
+        expected = bfd.read_row(bank, rows, lanes).astype(bool)
+        batched_counters = batched_telemetry.snapshot(
+            deterministic=True)["counters"]
+
+    ops: list[ir.Op] = [ir.WriteRow(bank, "t", True)]
+    if n_frac:
+        ops.append(ir.Frac(bank, "t", n_frac))
+    if wait > 0:
+        ops.append(ir.PrechargeAll())
+        ops.append(ir.Leak("w"))
+    ops.append(ir.ReadRow(bank, "t"))
+
+    slow_runner = FusedRunner(BatchedFracDram(make_fleet(units, seed)).mc)
+    with telemetry_session() as fused_telemetry:
+        slow_out = slow_runner.run(ops, rows={"t": rows}, dts={"w": wait},
+                                   lanes=lanes)[0]
+        fused_counters = fused_telemetry.snapshot(
+            deterministic=True)["counters"]
+
+    fast_runner = FusedRunner(BatchedFracDram(make_fleet(units, seed)).mc)
+    fast_out = fast_runner.run(ops, rows={"t": rows}, dts={"w": wait},
+                               lanes=lanes)[0]
+
+    assert np.array_equal(slow_out, expected)
+    assert np.array_equal(fast_out, expected)
+    assert fused_counters == batched_counters
