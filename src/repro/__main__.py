@@ -196,11 +196,18 @@ def _add_service_fleet_arguments(parser: argparse.ArgumentParser,
                         help="enrollment store directory")
     parser.add_argument("--no-store", action="store_true",
                         help="re-enroll instead of using the store")
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="verification engine backend (fused/batched; "
+                             "default fused; replies byte-identical)")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print plan/xir compile-cache statistics "
+                             "after the run")
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
     import asyncio
 
+    from .errors import ConfigurationError
     from .service import CoalescePolicy, PufAuthService
 
     db = _service_db(arguments)
@@ -208,11 +215,13 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                             max_wait_s=arguments.max_wait_ms / 1e3)
 
     async def run() -> None:
-        service = PufAuthService(db, policy=policy)
+        service = PufAuthService(db, policy=policy,
+                                 backend=arguments.backend)
         await service.start()
         host, port = await service.serve_tcp(arguments.host, arguments.port)
         print(f"serving {db.n_modules} enrolled module(s) "
-              f"on {host}:{port} (JSON lines; Ctrl-C to stop)")
+              f"on {host}:{port} via {service.engine.backend} engine "
+              f"(JSON lines; Ctrl-C to stop)")
         try:
             await asyncio.Event().wait()
         finally:
@@ -220,8 +229,15 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
 
     try:
         asyncio.run(run())
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         print("stopped")
+    if arguments.cache_stats:
+        from .experiments.runner import format_cache_stats
+
+        print(format_cache_stats())
     return 0
 
 
@@ -229,11 +245,18 @@ def _cmd_bench_service(arguments: argparse.Namespace) -> int:
     import asyncio
     from contextlib import nullcontext
 
-    from .service import (CoalescePolicy, PufAuthService, WorkloadSpec,
-                          generate_schedule, percentile, replay_scripted)
+    from .errors import ConfigurationError
+    from .service import (CoalescePolicy, PufAuthService, VerificationEngine,
+                          WorkloadSpec, generate_schedule, percentile,
+                          replay_scripted)
     from .telemetry import session as telemetry_session
 
     db = _service_db(arguments)
+    try:
+        engine = VerificationEngine(db, backend=arguments.backend)
+    except ConfigurationError as error:  # fail fast on unknown backends
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     spec = WorkloadSpec(seed=arguments.workload_seed,
                         n_requests=arguments.requests,
                         rate_rps=arguments.rate,
@@ -251,7 +274,8 @@ def _cmd_bench_service(arguments: argparse.Namespace) -> int:
             wall = SystemClock()
 
             async def run() -> tuple[list, float]:
-                service = PufAuthService(db, policy=policy)
+                service = PufAuthService(db, policy=policy,
+                                         backend=arguments.backend)
                 await service.start()
                 started = wall.now()
                 replies = await drive_open_loop(
@@ -269,7 +293,8 @@ def _cmd_bench_service(arguments: argparse.Namespace) -> int:
                   f"p99 {percentile(latencies, 0.99)*1e3:.2f} ms")
         else:
             summary = replay_scripted(db, schedule, policy,
-                                      transcript_path=arguments.transcript)
+                                      transcript_path=arguments.transcript,
+                                      engine=engine)
             print(summary.format_summary())
             if summary.transcript_path is not None:
                 # stderr, so stdout stays byte-identical across replays
@@ -278,6 +303,10 @@ def _cmd_bench_service(arguments: argparse.Namespace) -> int:
                       file=sys.stderr)
     if use_telemetry and telemetry is not None:
         print(telemetry.format_summary(deterministic=not arguments.live))
+    if arguments.cache_stats:
+        from .experiments.runner import format_cache_stats
+
+        print(format_cache_stats())
     return 0
 
 

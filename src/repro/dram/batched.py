@@ -638,6 +638,36 @@ class BatchedSubArray:
             self._weights_base_cache[key] = cached
         return cached
 
+    def _lane_noise_draws(self, lanes: Sequence[int], sigma_vec: np.ndarray,
+                          shape: tuple[int, ...]) -> np.ndarray:
+        """Per-lane Gaussian draws, one ``standard_normal`` per lane.
+
+        Bitwise-identical to ``NoiseSource.normal`` per lane:
+        ``normal(0, s)`` computes ``0.0 + s*x`` per value; drawing raw
+        into the block with ``standard_normal(out=...)``, scaling by the
+        lane sigma and adding ``0.0`` computes ``s*x + 0.0`` — the same
+        float (IEEE addition commutes) — while skipping the per-call
+        loc/scale machinery on the multi-row hot path.  Zero-sigma lanes
+        draw nothing (stream untouched), exactly like ``NoiseSource``.
+        """
+        count = 1
+        for extent in shape:
+            count *= extent
+        draws = np.empty((len(lanes), *shape))
+        flat = draws.reshape(len(lanes), count)
+        scales = np.empty((len(lanes), *(1,) * len(shape)))
+        for index, lane in enumerate(lanes):
+            sigma = sigma_vec[lane]
+            if sigma > 0.0:
+                self._noises[lane].rng.standard_normal(out=flat[index])
+                scales.flat[index] = sigma
+            else:
+                flat[index] = 0.0
+                scales.flat[index] = 1.0  # keep the zeros exactly +0.0
+        draws *= scales
+        draws += 0.0
+        return draws
+
     def _coupling_weights(self, lanes: Sequence[int], lane_arr: np.ndarray,
                           k: int) -> np.ndarray:
         weights = self._weights_base(tuple(lanes), k)
@@ -646,13 +676,11 @@ class BatchedSubArray:
             # the clip outright (and draws nothing), so skipping here is
             # exact, not merely close.
             return weights
-        draws = np.empty_like(weights)
-        for index, lane in enumerate(lanes):
-            # Zero-sigma lanes draw nothing (NoiseSource returns zeros
-            # without consuming); 1.0 + 0.0 multiplies are bitwise no-ops
-            # and the 0.05 clip never binds for weights >= 1.
-            draws[index] = self._noises[lane].normal(
-                self._jitter_sigma[lane], (k, self.n_cols))
+        # Zero-sigma lanes draw nothing (NoiseSource returns zeros
+        # without consuming); 1.0 + 0.0 multiplies are bitwise no-ops
+        # and the 0.05 clip never binds for weights >= 1.
+        draws = self._lane_noise_draws(lanes, self._jitter_sigma,
+                                       (k, self.n_cols))
         weights = weights * (1.0 + draws)
         np.clip(weights, 0.05, None, out=weights)
         return weights
@@ -694,10 +722,8 @@ class BatchedSubArray:
                     "rows": [int(r) for r in self._open_rows[lane]],
                     "steps": int(steps),
                 })
-        draws = np.empty((len(lanes), self.n_cols))
-        for index, lane in enumerate(lanes):
-            draws[index] = self._noises[lane].normal(
-                self._noise_sigma[lane], self.n_cols)
+        draws = self._lane_noise_draws(lanes, self._noise_sigma,
+                                       (self.n_cols,))
         sensed = self.bitline_v[lane_arr] + draws
         threshold = (0.5 + self.sa_offset[lane_arr]
                      ) + self._offset_shift[lane_arr][:, None]
@@ -721,10 +747,8 @@ class BatchedSubArray:
         rows_mat = np.asarray([self._open_rows[lane] for lane in lanes],
                               dtype=np.intp)
         k = rows_mat.shape[1]
-        draws = np.empty((len(lanes), self.n_cols))
-        for index, lane in enumerate(lanes):
-            draws[index] = self._noises[lane].normal(
-                self._noise_sigma[lane], self.n_cols)
+        draws = self._lane_noise_draws(lanes, self._noise_sigma,
+                                       (self.n_cols,))
         sensed = self.bitline_v[lane_arr] + draws
         threshold = (0.5 + self.sa_offset[lane_arr]
                      ) + self._offset_shift[lane_arr][:, None]
@@ -825,6 +849,22 @@ class BatchedSubArray:
         level = np.where(physical_bits, self._restore[lane_arr][:, None], 0.0)
         self.bitline_v[lane_arr] = level
         self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+
+    def xir_store(self, lane_arr: np.ndarray, rows_mat: np.ndarray,
+                  physical_bits: np.ndarray) -> None:
+        """Fused whole write-row cycle (open + write + close collapsed).
+
+        The net state transition of ``charge_share -> sense -> write ->
+        close`` on one row: every intermediate bit-line and cell level is
+        overwritten by the write, so only the written restore levels, the
+        refresh marking and the idle bit-line remain — the charge-share /
+        sense draws are dead and the executor jumps their streams instead
+        of drawing them.
+        """
+        self._written[lane_arr[:, None], rows_mat] = True
+        level = np.where(physical_bits, self._restore[lane_arr][:, None], 0.0)
+        self.cell_v[lane_arr[:, None], rows_mat] = level[:, None, :]
+        self.bitline_v[lane_arr] = 0.5
 
     def xir_freeze(self, lane_arr: np.ndarray, rows_mat: np.ndarray,
                    snapshot: np.ndarray) -> None:

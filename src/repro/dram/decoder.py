@@ -29,6 +29,7 @@ in the paper's naming order ``(R1, R2, R3, R4)`` where ``R3 = R1 & R2``
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import FrozenSet, Tuple
 
@@ -119,6 +120,7 @@ class DecoderProfile:
         return self.supports_three_row or self.supports_four_row
 
 
+@functools.lru_cache(maxsize=8192)
 def resolve_glitch(profile: DecoderProfile, r1: int, r2: int,
                    rows_per_subarray: int) -> tuple[int, ...]:
     """Rows opened by ``ACT(r1)-PRE-ACT(r2)`` with zero idle cycles.
@@ -126,6 +128,11 @@ def resolve_glitch(profile: DecoderProfile, r1: int, r2: int,
     ``r1`` and ``r2`` are *local* (sub-array) row addresses.  Returns the
     ordered tuple of open rows; when no glitch fires the result is simply
     ``(r1, r2)`` (both word-lines end up raised, no implicit extras).
+
+    Memoized: the result depends only on the frozen decoder profile and
+    the (small) address pair, yet the batched engine resolves it per
+    lane per activation — on multi-row hot loops that lookup dominates
+    the abort-glitch path.
     """
     if not 0 <= r1 < rows_per_subarray or not 0 <= r2 < rows_per_subarray:
         raise ConfigurationError(

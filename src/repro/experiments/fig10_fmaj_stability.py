@@ -197,7 +197,12 @@ def _combo_success_at(config: ExperimentConfig, group_id: str,
     for start in range(0, len(serials), batch):
         cohort = serials[start:start + batch]
         chips = [make_chip(group_id, config, serial) for serial in cohort]
-        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        device = BatchedChip.from_chips(chips)
+        if config.backend == "fused":
+            from ..xir import FusedFracDram
+            bfd = FusedFracDram(device)
+        else:
+            bfd = BatchedFracDram(device)
         lanes = bfd.all_lanes()
         rows = slice(start, start + len(cohort))
         for t_index, (bank, subarray) in enumerate(targets):
@@ -268,7 +273,12 @@ def _stability_rates(config: ExperimentConfig, group_id: str,
         rngs = [derive_rng(config.master_seed, "fig10", group_id,
                            operation, serial) for serial in cohort]
         chips = [make_chip(group_id, config, serial) for serial in cohort]
-        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        device = BatchedChip.from_chips(chips)
+        if config.backend == "fused":
+            from ..xir import FusedFracDram
+            bfd = FusedFracDram(device)
+        else:
+            bfd = BatchedFracDram(device)
         lanes = bfd.all_lanes()
         successes = np.zeros((len(cohort), bfd.columns))
         for _ in range(trials):

@@ -193,7 +193,12 @@ def _group_payload(config: ExperimentConfig, group_id: str,
     for start in range(0, len(serials), batch):
         cohort = serials[start:start + batch]
         chips = [make_chip(group_id, config, serial) for serial in cohort]
-        bfd = BatchedFracDram(BatchedChip.from_chips(chips))
+        device = BatchedChip.from_chips(chips)
+        if config.backend == "fused":
+            from ..xir import FusedFracDram
+            bfd = FusedFracDram(device)
+        else:
+            bfd = BatchedFracDram(device)
         lanes = bfd.all_lanes()
         rows = slice(start, start + len(cohort))
         if maj3_matrix is not None:

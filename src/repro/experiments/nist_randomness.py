@@ -137,16 +137,29 @@ def run_shard(config: ExperimentConfig, units, group_id: str = "B",
         cohort = units[start:start + batch]
         sites = [(bank, subarray) for _, bank, subarray in cohort]
         epochs = [index for index, _, _ in cohort]
-        bfd = BatchedFracDram(
-            BatchedChip.from_subarray_views(chip, sites, epochs=epochs))
-        lanes = bfd.all_lanes()
+        device = BatchedChip.from_subarray_views(chip, sites, epochs=epochs)
         # The scalar evaluation, replayed per lane in the virtual
         # 1-sub-array address space: fill the reserved all-ones row,
         # copy it onto the challenge row, Frac it to ~Vdd/2, read.
-        bfd.fill_row(0, [reserved] * len(lanes), True, lanes)
-        bfd.row_copy(0, [reserved] * len(lanes), [0] * len(lanes), lanes)
-        bfd.frac(0, [0] * len(lanes), PUF_N_FRAC, lanes)
-        responses = bfd.read_row(0, [0] * len(lanes), lanes)
+        if config.backend == "fused":
+            from ..xir import FusedFracDram, ir
+            bfd = FusedFracDram(device)
+            lanes = bfd.all_lanes()
+            (responses,) = bfd.run_program(
+                (ir.WriteRow(0, "res", True),
+                 ir.RowCopy(0, "res", "row"),
+                 ir.Frac(0, "row", PUF_N_FRAC),
+                 ir.ReadRow(0, "row")),
+                rows={"res": [reserved] * len(lanes),
+                      "row": [0] * len(lanes)},
+                lanes=lanes)
+        else:
+            bfd = BatchedFracDram(device)
+            lanes = bfd.all_lanes()
+            bfd.fill_row(0, [reserved] * len(lanes), True, lanes)
+            bfd.row_copy(0, [reserved] * len(lanes), [0] * len(lanes), lanes)
+            bfd.frac(0, [0] * len(lanes), PUF_N_FRAC, lanes)
+            responses = bfd.read_row(0, [0] * len(lanes), lanes)
         payloads.extend((index, responses[lane].copy())
                         for lane, (index, _, _) in enumerate(cohort))
     return payloads

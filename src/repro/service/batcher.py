@@ -139,10 +139,25 @@ class VerifyReply:
 
 
 class VerificationEngine:
-    """Executes coalesced request batches as fused engine passes."""
+    """Executes coalesced request batches as fused engine passes.
 
-    def __init__(self, db: EnrollmentDb) -> None:
+    ``backend`` picks the device engine a batch rides on: ``"fused"``
+    (default) evaluates the challenge set through
+    :class:`~repro.xir.FusedFracPuf`, ``"batched"`` keeps the plain
+    :class:`~repro.puf.batched_puf.BatchedFracPuf`.  Replies are
+    byte-identical either way (the fused path's conformance contract);
+    the knob exists for fallback and for benchmarking the delta.
+    """
+
+    def __init__(self, db: EnrollmentDb, *,
+                 backend: str | None = None) -> None:
+        backend = "fused" if backend is None else backend
+        if backend not in ("fused", "batched"):
+            raise ConfigurationError(
+                f"unknown service backend {backend!r} "
+                "(expected 'fused' or 'batched')")
         self.db = db
+        self.backend = backend
         self.config: ServiceConfig = db.config
         self._challenges = self.config.challenges()
         self._geometry = self.config.geometry()
@@ -181,7 +196,11 @@ class VerificationEngine:
         device = BatchedChip.from_fleet(
             specs, geometry=self._geometry, master_seed=config.master_seed,
             epochs=epochs)
-        puf = BatchedFracPuf(device, n_frac=config.n_frac)
+        if self.backend == "fused":
+            from ..xir import FusedFracPuf
+            puf = FusedFracPuf(device, n_frac=config.n_frac)
+        else:
+            puf = BatchedFracPuf(device, n_frac=config.n_frac)
         probes = puf.evaluate_many(self._challenges)
 
         fractions: list[float | None] = [None] * len(requests)

@@ -3,22 +3,27 @@
 The pipeline (see ``docs/performance.md``):
 
 1. **IR** (:mod:`repro.xir.ir`) — an experiment pass as a small program
-   of whole-physics ops (``WriteRow``/``Frac``/``ReadRow``/
-   ``PrechargeAll``/``Leak``/``RowCopy``) with structured
+   of whole-physics ops (``WriteRow``/``WriteData``/``Frac``/
+   ``ReadRow``/``PrechargeAll``/``Leak``/``RowCopy``) with structured
    ``Repeat``/``Sweep`` regions, rows and durations as named parameters.
 2. **Compiler** (:mod:`repro.xir.compile`) — lowers a program through a
    symbolic replica of the batched engine's bank state machine into a
    flat phase-op schedule, hoisting plan compilation, lane-uniform
    counter deltas, trace-event shapes, spacing predictions and the RNG
-   draw regions.  Memoized per program shape.
+   draw regions.  Memoized per program shape.  Physics it cannot prove
+   equivalent (the multi-row activation glitch) raise
+   :class:`XirLoweringError` naming the offending op.
 3. **Executor** (:mod:`repro.xir.executor`) — replays a compiled
    program as whole-batch NumPy kernels on
    :class:`~repro.dram.batched.BatchedSubArray` (the ``xir_*`` entry
-   points), with per-region merged RNG pre-advancement.
+   points), with per-region merged RNG pre-advancement and store
+   collapse for non-enforce lanes.
 
-The ``fused`` backend (:mod:`repro.backends.fused`) routes the fig6 and
-fig11 hot paths through :class:`FusedRetentionProfiler` /
-:class:`FusedFracPuf`; everything stays byte-identical to the
+The ``fused`` backend (:mod:`repro.backends.fused`) routes the
+experiments in :data:`XIR_LOWERED_EXPERIMENTS` through the fused
+drivers (:class:`FusedRetentionProfiler`, :class:`FusedFracPuf`,
+:class:`FusedFracDram`); every other experiment inherits the batched
+engine unchanged.  Everything stays byte-identical to the
 ``scalar``/``batched``/``plan`` engines (conformance-gated in
 ``tests/backends``).
 """
@@ -26,19 +31,30 @@ fig11 hot paths through :class:`FusedRetentionProfiler` /
 from . import ir
 from .compile import (
     LoweringError,
+    XirLoweringError,
     clear_xir_cache,
     compile_program,
     xir_cache_info,
 )
 from .executor import FusedRunner
+from .fmaj import FusedFracDram
 from .puf import FusedFracPuf
 from .retention import FusedRetentionProfiler
 
+#: Experiments whose hot loops run through the fused xir executor when
+#: ``--backend fused`` is selected.  Everything else inherits the
+#: batched engine (same results — the fused path is a perf lane, not a
+#: different model).  Pinned by ``tests/xir/test_registry.py``.
+XIR_LOWERED_EXPERIMENTS = ("fig6", "fig9", "fig10", "fig11", "nist")
+
 __all__ = [
+    "FusedFracDram",
     "FusedFracPuf",
     "FusedRetentionProfiler",
     "FusedRunner",
     "LoweringError",
+    "XIR_LOWERED_EXPERIMENTS",
+    "XirLoweringError",
     "clear_xir_cache",
     "compile_program",
     "ir",

@@ -66,14 +66,25 @@ __all__ = [
     "LoweringError",
     "PrimSpec",
     "SpacingCheck",
+    "XirLoweringError",
     "clear_xir_cache",
     "compile_program",
     "xir_cache_info",
 ]
 
 
-class LoweringError(CommandSequenceError):
-    """The program's physics cannot be lowered to fused phase ops."""
+class XirLoweringError(CommandSequenceError):
+    """The program's physics cannot be lowered to fused phase ops.
+
+    Raised naming the offending op so a refused experiment flow points
+    at what it tried to lower instead of silently inheriting the
+    batched engine (``repro.xir.XIR_LOWERED_EXPERIMENTS`` lists which
+    experiments ride the fused path).
+    """
+
+
+#: Backwards-compatible alias (the PR 8 name).
+LoweringError = XirLoweringError
 
 
 @dataclass(frozen=True)
@@ -113,11 +124,19 @@ class PrimSpec:
         ("cs", bank, param, need_snapshot)    # open + charge share
         ("sense", bank, param)                # sense amplifiers fire
         ("write", bank, param, value)         # whole-row write
+        ("write-data", bank, param)           # run-time-bound row write
         ("readout", bank, param)              # logical read of the buffer
         ("freeze", bank, param)               # interrupted-close freeze
         ("close", bank, param)                # committed close
         ("glitch", bank, src, dst)            # sensed close-abort copy
         ("leak", dt_param)                    # retention leakage
+
+    ``store`` marks a write op whose open/sense/close physics is fully
+    overwritten by its own write (the plain in-spec write-row cycle on a
+    spacing-free lane class): the telemetry-off fast path may collapse
+    the whole prim into one ``("store", bank, param, value)`` action and
+    jump the dead charge-share/sense draws instead of materializing
+    them.
     """
 
     op: str
@@ -132,6 +151,7 @@ class PrimSpec:
     dst_param: str | None
     dt_param: str | None
     actions: tuple[tuple, ...]
+    store: bool = False
 
 
 @dataclass(frozen=True)
@@ -146,8 +166,11 @@ class CompiledProgram:
     #: once per run multiplied by the lane count.
     deltas: tuple[tuple[str, int], ...]
     #: RNG consumption schedule: per region (split at leaks), the
-    #: ordered ``(kind, bank, param)`` draw segments.
-    regions: tuple[tuple[tuple[str, int, str], ...], ...]
+    #: ordered ``(kind, bank, param, dead)`` draw segments.  ``dead``
+    #: draws belong to a ``store``-collapsible prim: their values are
+    #: never observed, only their stream consumption matters, so the
+    #: fast path may advance the generators without materializing them.
+    regions: tuple[tuple[tuple[str, int, str, bool], ...], ...]
     #: Row parameters and the single bank each is bound on.
     param_banks: tuple[tuple[str, int], ...]
     #: Row-copy (src, dst, bank) parameter pairs needing glitch binding.
@@ -187,9 +210,11 @@ def _template(op: ir.Op, timing: TimingParams,
     the compiled-plan key ignores them), so the JEDEC annotations — and
     the plan-cache entries — are shared with the batched engine.
     """
-    if isinstance(op, ir.WriteRow):
+    if isinstance(op, (ir.WriteRow, ir.WriteData)):
         # Mirror BatchedSoftMC.write_row's inline template (empty
         # payload; the data ships separately), not write_row_sequence.
+        # WriteData shares the template — only the stored plane differs,
+        # and that binds at run time.
         template = CommandSequence(
             (
                 TimedCommand(0, Activate(op.bank, 0)),
@@ -221,7 +246,9 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
     states = [_BankState() for _ in range(n_banks)]
     last_allowed: list[int | None] = [None] * n_banks
     deltas: dict[str, int] = {}
-    regions: list[list[tuple[str, int, str]]] = [[]]
+    # Entries are mutable lists [kind, bank, param, dead]: the dead flag
+    # is backpatched once a store-collapsible write prim completes.
+    regions: list[list[list]] = [[]]
     prims: list[PrimSpec] = []
     param_banks: dict[str, int] = {}
     pairs: list[tuple[str, str, int]] = []
@@ -230,14 +257,20 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
     start = 0
     actions: list = []
 
+    op: ir.Op | None = None  # current experiment op, for refusal context
+
+    def refuse(message: str) -> None:
+        context = "" if op is None else f" (while lowering {op!r})"
+        raise XirLoweringError(message + context)
+
     def bump(name: str, n: int = 1) -> None:
         deltas[name] = deltas.get(name, 0) + n
 
     def register(param: str, bank: int) -> None:
         bound = param_banks.setdefault(param, bank)
         if bound != bank:
-            raise LoweringError(
-                f"row parameter {param!r} bound on banks {bound} and {bank}")
+            refuse(f"row parameter {param!r} bound on banks "
+                   f"{bound} and {bank}")
 
     def commit(bank: int) -> None:
         """Committed close: freeze an interrupted share, else plain close."""
@@ -263,7 +296,7 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
         if (state.open_param is not None and not state.fired
                 and t - state.last_act >= se):
             actions.append(("sense", bank, state.open_param))
-            regions[-1].append(("sense", bank, state.open_param))
+            regions[-1].append(["sense", bank, state.open_param, False])
             state.fired = True
 
     def do_act(bank: int, param: str | None, t: int) -> None:
@@ -277,11 +310,9 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
             if state.open_param is None:  # pragma: no cover - pre => open
                 raise LoweringError("close-abort on a closed bank")
             if not state.fired:
-                raise LoweringError(
-                    "unsensed close-abort glitches cannot be fused")
+                refuse("unsensed close-abort glitches cannot be fused")
             if state.copy:
-                raise LoweringError(
-                    "chained glitch overwrites cannot be fused")
+                refuse("chained glitch overwrites cannot be fused")
             actions.append(("glitch", bank, state.open_param, param))
             pair = (state.open_param, param, bank)
             if pair not in pairs:
@@ -296,18 +327,17 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
         settle_bank(bank, t)
         if state.open_param is not None:
             if state.copy:
-                raise LoweringError(
-                    "activation over a glitch-opened row set cannot be fused")
+                refuse("activation over a glitch-opened row set "
+                       "cannot be fused")
             if param != state.open_param:
-                raise LoweringError(
-                    "multi-row activation cannot be fused (distinct row "
-                    f"parameters {state.open_param!r} and {param!r} open "
-                    f"on bank {bank})")
+                refuse("multi-row activation cannot be fused (distinct row "
+                       f"parameters {state.open_param!r} and {param!r} open "
+                       f"on bank {bank})")
             return  # same-row re-ACT: raises the word line again, no-op
         register(param, bank)
         action = ["cs", bank, param, False]
         actions.append(action)
-        regions[-1].append(("jitter", bank, param))
+        regions[-1].append(["jitter", bank, param, False])
         state.open_param = param
         state.fired = False
         state.copy = False
@@ -323,9 +353,8 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
         if state.open_param is None:
             return  # closed bank: the idle bit-line level is re-asserted
         if not state.fired and t - state.last_act - 1 >= 1:
-            raise LoweringError(
-                "partial amplification cannot be fused (PRECHARGE inside "
-                "the amplify window)")
+            refuse("partial amplification cannot be fused (PRECHARGE inside "
+                   "the amplify window)")
         state.pre_at = t
 
     def finish(t: int) -> None:
@@ -340,8 +369,8 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
         if isinstance(op, ir.Leak):
             for bank, state in enumerate(states):
                 if not state.idle:
-                    raise LoweringError(
-                        f"Leak with bank {bank} not idle (precharge first)")
+                    refuse(f"Leak with bank {bank} not idle "
+                           "(precharge first)")
             if op.dt not in dt_params:
                 dt_params.append(op.dt)
             actions.append(("leak", op.dt))
@@ -408,29 +437,47 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
                 state = states[command.bank]
                 param = row_params.get(index)
                 if state.open_param is None or not state.fired:
-                    raise LoweringError(
-                        "WRITE before the sense amplifiers fired")
+                    refuse("WRITE before the sense amplifiers fired")
                 if state.copy or param != state.open_param:
-                    raise LoweringError(
-                        "WRITE target does not match the open row")
-                actions.append(("write", command.bank, param, op.value))
+                    refuse("WRITE target does not match the open row")
+                if isinstance(op, ir.WriteData):
+                    actions.append(("write-data", command.bank, param))
+                else:
+                    actions.append(("write", command.bank, param, op.value))
             elif kind == "RD":
                 for bank in range(n_banks):
                     settle_bank(bank, t)
                 state = states[command.bank]
                 param = row_params.get(index)
                 if state.open_param is None or not state.fired:
-                    raise LoweringError(
-                        "READ before the sense amplifiers fired")
+                    refuse("READ before the sense amplifiers fired")
                 if param != state.open_param:
-                    raise LoweringError(
-                        "READ target does not match the open row")
+                    refuse("READ target does not match the open row")
                 actions.append(("readout", command.bank, param))
                 n_reads += 1
             else:  # pragma: no cover - defensive
                 raise LoweringError(f"unknown command kind {kind!r}")
 
         finish(start + template.duration)
+        store = False
+        if isinstance(op, (ir.WriteRow, ir.WriteData)) and not enforce:
+            # A plain write-row cycle on a spacing-free lane class: the
+            # charge share and sense are fully overwritten by the write
+            # and the close only re-idles the bit-lines, so the fast
+            # path may collapse the prim to one store kernel and jump
+            # the (dead) jitter/sense draws.  The pattern check is
+            # structural, so any future template change that adds an
+            # observable step simply stops matching.
+            write_tag = ("write-data" if isinstance(op, ir.WriteData)
+                         else "write")
+            physics = [a[0] for a in actions if a[0] != "cmd"]
+            tail = [tuple(e[:3]) for e in regions[-1][-2:]]
+            if (physics == ["cs", "sense", write_tag, "close"]
+                    and tail == [("jitter", op.bank, op.rows),
+                                 ("sense", op.bank, op.rows)]):
+                store = True
+                for entry in regions[-1][-2:]:
+                    entry[3] = True
         prims.append(PrimSpec(
             op=template.op,
             bank=getattr(op, "bank", None),
@@ -444,7 +491,8 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
             dst_param=getattr(op, "dst", None),
             dt_param=None,
             actions=tuple(tuple(a) if isinstance(a, list) else a
-                          for a in actions)))
+                          for a in actions),
+            store=store))
         start += template.duration
 
     for bank, state in enumerate(states):
@@ -461,7 +509,8 @@ def _compile(ops: Sequence[ir.Op], *, enforce: bool, timing: TimingParams,
         deltas=tuple(sorted(deltas.items())),
         # Empty regions are kept: the executor advances its region index
         # once per leak, so the schedule has exactly n_leaks + 1 entries.
-        regions=tuple(tuple(region) for region in regions),
+        regions=tuple(tuple(tuple(entry) for entry in region)
+                      for region in regions),
         param_banks=tuple(sorted(param_banks.items())),
         pairs=tuple(pairs),
         dt_params=tuple(dt_params))

@@ -1,0 +1,102 @@
+"""Fused fMAJ driver: in-memory majority through the xir executor.
+
+:class:`FusedFracDram` keeps :class:`~repro.core.batched_ops.BatchedFracDram`'s
+interface and semantics but routes the in-spec phases of ``maj3``/``f_maj``
+(operand stores, frac preparation, the final readout) through one compiled
+:mod:`repro.xir` program each.  The multi-row activation itself stays on the
+batched engine: the decoder glitch is whole-sequence physics the compiler
+deliberately refuses to lower (see :mod:`repro.xir.compile`), and it both
+starts and ends precharged, so fused programs on either side see an idle
+device and the command stream stays byte-identical to the batched driver.
+
+Program shapes depend only on static fields (row count, ``init_ones``,
+``n_frac``), so each flow compiles once and replays across trials.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.batched_ops import BatchedFracDram
+from ..core.ops import FMajConfig, MultiRowPlan
+from ..dram.batched import BatchedChip
+from ..errors import ConfigurationError
+from . import ir
+from .executor import FusedRunner
+
+__all__ = ["FusedFracDram"]
+
+
+class FusedFracDram(BatchedFracDram):
+    """Drop-in :class:`BatchedFracDram` with fused maj3/f_maj phases."""
+
+    def __init__(self, device: BatchedChip) -> None:
+        super().__init__(device)
+        self._runner = FusedRunner(self.mc)
+
+    def run_program(self, ops: Sequence[ir.Op], *,
+                    rows: dict[str, Sequence[int]],
+                    dts: dict[str, float] | None = None,
+                    lanes: Sequence[int] | None = None,
+                    data: dict[str, np.ndarray] | None = None,
+                    ) -> list[np.ndarray]:
+        """Run an arbitrary xir program on this driver's controller."""
+        return self._runner.run(ops, rows=rows, dts=dts, lanes=lanes,
+                                data=data)
+
+    def maj3(self, plan: MultiRowPlan, operands: np.ndarray,
+             lanes: Sequence[int]) -> np.ndarray:
+        """Majority-of-three; ``operands`` is ``(L, 3, C)`` lane-major."""
+        ops, rows, data = self._store_program(plan, operands, None, lanes)
+        self._runner.run(ops, rows=rows, lanes=lanes, data=data)
+        self.multi_row_activate(plan, lanes)
+        return self._read_result(plan, 0, lanes)
+
+    def f_maj(self, plan: MultiRowPlan, operands: np.ndarray,
+              config: FMajConfig, lanes: Sequence[int]) -> np.ndarray:
+        """F-MAJ via four-row activation; ``operands`` is ``(L, 3, C)``."""
+        if not 0 <= config.frac_position < plan.n_rows:
+            raise ConfigurationError(
+                f"frac_position {config.frac_position} outside opened set")
+        frac_row = plan.opened[config.frac_position]
+        store_ops, rows, data = self._store_program(
+            plan, operands, config.frac_position, lanes)
+        ops = (ir.WriteRow(plan.bank, "fr", config.init_ones),)
+        if config.n_frac > 0:
+            ops += (ir.Frac(plan.bank, "fr", config.n_frac),)
+        rows["fr"] = self._uniform(frac_row, lanes)
+        self._runner.run(ops + store_ops, rows=rows, lanes=lanes, data=data)
+        self.multi_row_activate(plan, lanes)
+        result_position = 0 if config.frac_position != 0 else 1
+        return self._read_result(plan, result_position, lanes)
+
+    def _store_program(self, plan: MultiRowPlan, operands: np.ndarray,
+                       skip_position: int | None, lanes: Sequence[int],
+                       ) -> tuple[tuple[ir.Op, ...], dict[str, list[int]],
+                                  dict[str, np.ndarray]]:
+        operands = np.asarray(operands, dtype=bool)
+        target_positions = [index for index in range(plan.n_rows)
+                            if index != skip_position]
+        expected = (len(lanes), len(target_positions), self.columns)
+        if operands.shape != expected:
+            raise ConfigurationError(
+                f"operand shape {operands.shape} != {expected}")
+        ops: tuple[ir.Op, ...] = ()
+        rows: dict[str, list[int]] = {}
+        data: dict[str, np.ndarray] = {}
+        for slot, position in enumerate(target_positions):
+            param = f"op{slot}"
+            ops += (ir.WriteData(plan.bank, param),)
+            rows[param] = self._uniform(plan.opened[position], lanes)
+            data[param] = operands[:, slot]
+        return ops, rows, data
+
+    def _read_result(self, plan: MultiRowPlan, position: int,
+                     lanes: Sequence[int]) -> np.ndarray:
+        (read,) = self._runner.run(
+            (ir.ReadRow(plan.bank, "rd"),),
+            rows={"rd": self._uniform(plan.opened[position], lanes)},
+            lanes=lanes)
+        return read

@@ -35,6 +35,7 @@ __all__ = [
     "Repeat",
     "RowCopy",
     "Sweep",
+    "WriteData",
     "WriteRow",
     "flatten",
     "signature",
@@ -48,6 +49,21 @@ class WriteRow:
     bank: int
     rows: str
     value: bool
+
+
+@dataclass(frozen=True)
+class WriteData:
+    """In-spec ACT/WRITE/PRE storing per-lane data bound at run time.
+
+    Same command template as :class:`WriteRow`, but the stored plane is
+    a run-time binding (``data[rows]``, one ``(lanes, columns)`` bool
+    array) instead of a compile-time constant — the op the fMAJ flows
+    need to store three distinct operand planes per trial without
+    recompiling per payload.
+    """
+
+    bank: int
+    rows: str
 
 
 @dataclass(frozen=True)
@@ -117,10 +133,12 @@ class Sweep:
     body: tuple["Op", ...]
 
 
-Op = Union[WriteRow, Frac, ReadRow, PrechargeAll, Leak, RowCopy, Repeat, Sweep]
+Op = Union[WriteRow, WriteData, Frac, ReadRow, PrechargeAll, Leak, RowCopy,
+           Repeat, Sweep]
 
 #: Ops that lower directly to phase ops (no region structure).
-PRIMITIVE_OPS = (WriteRow, Frac, ReadRow, PrechargeAll, Leak, RowCopy)
+PRIMITIVE_OPS = (WriteRow, WriteData, Frac, ReadRow, PrechargeAll, Leak,
+                 RowCopy)
 
 
 def flatten(ops: Sequence[Op]) -> Iterator[Op]:

@@ -1,0 +1,104 @@
+"""``skip_normals``: bit-exact stream advancement for dead normal draws.
+
+The contract is absolute: after ``skip_normals(gen, n)`` the generator's
+state equals what ``normal(0, 1, n)`` would have left — whichever path
+ran (vectorized classifier, native tail/margin resolution, or the
+generate-and-discard fallback) — so gathered values downstream are
+bitwise-identical with skipping on or off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram import pcg_jump
+from repro.dram.pcg_jump import skip_normals
+
+
+def reference_state(seed, n):
+    reference = np.random.Generator(np.random.PCG64(seed))
+    reference.normal(0.0, 1.0, n)
+    return reference.bit_generator.state
+
+
+def assert_equivalent(generator, seed, n):
+    assert generator.bit_generator.state == reference_state(seed, n)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), n=st.integers(0, 400))
+def test_forced_fast_path_matches_normal(seed, n):
+    """The classifier path advances exactly like ``normal(0, 1, n)``."""
+    if pcg_jump._ziggurat_tables() is None:  # pragma: no cover
+        pytest.skip("ziggurat constant tables unavailable")
+    generator = np.random.Generator(np.random.PCG64(seed))
+    original = pcg_jump._SKIP_MIN
+    pcg_jump._SKIP_MIN = 1  # force the fast path at any count
+    try:
+        skip_normals(generator, n)
+    finally:
+        pcg_jump._SKIP_MIN = original
+    assert_equivalent(generator, seed, n)
+
+
+def test_large_count_matches_normal():
+    """Above-threshold counts (the real engagement point) stay exact."""
+    n = pcg_jump._SKIP_MIN + 4111
+    for seed in (0, 0xD1CE, 2022):
+        generator = np.random.Generator(np.random.PCG64(seed))
+        skip_normals(generator, n)
+        assert_equivalent(generator, seed, n)
+
+
+def test_small_count_uses_fallback_and_matches():
+    """Below-threshold counts fall back (still exact, by construction)."""
+    generator = np.random.Generator(np.random.PCG64(99))
+    skip_normals(generator, 37)
+    assert_equivalent(generator, 99, 37)
+
+
+def test_zero_and_negative_are_no_ops():
+    generator = np.random.Generator(np.random.PCG64(5))
+    before = generator.bit_generator.state
+    skip_normals(generator, 0)
+    skip_normals(generator, -3)
+    assert generator.bit_generator.state == before
+
+
+def test_non_pcg64_falls_back_exactly():
+    generator = np.random.Generator(np.random.MT19937(123))
+    reference = np.random.Generator(np.random.MT19937(123))
+    skip_normals(generator, 500)
+    reference.normal(0.0, 1.0, 500)
+    assert repr(generator.bit_generator.state) == repr(
+        reference.bit_generator.state)
+
+
+def test_fast_path_failure_is_transactional(monkeypatch):
+    """Any fast-path exception restores the state and falls back."""
+
+    def explode(generator, n, tables):
+        generator.bit_generator.advance(12345)  # corrupt mid-flight
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(pcg_jump, "_skip_fast", explode)
+    n = pcg_jump._SKIP_MIN + 7
+    generator = np.random.Generator(np.random.PCG64(77))
+    skip_normals(generator, n)
+    assert_equivalent(generator, 77, n)
+
+
+def test_stream_continues_identically_after_skip():
+    """Draws *after* a skip match draws after a real normal pass."""
+    n = pcg_jump._SKIP_MIN
+    generator = np.random.Generator(np.random.PCG64(31337))
+    reference = np.random.Generator(np.random.PCG64(31337))
+    skip_normals(generator, n)
+    reference.normal(0.0, 1.0, n)
+    assert np.array_equal(generator.integers(0, 2**63, 64),
+                          reference.integers(0, 2**63, 64))
+    assert np.array_equal(generator.normal(0.0, 1.0, 64),
+                          reference.normal(0.0, 1.0, 64))

@@ -1,0 +1,80 @@
+"""Service backend selection: fused engine passes, byte-identical replies.
+
+The serving guarantee extends to the engine choice: a mixed-vendor
+coalesced batch served through :class:`~repro.xir.FusedFracPuf` must
+produce replies equal — field for field, and as serialized JSON bytes —
+to both the plain batched engine and a dedicated scalar
+:class:`~repro.puf.auth.Authenticator` pass per module.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import DramChip
+from repro.errors import ConfigurationError
+from repro.puf.frac_puf import FracPuf
+from repro.service import VerificationEngine, VerifyRequest
+
+
+def request(n, group="B", serial=0, epoch=1, claim=None):
+    return VerifyRequest(request_id=f"r{n}", group_id=group, serial=serial,
+                         epoch=epoch, claimed_id=claim)
+
+
+MIXED_BATCH = [
+    ("A", 1, 2, "A-00001"),   # honest, claimed
+    ("B", 2, 1, None),        # honest, anonymous
+    ("C", 0, 3, "C-00001"),   # honest, wrong claim
+    ("B", 500, 1, "B-00000"), # impostor (unenrolled serial)
+    ("A", 2, 1, None),
+]
+
+
+def mixed_requests():
+    return [request(index, group, serial, epoch, claim)
+            for index, (group, serial, epoch, claim)
+            in enumerate(MIXED_BATCH)]
+
+
+def test_backend_validation(enrolled_db):
+    assert VerificationEngine(enrolled_db).backend == "fused"
+    assert VerificationEngine(enrolled_db, backend="batched").backend == \
+        "batched"
+    with pytest.raises(ConfigurationError, match="unknown service backend"):
+        VerificationEngine(enrolled_db, backend="plan")
+
+
+def test_fused_replies_byte_identical_to_batched(enrolled_db):
+    requests = mixed_requests()
+    fused = VerificationEngine(enrolled_db, backend="fused")
+    batched = VerificationEngine(enrolled_db, backend="batched")
+    fused_replies = fused.execute(requests, batch_index=3)
+    batched_replies = batched.execute(requests, batch_index=3)
+    fused_bytes = [json.dumps(reply.to_json_dict(), sort_keys=True)
+                   for reply in fused_replies]
+    batched_bytes = [json.dumps(reply.to_json_dict(), sort_keys=True)
+                     for reply in batched_replies]
+    assert fused_bytes == batched_bytes
+
+
+def test_fused_mixed_batch_matches_scalar_authenticator(enrolled_db,
+                                                        service_config):
+    """Every lane of a fused mixed batch == a dedicated scalar pass."""
+    auth = enrolled_db.authenticator()
+    requests = mixed_requests()
+    replies = VerificationEngine(enrolled_db,
+                                 backend="fused").execute(requests)
+    for req, reply in zip(requests, replies):
+        chip = DramChip(req.group_id, geometry=service_config.geometry(),
+                        serial=req.serial,
+                        master_seed=service_config.master_seed)
+        chip.reseed_noise(req.epoch)
+        probe = FracPuf(chip, n_frac=service_config.n_frac).evaluate_many(
+            service_config.challenges())
+        decision = auth.decide(probe)
+        assert reply.accepted == decision.accepted
+        assert reply.device_id == decision.device_id
+        assert reply.mean_distance == decision.mean_distance

@@ -1,0 +1,156 @@
+"""Property tests: fused fMAJ/nist flows equal the batched engine bit for bit.
+
+:class:`~repro.xir.fmaj.FusedFracDram` keeps the multi-row activation on
+the batched engine but fuses everything around it (operand stores, frac
+preparation, readout) into compiled xir programs.  These tests pin the
+contract the fig9/fig10/nist retrofits rely on: identical result bits
+*and* identical deterministic telemetry counters on identically
+fabricated fleets, plus byte-identical validation errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.batched_ops import BatchedFracDram
+from repro.core.ops import FMajConfig, FracDram
+from repro.dram.batched import BatchedChip
+from repro.dram.chip import DramChip
+from repro.dram.parameters import GeometryParams
+from repro.errors import ConfigurationError
+from repro.puf.frac_puf import PUF_N_FRAC
+from repro.telemetry import session as telemetry_session
+from repro.xir import FusedFracDram, ir
+
+GEOMETRY = GeometryParams(n_banks=2, subarrays_per_bank=2,
+                          rows_per_subarray=16, columns=32)
+
+
+def make_pair(n_lanes, seed):
+    """(fused, batched) drivers over identically fabricated fleets."""
+    units = [("B", serial) for serial in range(n_lanes)]
+
+    def fleet():
+        return BatchedChip.from_fleet(list(units), geometry=GEOMETRY,
+                                      master_seed=seed,
+                                      epochs=[0] * n_lanes)
+
+    return FusedFracDram(fleet()), BatchedFracDram(fleet())
+
+
+def donor(seed):
+    return FracDram(DramChip("B", geometry=GEOMETRY, master_seed=seed,
+                             serial=0))
+
+
+def operand_planes(seed, n_lanes, n_slots):
+    rng = np.random.default_rng(seed)
+    return rng.random((n_lanes, n_slots, GEOMETRY.columns)) < 0.5
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       n_lanes=st.integers(1, 4),
+       bank=st.integers(0, GEOMETRY.n_banks - 1),
+       subarray=st.integers(0, GEOMETRY.subarrays_per_bank - 1))
+def test_maj3_matches_batched(seed, n_lanes, bank, subarray):
+    """Fused maj3 == batched maj3: bits and telemetry counters."""
+    fused, batched = make_pair(n_lanes, seed)
+    plan = donor(seed).triple_plan(bank, subarray)
+    operands = operand_planes(seed, n_lanes, 3)
+    lanes = fused.all_lanes()
+
+    with telemetry_session() as batched_telemetry:
+        expected = batched.maj3(plan, operands, lanes)
+        expected_counters = batched_telemetry.snapshot(
+            deterministic=True)["counters"]
+    with telemetry_session() as fused_telemetry:
+        out = fused.maj3(plan, operands, lanes)
+        counters = fused_telemetry.snapshot(deterministic=True)["counters"]
+
+    assert np.array_equal(out, expected)
+    assert counters == expected_counters
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**20),
+       n_lanes=st.integers(1, 4),
+       frac_position=st.integers(0, 3),
+       init_ones=st.booleans(),
+       n_frac=st.integers(0, 3))
+def test_f_maj_matches_batched(seed, n_lanes, frac_position, init_ones,
+                               n_frac):
+    """Fused f_maj == batched f_maj across the fig9 config sweep."""
+    fused, batched = make_pair(n_lanes, seed)
+    plan = donor(seed).quad_plan(0, 0)
+    config = FMajConfig(frac_position, init_ones, n_frac)
+    operands = operand_planes(seed, n_lanes, 3)
+    lanes = fused.all_lanes()
+
+    with telemetry_session() as batched_telemetry:
+        expected = batched.f_maj(plan, operands, config, lanes)
+        expected_counters = batched_telemetry.snapshot(
+            deterministic=True)["counters"]
+    with telemetry_session() as fused_telemetry:
+        out = fused.f_maj(plan, operands, config, lanes)
+        counters = fused_telemetry.snapshot(deterministic=True)["counters"]
+
+    assert np.array_equal(out, expected)
+    assert counters == expected_counters
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**20), n_lanes=st.integers(1, 4))
+def test_nist_program_matches_batched(seed, n_lanes):
+    """The nist trial-batch program == the batched call sequence."""
+    fused, batched = make_pair(n_lanes, seed)
+    lanes = fused.all_lanes()
+    reserved = GEOMETRY.rows_per_subarray - 1
+
+    with telemetry_session() as batched_telemetry:
+        batched.fill_row(0, [reserved] * n_lanes, True, lanes)
+        batched.row_copy(0, [reserved] * n_lanes, [0] * n_lanes, lanes)
+        batched.frac(0, [0] * n_lanes, PUF_N_FRAC, lanes)
+        expected = batched.read_row(0, [0] * n_lanes, lanes)
+        expected_counters = batched_telemetry.snapshot(
+            deterministic=True)["counters"]
+    with telemetry_session() as fused_telemetry:
+        (out,) = fused.run_program(
+            (ir.WriteRow(0, "res", True),
+             ir.RowCopy(0, "res", "row"),
+             ir.Frac(0, "row", PUF_N_FRAC),
+             ir.ReadRow(0, "row")),
+            rows={"res": [reserved] * n_lanes, "row": [0] * n_lanes},
+            lanes=lanes)
+        counters = fused_telemetry.snapshot(deterministic=True)["counters"]
+
+    assert np.array_equal(out, expected)
+    assert counters == expected_counters
+
+
+def test_validation_errors_match_batched():
+    """Refusals are byte-identical to the batched driver's."""
+    fused, batched = make_pair(2, 7)
+    plan = donor(7).quad_plan(0, 0)
+    lanes = fused.all_lanes()
+    bad_config = FMajConfig(frac_position=plan.n_rows, init_ones=True,
+                            n_frac=1)
+    good_config = FMajConfig(frac_position=0, init_ones=True, n_frac=1)
+    bad_operands = operand_planes(7, 2, 2)
+
+    for driver in (fused, batched):
+        with pytest.raises(ConfigurationError) as error:
+            driver.f_maj(plan, bad_operands, bad_config, lanes)
+        assert str(error.value) == (
+            f"frac_position {plan.n_rows} outside opened set")
+        with pytest.raises(ConfigurationError) as error:
+            driver.f_maj(plan, bad_operands, good_config, lanes)
+        assert str(error.value) == (
+            f"operand shape {bad_operands.shape} != (2, 3, 32)")
+        with pytest.raises(ConfigurationError) as error:
+            driver.maj3(donor(7).triple_plan(0, 0), bad_operands, lanes)
+        assert str(error.value) == (
+            f"operand shape {bad_operands.shape} != (2, 3, 32)")
