@@ -94,19 +94,25 @@ _misses: int = 0
 
 
 def plan_for(timing: TimingParams, sequence: CommandSequence) -> CompiledPlan:
-    """Memoized :func:`compile_plan` (process-local LRU)."""
-    global _hits, _misses
+    """Memoized :func:`compile_plan` (process-local LRU).
+
+    The cache mutations below are exempt from the kernel-purity rule:
+    ``compile_plan`` is a pure function of the key, so hit/miss history
+    can change only *when* work happens, never any result a worker
+    returns — and the cache dies with the worker process.
+    """
+    global _hits, _misses  # repro: lint-ok[FORK002]
     key = plan_key(timing, sequence)
     plan = _cache.get(key)
     if plan is not None:
-        _hits += 1
+        _hits += 1  # repro: lint-ok[FORK002]
         _cache.move_to_end(key)
         return plan
-    _misses += 1
+    _misses += 1  # repro: lint-ok[FORK002]
     plan = compile_plan(timing, sequence)
-    _cache[key] = plan
+    _cache[key] = plan  # repro: lint-ok[FORK002]
     if len(_cache) > PLAN_CACHE_CAPACITY:
-        _cache.popitem(last=False)
+        _cache.popitem(last=False)  # repro: lint-ok[FORK002]
     return plan
 
 

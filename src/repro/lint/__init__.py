@@ -9,6 +9,13 @@ historically break it (ambient RNG, wall-clock reads, unordered set
 iteration, environment coupling, fork-unsafe worker state, polluted
 telemetry counters) before they ever execute.
 
+Since the interprocedural engine landed, analysis runs in two phases:
+a per-module pass over each AST, and a whole-program pass over the
+linked :class:`~repro.lint.callgraph.Project` (taint data-flow across
+function/module boundaries, backend-parity checking, kernel-purity
+proofs).  Per-file work is memoized in an incremental cache keyed by
+content hashes, and reports render as text, JSON, or SARIF 2.1.0.
+
 Entry points:
 
 * ``python -m repro lint [paths]`` — the CLI (see :mod:`.cli`);
@@ -20,25 +27,38 @@ Entry points:
 
 from __future__ import annotations
 
-from . import builtin  # noqa: F401  (importing registers the rule set)
+from . import builtin, dataflow, parity  # noqa: F401  (registers rules)
 from .baseline import Baseline, BaselineError, partition_findings
+from .cache import AnalysisCache
+from .callgraph import Project
 from .engine import LintReport, iter_python_files, lint_paths, lint_source
+from .fix import fix_source, fixable_codes
 from .model import Finding, ModuleContext, Severity
 from .rules import Rule, register, registered_rules, rules_for_codes
+from .sarif import render_sarif, sarif_json
+from .summary import ModuleSummary, extract_summary
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineError",
     "Finding",
     "LintReport",
     "ModuleContext",
+    "ModuleSummary",
+    "Project",
     "Rule",
     "Severity",
+    "extract_summary",
+    "fix_source",
+    "fixable_codes",
     "iter_python_files",
     "lint_paths",
     "lint_source",
     "partition_findings",
     "register",
     "registered_rules",
+    "render_sarif",
     "rules_for_codes",
+    "sarif_json",
 ]

@@ -192,6 +192,10 @@ class AmbientRngRule(Rule):
                            f"from the master seed")
             yield self.finding(ctx, call, message)
 
+    def check_project(self, project) -> Iterator[Finding]:
+        from . import dataflow
+        yield from dataflow.iter_rng_findings(self, project)
+
 
 # ----------------------------------------------------------------------
 # DET002 — wall-clock reads
@@ -239,6 +243,11 @@ class WallClockRule(Rule):
                 f"simulated time comes from the SoftMC cycle counter "
                 f"(allowlisted timing modules: "
                 f"{', '.join(self.allowlist)})")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from . import dataflow
+        yield from dataflow.iter_clock_findings(self, project,
+                                                self.allowlist)
 
 
 # ----------------------------------------------------------------------
@@ -559,3 +568,7 @@ class NondeterministicCounterRule(Rule):
                         f"RNG value from {rng}() fed into a telemetry "
                         f"counter; counters must be a pure function of "
                         f"(experiment, config, seed)")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        from . import dataflow
+        yield from dataflow.iter_counter_findings(self, project)

@@ -1,0 +1,137 @@
+"""Incremental analysis cache keyed by per-file content hashes.
+
+A lint run stores, per file: the content digest, the per-module
+findings (post pragma-filter), the extracted
+:class:`~repro.lint.summary.ModuleSummary`, and any parse error.  On
+the next run a file whose digest matches is *not re-parsed* — its
+summary and findings are replayed from the cache and only the (cheap)
+project linking phase runs fresh.  A warm re-lint of an unchanged tree
+therefore performs zero ``ast.parse`` calls; the engine reports this in
+``LintReport.cache_stats`` and CI asserts it.
+
+The cache header carries a fingerprint of everything that could change
+analysis results without changing file contents: the cache format
+version, the running Python version (ASTs differ across minors), and
+the selected rule codes.  A fingerprint mismatch discards the whole
+cache — stale-by-construction beats subtly wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .model import Finding, Severity
+from .summary import ModuleSummary
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_NAME",
+    "content_digest",
+]
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+
+def content_digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fingerprint(rule_codes: Sequence[str]) -> str:
+    payload = json.dumps({
+        "cache_version": CACHE_VERSION,
+        "python": list(sys.version_info[:2]),
+        "rules": sorted(rule_codes),
+    }, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _finding_from_json(payload: dict) -> Finding:
+    return Finding(
+        path=payload["path"], line=payload["line"],
+        column=payload["column"], code=payload["code"],
+        message=payload["message"],
+        severity=Severity(payload["severity"]))
+
+
+class AnalysisCache:
+    """On-disk per-file analysis memo (see module docstring)."""
+
+    def __init__(self, path: Path, *,
+                 rule_codes: Sequence[str]) -> None:
+        self.path = Path(path)
+        self.fingerprint = _fingerprint(rule_codes)
+        self._entries: Dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        if payload.get("fingerprint") != self.fingerprint:
+            return  # rule set / python / format changed: start cold
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def lookup(self, rel_path: str, digest: str) -> Optional[
+            Tuple[Optional[ModuleSummary], List[Finding],
+                  Optional[str]]]:
+        """Replay one file's analysis, or ``None`` on miss.
+
+        Returns ``(summary, findings, parse_error)``; ``summary`` is
+        ``None`` for files that failed to parse.
+        """
+        entry = self._entries.get(rel_path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        summary_json = entry.get("summary")
+        summary = (ModuleSummary.from_json(summary_json)
+                   if summary_json is not None else None)
+        findings = [_finding_from_json(item)
+                    for item in entry.get("findings", [])]
+        return summary, findings, entry.get("parse_error")
+
+    def store(self, rel_path: str, digest: str, *,
+              summary: Optional[ModuleSummary],
+              findings: Sequence[Finding],
+              parse_error: Optional[str]) -> None:
+        self._entries[rel_path] = {
+            "digest": digest,
+            "summary": summary.to_json() if summary is not None else None,
+            "findings": [finding.to_json() for finding in findings],
+            "parse_error": parse_error,
+        }
+        self._dirty = True
+
+    def prune(self, live_paths: Sequence[str]) -> int:
+        """Drop entries for files no longer in the linted tree."""
+        live = set(live_paths)
+        stale = [path for path in self._entries if path not in live]
+        for path in stale:
+            del self._entries[path]
+        if stale:
+            self._dirty = True
+        return len(stale)
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "fingerprint": self.fingerprint,
+            "entries": {path: self._entries[path]
+                        for path in sorted(self._entries)},
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+        self._dirty = False

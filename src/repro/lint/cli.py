@@ -10,8 +10,13 @@ Exit codes (CI contract):
 
 ``--format json`` emits a single machine-readable object with the full
 finding list, the new/baselined split, and stale baseline entries;
+``--format sarif`` emits a SARIF 2.1.0 log for CI code scanning.
 ``--write-baseline`` regenerates the baseline from the current finding
-set (the sanctioned way to grandfather a new rule's debt).
+set, pruning entries that no longer match (the sanctioned way to
+grandfather a new rule's debt and to pay it down).  ``--cache PATH``
+attaches the incremental analysis cache: a warm run over an unchanged
+tree re-parses nothing.  ``--fix`` applies the available autofixes and
+re-lints.  ``--parity`` restricts the run to the backend-parity rules.
 """
 
 from __future__ import annotations
@@ -20,17 +25,20 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence, TextIO
+from typing import Dict, List, Optional, Sequence, TextIO
 
-from . import builtin  # noqa: F401  (importing registers the rule set)
+from . import builtin, dataflow, parity  # noqa: F401  (registers rules)
 from .baseline import (
     Baseline,
     BaselineError,
     DEFAULT_BASELINE_NAME,
     partition_findings,
 )
+from .cache import AnalysisCache
 from .engine import LintReport, lint_paths
+from .fix import fix_source, fixable_codes
 from .rules import registered_rules, rules_for_codes
+from .sarif import sarif_json
 
 __all__ = ["main", "build_parser"]
 
@@ -47,7 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format",
                         help="report format (default: text)")
     parser.add_argument("--baseline", default=None, metavar="PATH",
@@ -58,10 +66,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "fails the run")
     parser.add_argument("--write-baseline", action="store_true",
                         help="write the current finding set as the new "
-                             "baseline and exit 0")
+                             "baseline (pruning stale entries) and "
+                             "exit 0")
     parser.add_argument("--select", default=None, metavar="CODES",
                         help="comma-separated rule codes to run "
                              "(default: all)")
+    parser.add_argument("--parity", action="store_true",
+                        help="run only the backend-parity rules "
+                             "(PAR...)")
+    parser.add_argument("--cache", default=None, metavar="PATH",
+                        dest="cache_path",
+                        help="incremental analysis cache file; "
+                             "unchanged files are not re-parsed")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="report cache hit/parse counts")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply available autofixes, then re-lint")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     return parser
@@ -85,7 +105,8 @@ def _print_rules(stream: TextIO) -> None:
 
 
 def _render_text(report: LintReport, new: List, baselined: List,
-                 stale: List, stream: TextIO) -> None:
+                 stale: List, stream: TextIO,
+                 show_cache_stats: bool) -> None:
     for finding in new:
         stream.write(finding.render() + "\n")
     for path, message in report.parse_errors:
@@ -96,6 +117,11 @@ def _render_text(report: LintReport, new: List, baselined: List,
     for entry_path, code, _message in stale:
         stream.write(f"# stale baseline entry: {entry_path}: {code} "
                      f"(no longer found — remove it)\n")
+    if show_cache_stats and report.cache_stats:
+        stats = report.cache_stats
+        stream.write(f"# cache: {stats.get('files', 0)} file(s), "
+                     f"{stats.get('cache_hits', 0)} hit(s), "
+                     f"{stats.get('parses', 0)} parse(s)\n")
     summary = (f"# {report.files_checked} file(s) checked, "
                f"{len(new)} new finding(s), "
                f"{len(baselined)} baselined, "
@@ -118,9 +144,66 @@ def _render_json(report: LintReport, new: List, baselined: List,
             {"path": path, "message": message}
             for path, message in report.parse_errors
         ],
+        "cache_stats": report.cache_stats,
     }
     json.dump(payload, stream, indent=2, sort_keys=True)
     stream.write("\n")
+
+
+def _apply_fixes(report: LintReport, stream: TextIO) -> int:
+    """Rewrite files in place for every fixable finding."""
+    fixable = [finding for finding in report.findings
+               if finding.code in fixable_codes()]
+    by_path: Dict[str, List] = {}
+    for finding in fixable:
+        by_path.setdefault(finding.path, []).append(finding)
+    fixed = 0
+    for path, findings in sorted(by_path.items()):
+        target = Path(path)
+        try:
+            source = target.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        new_source, applied = fix_source(source, findings)
+        if applied:
+            target.write_text(new_source, encoding="utf-8")
+            fixed += applied
+    if fixed:
+        stream.write(f"# fixed {fixed} finding(s) in "
+                     f"{len(by_path)} file(s)\n")
+    return fixed
+
+
+def _write_baseline(arguments: argparse.Namespace, report: LintReport,
+                    rules, stream: TextIO) -> int:
+    """Regenerate the baseline: current findings win, stale entries go.
+
+    Entries for rule codes *not* selected this run are preserved
+    verbatim — ``--select DET003 --write-baseline`` must not wipe the
+    grandfathered debt of every other rule.
+    """
+    target = Path(arguments.baseline
+                  if arguments.baseline is not None
+                  else DEFAULT_BASELINE_NAME)
+    selected_codes = {rule.code for rule in rules}
+    preserved: List = []
+    pruned = 0
+    if target.exists():
+        previous = Baseline.load(target)
+        current = {finding.identity() for finding in report.findings}
+        for entry in previous.entries:
+            if entry[1] not in selected_codes:
+                preserved.append(entry)
+            elif entry not in current:
+                pruned += 1
+    entries = sorted(
+        {finding.identity() for finding in report.findings}
+        | set(preserved))
+    Baseline(entries=tuple(entries)).save(target)
+    stream.write(f"# baseline with {len(entries)} finding(s) written "
+                 f"to {target} ({pruned} stale entr"
+                 f"{'y' if pruned == 1 else 'ies'} pruned)\n")
+    return EXIT_CLEAN
 
 
 def main(argv: Sequence[str] | None = None,
@@ -135,9 +218,17 @@ def main(argv: Sequence[str] | None = None,
         return EXIT_CLEAN
 
     try:
-        codes = (None if arguments.select is None
-                 else [c.strip() for c in arguments.select.split(",")
-                       if c.strip()])
+        if arguments.select is not None and arguments.parity:
+            raise ValueError("--select and --parity are exclusive")
+        if arguments.parity:
+            codes: Optional[List[str]] = [
+                code for code in registered_rules()
+                if code.startswith("PAR")]
+        elif arguments.select is not None:
+            codes = [c.strip() for c in arguments.select.split(",")
+                     if c.strip()]
+        else:
+            codes = None
         rules = rules_for_codes(codes)
     except ValueError as error:
         print(f"repro lint: {error}", file=sys.stderr)
@@ -149,28 +240,39 @@ def main(argv: Sequence[str] | None = None,
         print(f"repro lint: {error}", file=sys.stderr)
         return EXIT_USAGE
 
+    cache = None
+    if arguments.cache_path is not None:
+        cache = AnalysisCache(Path(arguments.cache_path),
+                              rule_codes=[rule.code for rule in rules])
+
     try:
-        report = lint_paths(arguments.paths, rules=rules)
+        report = lint_paths(arguments.paths, rules=rules, cache=cache)
+        if arguments.fix and _apply_fixes(report, stream):
+            # the tree changed under us: analyze the result instead.
+            report = lint_paths(arguments.paths, rules=rules,
+                                cache=cache)
     except FileNotFoundError as error:
         print(f"repro lint: {error}", file=sys.stderr)
         return EXIT_USAGE
+    finally:
+        if cache is not None:
+            cache.save()
 
     if arguments.write_baseline:
-        target = Path(arguments.baseline
-                      if arguments.baseline is not None
-                      else DEFAULT_BASELINE_NAME)
-        Baseline.from_findings(report.findings).save(target)
-        stream.write(f"# baseline with {len(report.findings)} "
-                     f"finding(s) written to {target}\n")
-        return EXIT_CLEAN
+        return _write_baseline(arguments, report, rules, stream)
 
     effective = baseline if baseline is not None else Baseline.empty()
     new, baselined, stale = partition_findings(report.findings, effective)
 
     if arguments.output_format == "json":
         _render_json(report, new, baselined, stale, stream)
+    elif arguments.output_format == "sarif":
+        stream.write(sarif_json(
+            new + baselined, rules=rules,
+            baselined=[f.identity() for f in baselined]))
     else:
-        _render_text(report, new, baselined, stale, stream)
+        _render_text(report, new, baselined, stale, stream,
+                     arguments.cache_stats)
 
     if new or report.parse_errors:
         return EXIT_FINDINGS

@@ -1,11 +1,25 @@
-"""The lint engine: file discovery, rule execution, pragma filtering.
+"""The lint engine: discovery, two-phase rule execution, caching.
 
 :func:`lint_paths` is the one entry point both the CLI and the test
-suite use.  It walks the target paths, parses each ``.py`` file once,
-runs every selected rule over the shared AST, drops pragma-suppressed
-findings, and returns a :class:`LintReport` with a deterministic,
-sorted finding list (so text output, JSON output, and baselines are
-stable across runs and machines).
+suite use.  A run has two phases:
+
+1. **per-module** — each ``.py`` file is parsed once; every selected
+   rule's :meth:`~repro.lint.rules.Rule.check` runs over the AST,
+   pragma-suppressed findings are dropped, and a
+   :class:`~repro.lint.summary.ModuleSummary` is extracted.  With an
+   :class:`~repro.lint.cache.AnalysisCache` attached, files whose
+   content digest is unchanged skip this phase entirely — findings and
+   summary replay from the cache with zero re-parsing.
+2. **project** — the summaries are linked into a
+   :class:`~repro.lint.callgraph.Project` and every rule's
+   :meth:`~repro.lint.rules.Rule.check_project` runs once over the
+   whole program (taint data-flow, backend parity, kernel purity).
+   Project-phase findings are deduplicated against per-module findings
+   by ``(path, line, code)`` — when both phases flag the same site, the
+   per-module finding wins.
+
+The report's finding list is deterministic and sorted, so text output,
+JSON/SARIF output, and baselines are stable across runs and machines.
 """
 
 from __future__ import annotations
@@ -13,10 +27,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from .callgraph import Project
 from .model import Finding, ModuleContext, Severity, module_name_for_path
 from .rules import Rule, rules_for_codes
+from .summary import ModuleSummary, extract_summary
 
 __all__ = ["LintReport", "iter_python_files", "lint_source", "lint_paths"]
 
@@ -33,6 +49,10 @@ class LintReport:
     #: ``(path, message)`` for files that failed to parse.
     parse_errors: List[Tuple[str, str]] = field(default_factory=list)
     files_checked: int = 0
+    #: ``{"files": N, "cache_hits": H, "parses": P}`` — ``parses`` is
+    #: the number of files that went through ``ast.parse`` this run; a
+    #: warm cached run reports ``parses == 0``.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def error_count(self) -> int:
@@ -75,17 +95,8 @@ def _statement_end_line(tree: ast.Module, line: int) -> Optional[int]:
     return getattr(best, "end_lineno", None)
 
 
-def lint_source(source: str, *, path: str, module: str | None = None,
-                rules: Sequence[Rule] | None = None) -> List[Finding]:
-    """Lint one in-memory module; returns pragma-filtered findings.
-
-    ``module`` overrides the dotted-name inference — tests use it to
-    exercise the allowlists of DET002/DET004 without fabricating a
-    ``src/repro`` directory layout.
-    """
-    if rules is None:
-        rules = rules_for_codes(None)
-    ctx = ModuleContext.from_source(source, path=path, module=module)
+def _module_findings(ctx: ModuleContext,
+                     rules: Sequence[Rule]) -> List[Finding]:
     kept: List[Finding] = []
     for rule in rules:
         for finding in rule.check(ctx):
@@ -97,20 +108,41 @@ def lint_source(source: str, *, path: str, module: str | None = None,
     return sorted(set(kept))
 
 
+def lint_source(source: str, *, path: str, module: str | None = None,
+                rules: Sequence[Rule] | None = None) -> List[Finding]:
+    """Lint one in-memory module (per-module phase only).
+
+    ``module`` overrides the dotted-name inference — tests use it to
+    exercise the allowlists of DET002/DET004 without fabricating a
+    ``src/repro`` directory layout.  Cross-module rules need a file
+    tree; use :func:`lint_paths` for them.
+    """
+    if rules is None:
+        rules = rules_for_codes(None)
+    ctx = ModuleContext.from_source(source, path=path, module=module)
+    return _module_findings(ctx, rules)
+
+
 def lint_paths(paths: Sequence[Path | str], *,
                rules: Sequence[Rule] | None = None,
-               root: Path | None = None) -> LintReport:
-    """Lint every Python file under ``paths``.
+               root: Path | None = None,
+               cache=None) -> LintReport:
+    """Lint every Python file under ``paths`` (both phases).
 
     Finding paths are rendered POSIX-style relative to ``root`` (default:
     the current working directory) when possible, absolute otherwise —
-    the same normalization the baseline file relies on.
+    the same normalization the baseline file relies on.  ``cache`` is an
+    optional :class:`~repro.lint.cache.AnalysisCache`; the caller saves
+    it after the run.
     """
     if rules is None:
         rules = rules_for_codes(None)
     if root is None:
         root = Path.cwd()
     report = LintReport()
+    summaries: List[ModuleSummary] = []
+    seen_paths: List[str] = []
+    hits = parses = 0
     for file_path in iter_python_files([Path(p) for p in paths]):
         resolved = file_path.resolve()
         try:
@@ -119,17 +151,72 @@ def lint_paths(paths: Sequence[Path | str], *,
             rendered = resolved.as_posix()
         module = module_name_for_path(resolved)
         try:
-            source = file_path.read_text()
-            findings = lint_source(source, path=rendered, module=module,
-                                   rules=rules)
-        except SyntaxError as error:
-            report.parse_errors.append(
-                (rendered, f"line {error.lineno}: {error.msg}"))
-            continue
+            raw = file_path.read_bytes()
         except OSError as error:
             report.parse_errors.append((rendered, str(error)))
             continue
+        seen_paths.append(rendered)
+
+        digest = None
+        if cache is not None:
+            from .cache import content_digest
+            digest = content_digest(raw)
+            replayed = cache.lookup(rendered, digest)
+            if replayed is not None:
+                summary, findings, parse_error = replayed
+                hits += 1
+                if parse_error is not None:
+                    report.parse_errors.append((rendered, parse_error))
+                    continue
+                if summary is not None:
+                    summaries.append(summary)
+                report.files_checked += 1
+                report.findings.extend(findings)
+                continue
+
+        try:
+            source = raw.decode("utf-8")
+            ctx = ModuleContext.from_source(source, path=rendered,
+                                            module=module)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            parses += 1
+            lineno = getattr(error, "lineno", None)
+            message = (f"line {lineno}: {error.msg}"
+                       if isinstance(error, SyntaxError)
+                       else str(error))
+            report.parse_errors.append((rendered, message))
+            if cache is not None:
+                cache.store(rendered, digest, summary=None, findings=[],
+                            parse_error=message)
+            continue
+        parses += 1
+        findings = _module_findings(ctx, rules)
+        summary = extract_summary(
+            ctx.tree, module=module, path=rendered,
+            suppressions=ctx.suppressions,
+            standalone=ctx.standalone_pragma_lines)
+        summaries.append(summary)
+        if cache is not None:
+            cache.store(rendered, digest, summary=summary,
+                        findings=findings, parse_error=None)
         report.files_checked += 1
         report.findings.extend(findings)
+
+    if cache is not None:
+        cache.prune(seen_paths)
+
+    # project phase: link summaries, run whole-program rules, dedup.
+    project = Project(summaries)
+    occupied = {(f.path, f.line, f.code) for f in report.findings}
+    for rule in rules:
+        for finding in rule.check_project(project):
+            key = (finding.path, finding.line, finding.code)
+            if key in occupied:
+                continue
+            occupied.add(key)
+            report.findings.append(finding)
+
+    report.cache_stats = {"files": len(seen_paths), "cache_hits": hits,
+                          "parses": parses}
     report.findings.sort()
     return report

@@ -1,0 +1,100 @@
+"""Autofixes for the mechanical rules (``repro lint --fix``).
+
+A fixer takes a parsed tree plus one finding and returns a *splice*: a
+source span and the prefix/suffix to wrap it in.  Splices are applied
+bottom-up (so earlier edits never shift later spans) and the CLI
+re-lints after fixing, so the report always describes the post-fix
+tree.
+
+Only rules whose remedy is purely syntactic get a fixer — currently
+DET003, whose fix wraps the offending set expression in ``sorted(...)``
+exactly as the rule's message prescribes.  Semantic rules (DET001,
+FORK001, ...) stay manual: their fixes change program meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .model import Finding
+
+__all__ = ["FIXERS", "Splice", "fixable_codes", "fix_source"]
+
+#: ``(start_line, start_col, end_line, end_col, prefix, suffix)`` with
+#: 1-based lines and 0-based columns (AST conventions).
+Splice = Tuple[int, int, int, int, str, str]
+
+Fixer = Callable[[ast.Module, Finding], Optional[Splice]]
+
+
+def _node_at(tree: ast.Module, line: int,
+             column: int) -> Optional[ast.expr]:
+    """The expression node anchored exactly at ``(line, column)``."""
+    best: Optional[ast.expr] = None
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.expr):
+            continue
+        if node.lineno != line or node.col_offset != column:
+            continue
+        if getattr(node, "end_lineno", None) is None:
+            continue
+        if best is None or _span(node) > _span(best):
+            best = node  # widest expression wins (the flagged target)
+    return best
+
+
+def _span(node: ast.expr) -> Tuple[int, int]:
+    return (node.end_lineno - node.lineno,
+            node.end_col_offset - node.col_offset)
+
+
+def _fix_unsorted_set(tree: ast.Module,
+                      finding: Finding) -> Optional[Splice]:
+    node = _node_at(tree, finding.line, finding.column - 1)
+    if node is None:
+        return None
+    return (node.lineno, node.col_offset, node.end_lineno,
+            node.end_col_offset, "sorted(", ")")
+
+
+FIXERS: Dict[str, Fixer] = {
+    "DET003": _fix_unsorted_set,
+}
+
+
+def fixable_codes() -> frozenset:
+    return frozenset(FIXERS)
+
+
+def fix_source(source: str,
+               findings: Sequence[Finding]) -> Tuple[str, int]:
+    """Apply every available fix for ``findings`` to ``source``.
+
+    Returns ``(new_source, applied_count)``; the caller re-lints the
+    result.  Unfixable findings (no fixer, or the anchor node no longer
+    matches) are skipped silently — they stay in the report.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    splices: List[Splice] = []
+    for finding in findings:
+        fixer = FIXERS.get(finding.code)
+        if fixer is None:
+            continue
+        splice = fixer(tree, finding)
+        if splice is not None and splice not in splices:
+            splices.append(splice)
+    if not splices:
+        return source, 0
+    lines = source.split("\n")
+    for start_line, start_col, end_line, end_col, prefix, suffix in sorted(
+            splices, reverse=True):
+        lines[end_line - 1] = (lines[end_line - 1][:end_col] + suffix
+                               + lines[end_line - 1][end_col:])
+        lines[start_line - 1] = (lines[start_line - 1][:start_col]
+                                 + prefix
+                                 + lines[start_line - 1][start_col:])
+    return "\n".join(lines), len(splices)

@@ -36,6 +36,7 @@ __all__ = [
     "Severity",
     "Finding",
     "ModuleContext",
+    "decorator_anchor_lines",
     "parse_suppressions",
     "module_name_for_path",
 ]
@@ -119,6 +120,30 @@ def parse_suppressions(
     return suppressions, frozenset(standalone)
 
 
+def decorator_anchor_lines(tree: ast.Module) -> Dict[int, int]:
+    """Map lines of decorated defs to the top line of their decorator stack.
+
+    A pragma placed on the standalone comment line directly above a
+    decorator must suppress findings anchored anywhere on the decorator
+    stack *or* on the ``def``/``class`` line itself — the decorators sit
+    between the pragma and the definition, so the plain "line above"
+    rule would otherwise never match.  Every line from the first
+    decorator through the definition line maps to the first decorator's
+    line (the anchor a pragma-above check should use).
+    """
+    anchors: Dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if not node.decorator_list:
+            continue
+        top = min(decorator.lineno for decorator in node.decorator_list)
+        for line in range(top, node.lineno + 1):
+            anchors.setdefault(line, top)
+    return anchors
+
+
 def module_name_for_path(path: Path) -> str:
     """Best-effort dotted module name for ``path``.
 
@@ -147,6 +172,9 @@ class ModuleContext:
     source: str
     suppressions: Dict[int, FrozenSet[str]]
     standalone_pragma_lines: FrozenSet[int] = frozenset()
+    #: finding line -> first decorator line, for decorated definitions
+    #: (see :func:`decorator_anchor_lines`).
+    decorator_anchors: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
     def from_source(cls, source: str, *, path: str,
@@ -155,10 +183,12 @@ class ModuleContext:
         if module is None:
             module = module_name_for_path(Path(path))
         suppressions, standalone = parse_suppressions(source)
+        tree = ast.parse(source, filename=path)
         return cls(path=path, module=module,
-                   tree=ast.parse(source, filename=path), source=source,
+                   tree=tree, source=source,
                    suppressions=suppressions,
-                   standalone_pragma_lines=standalone)
+                   standalone_pragma_lines=standalone,
+                   decorator_anchors=decorator_anchor_lines(tree))
 
     def _line_suppresses(self, lineno: int, code: str) -> bool:
         codes = self.suppressions.get(lineno)
@@ -169,15 +199,24 @@ class ModuleContext:
         """True if a pragma covers ``finding``.
 
         A pragma counts when it sits on the flagged line, on a
-        comment-only line directly above it, or — for multi-line
-        statements — on the statement's closing line (``end_line``).
+        comment-only line directly above it, on the comment-only line
+        above the decorator stack of a decorated definition the finding
+        anchors on, or — for multi-line statements — on the statement's
+        closing line (``end_line``).
         """
         if self._line_suppresses(finding.line, finding.code):
             return True
-        above = finding.line - 1
-        if (above in self.standalone_pragma_lines
-                and self._line_suppresses(above, finding.code)):
-            return True
+        candidates = [finding.line - 1]
+        anchor = self.decorator_anchors.get(finding.line)
+        if anchor is not None:
+            # Above the decorator stack, or sandwiched between
+            # decorators — anywhere a standalone pragma visually
+            # annotates the definition the finding anchors on.
+            candidates.extend(range(anchor - 1, finding.line - 1))
+        for above in candidates:
+            if (above in self.standalone_pragma_lines
+                    and self._line_suppresses(above, finding.code)):
+                return True
         return (end_line is not None
                 and end_line != finding.line
                 and self._line_suppresses(end_line, finding.code))

@@ -40,9 +40,18 @@ __all__ = [
 class Rule:
     """Base class for one lint check.
 
-    Subclasses set the class attributes and implement :meth:`check`.
-    Instances are stateless between files — the engine constructs one
-    instance per run and calls it once per module.
+    Subclasses set the class attributes and implement :meth:`check`
+    (one call per parsed module) and/or :meth:`check_project` (one call
+    per lint run, over the linked whole-program
+    :class:`~repro.lint.callgraph.Project`).  Instances are stateless
+    between files — the engine constructs one instance per run.
+
+    A rule may implement both phases under one code: the per-module
+    pass catches what a single AST can prove, and the project pass
+    adds the cross-module cases (aliased imports, call-graph taint)
+    the per-module pass structurally cannot see.  Project-phase rules
+    are responsible for their own pragma filtering (the engine has no
+    AST for cached files) — use ``project.is_suppressed``.
     """
 
     #: Unique short code, e.g. ``DET001``; findings and pragmas use it.
@@ -54,7 +63,12 @@ class Rule:
     severity: Severity = Severity.ERROR
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
-        raise NotImplementedError
+        """Per-module findings; default: none (project-only rule)."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Whole-program findings; default: none (module-only rule)."""
+        return iter(())
 
     def finding(self, ctx: ModuleContext, node: ast.AST,
                 message: str) -> Finding:
@@ -67,6 +81,12 @@ class Rule:
             message=message,
             severity=self.severity,
         )
+
+    def project_finding(self, path: str, line: int, column: int,
+                        message: str) -> Finding:
+        """Build a project-phase finding at an explicit location."""
+        return Finding(path=path, line=line, column=column, code=self.code,
+                       message=message, severity=self.severity)
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -1,0 +1,664 @@
+"""Per-module analysis summaries: the cacheable unit of the engine.
+
+The interprocedural phase of :mod:`repro.lint` never walks two ASTs at
+once.  Each file is parsed exactly once (and, with the incremental
+cache, at most once per content hash *ever*) into a
+:class:`ModuleSummary` — a compact, JSON-serializable record of
+everything the whole-program phase needs:
+
+* the import table (aliases resolved at link time, so
+  ``from numpy import random as r`` cannot launder ``r.default_rng()``),
+* every call site with its argument shape (for the unseeded-generator
+  check) and the enclosing statement's end line (for pragma filtering),
+* per-function data-flow atoms: calls whose results are returned,
+  locals assigned from calls (one-hop pass-through), telemetry counter
+  feed sites, and module-state mutations (the FORK family),
+* the *dispatch surface*: ``isinstance`` targets, string equality/
+  membership sets, ``xs.append(("tag", ...))`` heads, ``KIND`` class
+  attributes, dict-literal keys and module-level string tuples — the
+  raw material of the backend-parity checker (:mod:`.parity`).
+
+Link-time analysis lives in :mod:`repro.lint.callgraph`; this module is
+deliberately free of any other lint import so summaries stay a leaf of
+the package graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+__all__ = [
+    "CallSite",
+    "ClassSummary",
+    "CounterFeed",
+    "DispatchSummary",
+    "FunctionSummary",
+    "ModuleSummary",
+    "Mutation",
+    "extract_summary",
+]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolvable-name call: ``a.b.c(args...)`` somewhere in a body."""
+
+    name: str          # dotted name as written (unresolved)
+    line: int
+    column: int
+    end_line: int      # closing line of the enclosing statement
+    n_args: int
+    keywords: Tuple[str, ...]  # keyword names; "*" for **kwargs
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "line": self.line, "column": self.column,
+                "end_line": self.end_line, "n_args": self.n_args,
+                "keywords": list(self.keywords)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CallSite":
+        return cls(name=payload["name"], line=payload["line"],
+                   column=payload["column"], end_line=payload["end_line"],
+                   n_args=payload["n_args"],
+                   keywords=tuple(payload["keywords"]))
+
+
+@dataclass(frozen=True)
+class CounterFeed:
+    """A telemetry-counter feed site and the expressions feeding it."""
+
+    line: int
+    column: int
+    end_line: int
+    arg_calls: Tuple[CallSite, ...]   # calls inside the value arguments
+    arg_names: Tuple[str, ...]        # bare names inside the value arguments
+
+    def to_json(self) -> dict:
+        return {"line": self.line, "column": self.column,
+                "end_line": self.end_line,
+                "arg_calls": [c.to_json() for c in self.arg_calls],
+                "arg_names": list(self.arg_names)}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "CounterFeed":
+        return cls(line=payload["line"], column=payload["column"],
+                   end_line=payload["end_line"],
+                   arg_calls=tuple(CallSite.from_json(c)
+                                   for c in payload["arg_calls"]),
+                   arg_names=tuple(payload["arg_names"]))
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A module-level-state mutation inside one function body."""
+
+    kind: str     # "global" | "store" | "call"
+    detail: str   # rendered description fragment, e.g. "RESULTS.append()"
+    line: int
+    column: int
+    end_line: int
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail, "line": self.line,
+                "column": self.column, "end_line": self.end_line}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Mutation":
+        return cls(kind=payload["kind"], detail=payload["detail"],
+                   line=payload["line"], column=payload["column"],
+                   end_line=payload["end_line"])
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Data-flow atoms of one function or method body."""
+
+    qual: str     # "func" or "Class.method" (module-relative)
+    line: int
+    calls: Tuple[CallSite, ...]
+    #: Calls whose result is (possibly via a one-hop local) returned.
+    returned_calls: Tuple[CallSite, ...]
+    #: local variable -> the call it was assigned from (single Name target).
+    assigned_calls: Tuple[Tuple[str, CallSite], ...]
+    counter_feeds: Tuple[CounterFeed, ...]
+    mutations: Tuple[Mutation, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "qual": self.qual, "line": self.line,
+            "calls": [c.to_json() for c in self.calls],
+            "returned_calls": [c.to_json() for c in self.returned_calls],
+            "assigned_calls": [[name, call.to_json()]
+                               for name, call in self.assigned_calls],
+            "counter_feeds": [f.to_json() for f in self.counter_feeds],
+            "mutations": [m.to_json() for m in self.mutations],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FunctionSummary":
+        return cls(
+            qual=payload["qual"], line=payload["line"],
+            calls=tuple(CallSite.from_json(c) for c in payload["calls"]),
+            returned_calls=tuple(CallSite.from_json(c)
+                                 for c in payload["returned_calls"]),
+            assigned_calls=tuple(
+                (name, CallSite.from_json(call))
+                for name, call in payload["assigned_calls"]),
+            counter_feeds=tuple(CounterFeed.from_json(f)
+                                for f in payload["counter_feeds"]),
+            mutations=tuple(Mutation.from_json(m)
+                            for m in payload["mutations"]),
+        )
+
+
+@dataclass(frozen=True)
+class ClassSummary:
+    """One class: its methods plus constructor-typed instance attributes."""
+
+    name: str
+    methods: Tuple[str, ...]
+    #: instance attribute -> dotted constructor name (``self.x = Ctor()``).
+    attr_types: Tuple[Tuple[str, str], ...]
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "methods": list(self.methods),
+                "attr_types": [list(item) for item in self.attr_types]}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ClassSummary":
+        return cls(name=payload["name"], methods=tuple(payload["methods"]),
+                   attr_types=tuple((a, t)
+                                    for a, t in payload["attr_types"]))
+
+
+@dataclass(frozen=True)
+class DispatchSummary:
+    """The statically-extracted dispatch surface of one module."""
+
+    isinstance_targets: Tuple[str, ...]
+    #: compared name -> string constants it is ``==``/``in``-matched to.
+    compare_sets: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: list name -> string heads of tuple/list literals appended to it.
+    append_heads: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: class name -> its ``KIND`` class attribute value.
+    class_kinds: Tuple[Tuple[str, str], ...]
+    #: module-level name -> string keys of its dict-literal value.
+    dict_keys: Tuple[Tuple[str, Tuple[str, ...]], ...]
+    #: module-level name -> string/identifier items of its tuple value.
+    module_tuples: Tuple[Tuple[str, Tuple[str, ...]], ...]
+
+    def to_json(self) -> dict:
+        return {
+            "isinstance_targets": list(self.isinstance_targets),
+            "compare_sets": [[n, list(v)] for n, v in self.compare_sets],
+            "append_heads": [[n, list(v)] for n, v in self.append_heads],
+            "class_kinds": [list(item) for item in self.class_kinds],
+            "dict_keys": [[n, list(v)] for n, v in self.dict_keys],
+            "module_tuples": [[n, list(v)] for n, v in self.module_tuples],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DispatchSummary":
+        pairs = lambda key: tuple(  # noqa: E731 - tiny local decoder
+            (name, tuple(values)) for name, values in payload[key])
+        return cls(
+            isinstance_targets=tuple(payload["isinstance_targets"]),
+            compare_sets=pairs("compare_sets"),
+            append_heads=pairs("append_heads"),
+            class_kinds=tuple((c, k) for c, k in payload["class_kinds"]),
+            dict_keys=pairs("dict_keys"),
+            module_tuples=pairs("module_tuples"),
+        )
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything the project phase needs to know about one module."""
+
+    module: str
+    path: str
+    is_package: bool
+    imports: Tuple[Tuple[str, str], ...]  # local name -> dotted target
+    module_names: Tuple[str, ...]
+    functions: Tuple[FunctionSummary, ...]
+    classes: Tuple[ClassSummary, ...]
+    suppressions: Tuple[Tuple[int, Tuple[str, ...]], ...]
+    standalone_pragma_lines: Tuple[int, ...]
+    dispatch: DispatchSummary
+
+    def to_json(self) -> dict:
+        return {
+            "module": self.module, "path": self.path,
+            "is_package": self.is_package,
+            "imports": [list(item) for item in self.imports],
+            "module_names": list(self.module_names),
+            "functions": [f.to_json() for f in self.functions],
+            "classes": [c.to_json() for c in self.classes],
+            "suppressions": [[line, list(codes)]
+                             for line, codes in self.suppressions],
+            "standalone_pragma_lines": list(self.standalone_pragma_lines),
+            "dispatch": self.dispatch.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ModuleSummary":
+        return cls(
+            module=payload["module"], path=payload["path"],
+            is_package=payload["is_package"],
+            imports=tuple((a, b) for a, b in payload["imports"]),
+            module_names=tuple(payload["module_names"]),
+            functions=tuple(FunctionSummary.from_json(f)
+                            for f in payload["functions"]),
+            classes=tuple(ClassSummary.from_json(c)
+                          for c in payload["classes"]),
+            suppressions=tuple((line, tuple(codes))
+                               for line, codes in payload["suppressions"]),
+            standalone_pragma_lines=tuple(
+                payload["standalone_pragma_lines"]),
+            dispatch=DispatchSummary.from_json(payload["dispatch"]),
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``Attribute``/``Name`` chain -> ``"a.b.c"`` (else ``None``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _statement_ends(root: ast.AST) -> Dict[int, int]:
+    """Map ``id(node)`` -> innermost enclosing statement's end line.
+
+    ``ast.walk`` is breadth-first, so inner statements are visited after
+    outer ones and the last assignment wins — exactly the innermost.
+    """
+    ends: Dict[int, int] = {}
+    for node in ast.walk(root):
+        if not isinstance(node, ast.stmt):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        for child in ast.walk(node):
+            ends[id(child)] = end
+    return ends
+
+
+_MUTATING_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "add",
+    "discard", "update", "setdefault", "popitem", "write", "sort",
+    "reverse", "appendleft", "popleft",
+}
+
+#: Receivers that identify the telemetry registry at instrumented call
+#: sites (mirrors the TEL001 per-module matcher).
+_TELEMETRY_RECEIVERS = {
+    "tel", "telemetry", "self.telemetry", "self._telemetry", "registry",
+}
+_TELEMETRY_FACTORIES = {"active", "_telemetry_active"}
+
+
+def _module_level_names(tree: ast.Module) -> Tuple[str, ...]:
+    names = set()
+    for node in tree.body:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets.extend(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets.append(node.target)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                names.update(element.id for element in target.elts
+                             if isinstance(element, ast.Name))
+    return tuple(sorted(names))
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _call_site(call: ast.Call, ends: Dict[int, int]) -> Optional[CallSite]:
+    name = _dotted(call.func)
+    if name is None:
+        return None
+    return CallSite(
+        name=name, line=call.lineno, column=call.col_offset + 1,
+        end_line=ends.get(id(call), call.lineno),
+        n_args=len(call.args),
+        keywords=tuple(kw.arg if kw.arg is not None else "*"
+                       for kw in call.keywords))
+
+
+def _is_telemetry_receiver(node: ast.AST) -> bool:
+    name = _dotted(node)
+    if name is not None and name in _TELEMETRY_RECEIVERS:
+        return True
+    if isinstance(node, ast.Call):
+        factory = _dotted(node.func)
+        if factory is not None:
+            return factory.rsplit(".", 1)[-1] in _TELEMETRY_FACTORIES
+    return False
+
+
+def _counter_value_args(call: ast.Call) -> List[ast.AST]:
+    """The value expressions fed into a telemetry counter, if any."""
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return []
+    if func.attr == "count" and _is_telemetry_receiver(func.value):
+        return list(call.args[1:]) + [kw.value for kw in call.keywords
+                                      if kw.arg == "n"]
+    if func.attr == "add" and isinstance(func.value, ast.Call):
+        inner = func.value.func
+        if (isinstance(inner, ast.Attribute) and inner.attr == "counter"
+                and _is_telemetry_receiver(inner.value)):
+            return list(call.args) + [kw.value for kw in call.keywords
+                                      if kw.arg == "n"]
+    return []
+
+
+def _function_summary(qual: str, node: ast.AST, ends: Dict[int, int],
+                      module_names: FrozenSet[str]) -> FunctionSummary:
+    calls: List[CallSite] = []
+    returned: List[CallSite] = []
+    assigned: List[Tuple[str, CallSite]] = []
+    feeds: List[CounterFeed] = []
+    mutations: List[Mutation] = []
+    declared_global: set = set()
+    returned_names: List[str] = []
+
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            site = _call_site(child, ends)
+            if site is not None:
+                calls.append(site)
+            value_args = _counter_value_args(child)
+            if value_args:
+                arg_calls: List[CallSite] = []
+                arg_names: List[str] = []
+                for arg in value_args:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Call):
+                            sub_site = _call_site(sub, ends)
+                            if sub_site is not None:
+                                arg_calls.append(sub_site)
+                        elif isinstance(sub, ast.Name):
+                            arg_names.append(sub.id)
+                feeds.append(CounterFeed(
+                    line=child.lineno, column=child.col_offset + 1,
+                    end_line=ends.get(id(child), child.lineno),
+                    arg_calls=tuple(arg_calls),
+                    arg_names=tuple(arg_names)))
+            func = child.func
+            if (isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS):
+                root = _root_name(func.value)
+                if root is not None and root in module_names:
+                    mutations.append(Mutation(
+                        kind="call", detail=f"{root}.{func.attr}()",
+                        line=child.lineno, column=child.col_offset + 1,
+                        end_line=ends.get(id(child), child.lineno)))
+        elif isinstance(child, ast.Global):
+            declared_global.update(child.names)
+            mutations.append(Mutation(
+                kind="global", detail=", ".join(child.names),
+                line=child.lineno, column=child.col_offset + 1,
+                end_line=ends.get(id(child), child.lineno)))
+        elif isinstance(child, ast.Return) and child.value is not None:
+            for sub in ast.walk(child.value):
+                if isinstance(sub, ast.Call):
+                    site = _call_site(sub, ends)
+                    if site is not None:
+                        returned.append(site)
+                elif isinstance(sub, ast.Name):
+                    returned_names.append(sub.id)
+
+    # second pass: assignments (needs declared_global complete).
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Assign, ast.AugAssign)):
+            targets = (child.targets if isinstance(child, ast.Assign)
+                       else [child.target])
+            for target in targets:
+                root = _root_name(target)
+                if root is None:
+                    continue
+                is_container_store = isinstance(
+                    target, (ast.Subscript, ast.Attribute))
+                if root in module_names and (
+                        is_container_store or root in declared_global):
+                    mutations.append(Mutation(
+                        kind="store", detail=root,
+                        line=child.lineno, column=child.col_offset + 1,
+                        end_line=ends.get(id(child), child.lineno)))
+            if (isinstance(child, ast.Assign) and len(child.targets) == 1
+                    and isinstance(child.targets[0], ast.Name)
+                    and isinstance(child.value, ast.Call)):
+                site = _call_site(child.value, ends)
+                if site is not None:
+                    assigned.append((child.targets[0].id, site))
+
+    # resolve one-hop pass-through returns: ``x = f(); return x``.
+    assigned_map = dict(assigned)
+    for name in returned_names:
+        site = assigned_map.get(name)
+        if site is not None:
+            returned.append(site)
+
+    return FunctionSummary(
+        qual=qual, line=getattr(node, "lineno", 1),
+        calls=tuple(calls), returned_calls=tuple(returned),
+        assigned_calls=tuple(assigned), counter_feeds=tuple(feeds),
+        mutations=tuple(sorted(
+            mutations, key=lambda m: (m.line, m.column, m.kind, m.detail))))
+
+
+def _extract_dispatch(tree: ast.Module) -> DispatchSummary:
+    isinstance_targets: set = set()
+    compare_sets: Dict[str, set] = {}
+    append_heads: Dict[str, set] = {}
+    class_kinds: List[Tuple[str, str]] = []
+    dict_keys: Dict[str, Tuple[str, ...]] = {}
+    module_tuples: Dict[str, Tuple[str, ...]] = {}
+
+    def class_names(node: ast.AST) -> List[str]:
+        if isinstance(node, ast.Name):
+            return [node.id]
+        if isinstance(node, ast.Attribute):
+            return [node.attr]
+        if isinstance(node, ast.Tuple):
+            return [name for element in node.elts
+                    for name in class_names(element)]
+        return []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func_name = _dotted(node.func)
+            if func_name == "isinstance" and len(node.args) == 2:
+                isinstance_targets.update(class_names(node.args[1]))
+            elif (isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "append" and len(node.args) == 1
+                  and isinstance(node.args[0], (ast.Tuple, ast.List))
+                  and node.args[0].elts
+                  and isinstance(node.args[0].elts[0], ast.Constant)
+                  and isinstance(node.args[0].elts[0].value, str)):
+                receiver = _dotted(node.func.value)
+                if receiver is not None:
+                    append_heads.setdefault(receiver, set()).add(
+                        node.args[0].elts[0].value)
+        elif isinstance(node, ast.Compare) and len(node.ops) == 1:
+            subject = _dotted(node.left)
+            if subject is None:
+                continue
+            subject = subject.rsplit(".", 1)[-1]
+            comparator = node.comparators[0]
+            values: List[str] = []
+            if isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+                if (isinstance(comparator, ast.Constant)
+                        and isinstance(comparator.value, str)):
+                    values.append(comparator.value)
+            elif isinstance(node.ops[0], (ast.In, ast.NotIn)):
+                if isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+                    values.extend(
+                        element.value for element in comparator.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str))
+            if values:
+                compare_sets.setdefault(subject, set()).update(values)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                value = None
+                if (isinstance(item, ast.Assign) and len(item.targets) == 1
+                        and isinstance(item.targets[0], ast.Name)
+                        and item.targets[0].id == "KIND"):
+                    value = item.value
+                elif (isinstance(item, ast.AnnAssign)
+                      and isinstance(item.target, ast.Name)
+                      and item.target.id == "KIND"):
+                    value = item.value
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    class_kinds.append((node.name, value.value))
+
+    for node in tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) \
+                and isinstance(node.target, ast.Name):
+            target, value = node.target.id, node.value
+        if target is None or value is None:
+            continue
+        if isinstance(value, ast.Dict):
+            keys = tuple(key.value for key in value.keys
+                         if isinstance(key, ast.Constant)
+                         and isinstance(key.value, str))
+            if keys:
+                dict_keys[target] = keys
+        elif isinstance(value, (ast.Tuple, ast.List)):
+            items: List[str] = []
+            for element in value.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    items.append(element.value)
+                elif isinstance(element, ast.Name):
+                    items.append(element.id)
+                elif isinstance(element, ast.Attribute):
+                    items.append(element.attr)
+            if items:
+                module_tuples[target] = tuple(items)
+
+    return DispatchSummary(
+        isinstance_targets=tuple(sorted(isinstance_targets)),
+        compare_sets=tuple(sorted(
+            (name, tuple(sorted(values)))
+            for name, values in compare_sets.items())),
+        append_heads=tuple(sorted(
+            (name, tuple(sorted(values)))
+            for name, values in append_heads.items())),
+        class_kinds=tuple(sorted(class_kinds)),
+        dict_keys=tuple(sorted(dict_keys.items())),
+        module_tuples=tuple(sorted(module_tuples.items())),
+    )
+
+
+def _resolve_from_base(module: str, is_package: bool, node: ast.ImportFrom,
+                       ) -> Optional[str]:
+    """The absolute package/module an ``ImportFrom`` pulls names from."""
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    drop = node.level - 1
+    if drop:
+        parts = parts[:-drop] if drop < len(parts) else []
+    if node.module:
+        parts = parts + node.module.split(".")
+    return ".".join(parts) if parts else None
+
+
+def extract_summary(tree: ast.Module, *, module: str, path: str,
+                    suppressions: Dict[int, FrozenSet[str]],
+                    standalone: FrozenSet[int]) -> ModuleSummary:
+    """Extract the link-phase summary of one parsed module."""
+    is_package = path.endswith("__init__.py")
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".", 1)[0]
+                    imports.setdefault(head, head)
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_from_base(module, is_package, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}"
+
+    module_names = _module_level_names(tree)
+    names_set = frozenset(module_names)
+    ends = _statement_ends(tree)
+
+    functions: List[FunctionSummary] = []
+    classes: List[ClassSummary] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions.append(
+                _function_summary(node.name, node, ends, names_set))
+        elif isinstance(node, ast.ClassDef):
+            methods: List[str] = []
+            attr_types: Dict[str, str] = {}
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{node.name}.{item.name}"
+                    methods.append(item.name)
+                    summary = _function_summary(qual, item, ends, names_set)
+                    functions.append(summary)
+                    for sub in ast.walk(item):
+                        if (isinstance(sub, ast.Assign)
+                                and len(sub.targets) == 1
+                                and isinstance(sub.targets[0], ast.Attribute)
+                                and isinstance(sub.targets[0].value, ast.Name)
+                                and sub.targets[0].value.id == "self"
+                                and isinstance(sub.value, ast.Call)):
+                            ctor = _dotted(sub.value.func)
+                            if ctor is not None:
+                                attr_types.setdefault(
+                                    sub.targets[0].attr, ctor)
+            classes.append(ClassSummary(
+                name=node.name, methods=tuple(methods),
+                attr_types=tuple(sorted(attr_types.items()))))
+
+    return ModuleSummary(
+        module=module, path=path, is_package=is_package,
+        imports=tuple(sorted(imports.items())),
+        module_names=module_names,
+        functions=tuple(functions),
+        classes=tuple(classes),
+        suppressions=tuple(sorted(
+            (line, tuple(sorted(codes)))
+            for line, codes in suppressions.items())),
+        standalone_pragma_lines=tuple(sorted(standalone)),
+        dispatch=_extract_dispatch(tree),
+    )

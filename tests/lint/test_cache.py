@@ -1,0 +1,134 @@
+"""Incremental analysis cache: warm replay, invalidation, pruning."""
+
+import json
+import textwrap
+
+from repro.lint.cache import AnalysisCache
+from repro.lint.engine import lint_paths
+from repro.lint.rules import rules_for_codes
+
+DIRTY = textwrap.dedent("""\
+    import numpy as np
+
+    def draw():
+        return np.random.random()
+""")
+
+CLEAN = textwrap.dedent("""\
+    import numpy as np
+
+    def draw(seed):
+        return np.random.default_rng(seed).random()
+""")
+
+
+def build_tree(tmp_path, n_clean=3):
+    root = tmp_path / "tree"
+    package = root / "repro"
+    package.mkdir(parents=True)
+    (package / "dirty.py").write_text(DIRTY)
+    for index in range(n_clean):
+        (package / f"clean_{index}.py").write_text(CLEAN)
+    return root
+
+
+def run(root, cache):
+    report = lint_paths([root], rules=rules_for_codes(None), root=root,
+                        cache=cache)
+    cache.save()
+    return report
+
+
+def make_cache(tmp_path):
+    return AnalysisCache(tmp_path / "cache.json",
+                         rule_codes=sorted(
+                             rule.code
+                             for rule in rules_for_codes(None)))
+
+
+class TestWarmRuns:
+    def test_warm_run_does_zero_parses(self, tmp_path):
+        # Acceptance criterion: warm re-lint of an unchanged tree
+        # performs zero file re-parses, observable in cache_stats.
+        root = build_tree(tmp_path)
+        cold = run(root, make_cache(tmp_path))
+        assert cold.cache_stats == {
+            "files": 4, "cache_hits": 0, "parses": 4}
+        warm = run(root, make_cache(tmp_path))
+        assert warm.cache_stats == {
+            "files": 4, "cache_hits": 4, "parses": 0}
+        assert warm.findings == cold.findings
+        assert warm.files_checked == cold.files_checked
+
+    def test_edited_file_is_the_only_reparse(self, tmp_path):
+        root = build_tree(tmp_path)
+        run(root, make_cache(tmp_path))
+        (root / "repro" / "clean_0.py").write_text(DIRTY)
+        report = run(root, make_cache(tmp_path))
+        assert report.cache_stats == {
+            "files": 4, "cache_hits": 3, "parses": 1}
+        flagged = sorted({f.path for f in report.findings})
+        assert flagged == ["repro/clean_0.py", "repro/dirty.py"]
+
+    def test_parse_error_replayed_without_reparse(self, tmp_path):
+        root = build_tree(tmp_path, n_clean=1)
+        (root / "repro" / "broken.py").write_text("def broken(:\n")
+        cold = run(root, make_cache(tmp_path))
+        assert len(cold.parse_errors) == 1
+        warm = run(root, make_cache(tmp_path))
+        assert warm.cache_stats["parses"] == 0
+        assert warm.parse_errors == cold.parse_errors
+
+
+class TestInvalidation:
+    def test_rule_set_change_discards_cache(self, tmp_path):
+        root = build_tree(tmp_path)
+        run(root, make_cache(tmp_path))
+        narrowed = AnalysisCache(tmp_path / "cache.json",
+                                 rule_codes=["DET001"])
+        report = lint_paths([root], rules=rules_for_codes(["DET001"]),
+                            root=root, cache=narrowed)
+        assert report.cache_stats["cache_hits"] == 0
+        assert report.cache_stats["parses"] == 4
+
+    def test_deleted_file_pruned_from_cache(self, tmp_path):
+        root = build_tree(tmp_path)
+        run(root, make_cache(tmp_path))
+        (root / "repro" / "clean_1.py").unlink()
+        run(root, make_cache(tmp_path))
+        payload = json.loads((tmp_path / "cache.json").read_text())
+        assert "repro/clean_1.py" not in payload["entries"]
+        assert "repro/clean_0.py" in payload["entries"]
+
+    def test_corrupt_cache_file_starts_cold(self, tmp_path):
+        root = build_tree(tmp_path)
+        (tmp_path / "cache.json").write_text("{not json")
+        report = run(root, make_cache(tmp_path))
+        assert report.cache_stats["parses"] == 4
+
+
+class TestProjectPhaseOverCache:
+    def test_cross_module_findings_survive_warm_replay(self, tmp_path):
+        # Project-phase rules run on cached summaries: a warm run must
+        # still produce the interprocedural finding with zero parses.
+        root = tmp_path / "tree"
+        package = root / "repro"
+        package.mkdir(parents=True)
+        (package / "maker.py").write_text(textwrap.dedent("""\
+            from numpy.random import default_rng as make_rng
+
+            def fresh():
+                return make_rng()
+        """))
+        (package / "user.py").write_text(textwrap.dedent("""\
+            from repro.maker import fresh
+
+            def draw():
+                return fresh().random()
+        """))
+        cold = run(root, make_cache(tmp_path))
+        warm = run(root, make_cache(tmp_path))
+        assert warm.cache_stats["parses"] == 0
+        assert warm.findings == cold.findings
+        assert any(f.path == "repro/user.py" and f.code == "DET001"
+                   for f in warm.findings)

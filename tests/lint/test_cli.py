@@ -98,6 +98,51 @@ class TestSelection:
         assert code == EXIT_CLEAN
         assert "DET001" not in output
 
+    def test_parity_flag_selects_par_rules(self, tree):
+        # The fixture tree has no dispatch tables, so parity-only runs
+        # are clean even though DET001 findings exist.
+        code, output = run_cli([str(tree), "--parity"])
+        assert code == EXIT_CLEAN
+        assert "DET001" not in output
+
+    def test_parity_conflicts_with_select(self, tree):
+        code, _ = run_cli([str(tree), "--parity", "--select", "DET001"])
+        assert code == EXIT_USAGE
+
+
+class TestCacheFlags:
+    def test_cache_stats_reported(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        args = [str(tree), "--no-baseline", "--cache", str(cache),
+                "--cache-stats"]
+        _, cold = run_cli(args)
+        assert "cache: 2 file(s), 0 hit(s), 2 parse(s)" in cold
+        assert cache.exists()
+        _, warm = run_cli(args)
+        assert "cache: 2 file(s), 2 hit(s), 0 parse(s)" in warm
+
+    def test_json_payload_includes_cache_stats(self, tree, tmp_path):
+        cache = tmp_path / "lint-cache.json"
+        _, output = run_cli([str(tree), "--no-baseline", "--cache",
+                             str(cache), "--format", "json"])
+        payload = json.loads(output)
+        assert payload["cache_stats"] == {
+            "files": 2, "cache_hits": 0, "parses": 2}
+
+
+class TestFixFlag:
+    def test_fix_applies_and_reports(self, tree):
+        (tree / "sets.py").write_text(textwrap.dedent("""\
+            def walk(rows):
+                for row in {3, 1, 2}:
+                    rows.append(row)
+        """))
+        code, output = run_cli([str(tree), "--select", "DET003",
+                                "--no-baseline", "--fix"])
+        assert code == EXIT_CLEAN
+        assert "fixed 1 finding(s) in 1 file(s)" in output
+        assert "sorted({3, 1, 2})" in (tree / "sets.py").read_text()
+
 
 class TestBaselineWorkflow:
     def test_write_then_pass_then_flag_regressions(self, tree):
@@ -128,6 +173,30 @@ class TestBaselineWorkflow:
         code, output = run_cli([str(tree)])
         assert code == EXIT_CLEAN
         assert "stale baseline entry" in output
+
+    def test_rewrite_prunes_stale_entries_and_reports_count(self, tree):
+        run_cli([str(tree), "--write-baseline"])
+        (tree / "dirty.py").write_text(CLEAN)
+        code, output = run_cli([str(tree), "--write-baseline"])
+        assert code == EXIT_CLEAN
+        assert "0 finding(s) written" in output
+        assert "1 stale entry pruned" in output
+        # the pruned baseline no longer grandfathers anything
+        (tree / "worse.py").write_text(DIRTY)
+        code, _ = run_cli([str(tree)])
+        assert code == EXIT_FINDINGS
+
+    def test_rewrite_preserves_unselected_codes(self, tree):
+        # A full-rule baseline rewritten with --select must keep the
+        # entries owned by the codes outside the selection.
+        run_cli([str(tree), "--write-baseline"])
+        code, output = run_cli([str(tree), "--select", "DET002",
+                                "--write-baseline"])
+        assert code == EXIT_CLEAN
+        assert "0 stale" in output
+        code, output = run_cli([str(tree)])
+        assert code == EXIT_CLEAN
+        assert "1 baselined" in output
 
     def test_malformed_baseline_is_usage_error(self, tree, tmp_path):
         bad = tmp_path / "bad.json"

@@ -1,0 +1,105 @@
+"""Autofixes: splice application, idempotence, CLI --fix."""
+
+import io
+import textwrap
+
+from repro.lint.cli import EXIT_CLEAN, main
+from repro.lint.engine import lint_source
+from repro.lint.fix import fix_source, fixable_codes
+
+
+def findings_for(source):
+    return lint_source(source, path="repro/sample.py",
+                       module="repro.sample")
+
+
+class TestFixSource:
+    def test_det003_wrapped_in_sorted(self):
+        source = textwrap.dedent("""\
+            def walk(rows):
+                for row in {3, 1, 2}:
+                    rows.append(row)
+        """)
+        fixed, applied = fix_source(source, findings_for(source))
+        assert applied == 1
+        assert "for row in sorted({3, 1, 2}):" in fixed
+        assert findings_for(fixed) == []
+
+    def test_multiline_literal_wrapped(self):
+        source = textwrap.dedent("""\
+            def walk():
+                return [row for row in {
+                    3,
+                    1,
+                }]
+        """)
+        fixed, applied = fix_source(source, findings_for(source))
+        assert applied == 1
+        assert "in sorted({" in fixed
+        assert "})]" in fixed
+        assert findings_for(fixed) == []
+
+    def test_multiple_fixes_applied_bottom_up(self):
+        source = textwrap.dedent("""\
+            def walk(names):
+                for key in {1, 2}:
+                    pass
+                for name in set(names):
+                    pass
+        """)
+        fixed, applied = fix_source(source, findings_for(source))
+        assert applied == 2
+        assert "in sorted({1, 2}):" in fixed
+        assert "in sorted(set(names)):" in fixed
+        assert findings_for(fixed) == []
+
+    def test_unfixable_findings_left_alone(self):
+        source = textwrap.dedent("""\
+            import numpy as np
+
+            def draw():
+                return np.random.random()
+        """)
+        findings = findings_for(source)
+        assert findings
+        fixed, applied = fix_source(source, findings)
+        assert applied == 0
+        assert fixed == source
+
+    def test_fixable_codes_registry(self):
+        assert "DET003" in fixable_codes()
+
+
+class TestCliFix:
+    def test_fix_rewrites_file_and_relints(self, tmp_path, monkeypatch):
+        package = tmp_path / "repro"
+        package.mkdir()
+        target = package / "walk.py"
+        target.write_text(textwrap.dedent("""\
+            def walk(rows):
+                for row in {3, 1, 2}:
+                    rows.append(row)
+        """))
+        monkeypatch.chdir(tmp_path)
+        stream = io.StringIO()
+        code = main(["repro", "--no-baseline", "--fix"], stream=stream)
+        assert code == EXIT_CLEAN
+        output = stream.getvalue()
+        assert "fixed 1 finding(s) in 1 file(s)" in output
+        assert "0 new finding(s)" in output
+        assert "sorted({3, 1, 2})" in target.read_text()
+
+    def test_fix_is_idempotent(self, tmp_path, monkeypatch):
+        package = tmp_path / "repro"
+        package.mkdir()
+        target = package / "walk.py"
+        target.write_text(textwrap.dedent("""\
+            def walk(rows):
+                for row in {3, 1, 2}:
+                    rows.append(row)
+        """))
+        monkeypatch.chdir(tmp_path)
+        main(["repro", "--no-baseline", "--fix"], stream=io.StringIO())
+        once = target.read_text()
+        main(["repro", "--no-baseline", "--fix"], stream=io.StringIO())
+        assert target.read_text() == once

@@ -75,6 +75,74 @@ class TestPragmaScope:
         assert findings[0].line == 3
 
 
+class TestDecoratedDefs:
+    def test_pragma_above_decorator_suppresses_def_line(self):
+        # The finding anchors on the ``def`` line (a default argument),
+        # but the visually-adjacent spot for the pragma is above the
+        # decorator stack.
+        assert lint("""\
+            import functools
+            import numpy as np
+
+            # repro: lint-ok[DET001]
+            @functools.lru_cache(maxsize=None)
+            def sample(v=np.random.random()):
+                return v
+        """) == []
+
+    def test_pragma_above_decorator_covers_decorator_findings(self):
+        assert lint("""\
+            import time
+
+            def timed(stamp):
+                def wrap(fn):
+                    return fn
+                return wrap
+
+            # repro: lint-ok[DET002]
+            @timed(time.time())
+            def sample():
+                return 1
+        """) == []
+
+    def test_pragma_above_second_decorator_still_anchors(self):
+        assert lint("""\
+            import functools
+            import numpy as np
+
+            @functools.wraps
+            # repro: lint-ok[DET001]
+            @functools.lru_cache(maxsize=None)
+            def sample(v=np.random.random()):
+                return v
+        """) == []
+
+    def test_wrong_code_above_decorator_does_not_suppress(self):
+        findings = lint("""\
+            import functools
+            import numpy as np
+
+            # repro: lint-ok[DET002]
+            @functools.lru_cache(maxsize=None)
+            def sample(v=np.random.random()):
+                return v
+        """)
+        assert [f.code for f in findings] == ["DET001"]
+
+    def test_body_findings_not_covered_by_decorator_pragma(self):
+        findings = lint("""\
+            import functools
+            import numpy as np
+
+            # repro: lint-ok[DET001]
+            @functools.lru_cache(maxsize=None)
+            def sample():
+                return np.random.random()
+        """)
+        assert [f.code for f in findings] == ["DET001"]
+        assert findings[0].line == 7
+
+
 class TestPragmaParsing:
     def test_parse_suppressions_shapes(self):
         source = textwrap.dedent("""\

@@ -357,7 +357,8 @@ class TestTel001NondeterministicCounter:
 class TestRegistry:
     def test_all_shipped_rules_registered(self):
         assert set(registered_rules()) == {
-            "DET001", "DET002", "DET003", "DET004", "FORK001", "TEL001"}
+            "DET001", "DET002", "DET003", "DET004", "FORK001", "FORK002",
+            "PAR001", "PAR002", "PAR003", "TEL001"}
 
     def test_unknown_code_rejected(self):
         with pytest.raises(ValueError, match="unknown rule code"):
